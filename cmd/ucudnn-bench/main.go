@@ -1,0 +1,57 @@
+// Command ucudnn-bench regenerates the paper's tables and figures on the
+// simulated device models.
+//
+// Usage:
+//
+//	ucudnn-bench -exp fig10 [-device p100] [-batch 256] [-iters 3] [-csv out.csv]
+//	ucudnn-bench -exp all
+//
+// Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table1
+// opttime summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ucudnn/internal/bench"
+	"ucudnn/internal/device"
+)
+
+func main() {
+	exp := flag.String("exp", "summary", "experiment name or 'all' ("+strings.Join(bench.Names(), ", ")+")")
+	dev := flag.String("device", "p100", "device: k80, p100, v100")
+	batch := flag.Int("batch", 0, "override mini-batch size (0 = experiment default)")
+	iters := flag.Int("iters", 3, "timed iterations")
+	csvPath := flag.String("csv", "", "also write CSV rows to this file")
+	flag.Parse()
+
+	d, err := device.ByName(*dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := bench.Config{Device: d, Batch: *batch, Iters: *iters, Out: os.Stdout}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.CSV = f
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Names()
+	}
+	for _, name := range names {
+		if err := bench.Run(name, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command ucudnn-optimize runs the µ-cuDNN optimizers offline: it
+// benchmarks a convolution kernel's algorithms (populating the file
+// benchmark database for later runs, §III-D), prints WR plans across
+// workspace limits, and dumps the desirable-configuration Pareto front.
+//
+// Usage:
+//
+//	ucudnn-optimize -shape 256x64x27x27 -filter 192x5x5 -pad 2 -ws 64
+//	ucudnn-optimize -shape 32x128x28x28 -filter 128x3x3 -pad 1 -op backward-filter -policy all -db bench.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/tensor"
+)
+
+func main() {
+	shape := flag.String("shape", "256x64x27x27", "input NxCxHxW")
+	filter := flag.String("filter", "192x5x5", "filter KxRxS")
+	pad := flag.Int("pad", 2, "padding")
+	stride := flag.Int("stride", 1, "stride")
+	opName := flag.String("op", "forward", "operation: forward, backward-data, backward-filter")
+	dev := flag.String("device", "p100", "device: k80, p100, v100")
+	policy := flag.String("policy", "powerOfTwo", "batch-size policy")
+	wsMiB := flag.Int64("ws", 64, "workspace limit (MiB)")
+	dbPath := flag.String("db", "", "benchmark database file to populate")
+	workers := flag.Int("workers", 1, "parallel benchmark workers")
+	showFront := flag.Bool("front", true, "print the desirable-configuration Pareto front")
+	flag.Parse()
+
+	if err := run(*shape, *filter, *pad, *stride, *opName, *dev, *policy, *wsMiB, *dbPath, *workers, *showFront); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseDims(s string, n int) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d dimensions in %q", n, s)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func run(shape, filter string, pad, stride int, opName, dev, policy string, wsMiB int64, dbPath string, workers int, showFront bool) error {
+	in, err := parseDims(shape, 4)
+	if err != nil {
+		return err
+	}
+	fl, err := parseDims(filter, 3)
+	if err != nil {
+		return err
+	}
+	var op conv.Op
+	switch opName {
+	case "forward":
+		op = conv.Forward
+	case "backward-data":
+		op = conv.BackwardData
+	case "backward-filter":
+		op = conv.BackwardFilter
+	default:
+		return fmt.Errorf("unknown op %q", opName)
+	}
+	d, err := device.ByName(dev)
+	if err != nil {
+		return err
+	}
+	pol, err := core.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: in[0], C: in[1], H: in[2], W: in[3]},
+		Filt:   tensor.Filter{K: fl[0], C: in[1], R: fl[1], S: fl[2]},
+		Params: tensor.ConvParams{PadH: pad, PadW: pad, StrideH: stride, StrideW: stride},
+	}
+	if !cs.Valid() {
+		return fmt.Errorf("invalid convolution %v", cs)
+	}
+	h := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+	cache, err := core.NewCache(dbPath)
+	if err != nil {
+		return err
+	}
+	defer cache.Close()
+	b := core.NewBencher(h, cache, workers)
+	k := core.Kernel{Op: op, Shape: cs}
+
+	fmt.Printf("kernel: %v on %s\n\n", k, d.Name)
+	fmt.Println("per-algorithm benchmark (undivided):")
+	for _, p := range b.Perfs(k) {
+		fmt.Printf("  %-22s %10v  ws %8.1f MiB\n", p.Algo, p.Time, float64(p.Memory)/(1<<20))
+	}
+
+	fmt.Printf("\nWR plans (%s policy):\n", pol)
+	for _, lim := range []int64{8, wsMiB, 512} {
+		plan, err := core.OptimizeWR(b, k, lim<<20, pol)
+		if err != nil {
+			fmt.Printf("  %4d MiB: %v\n", lim, err)
+			continue
+		}
+		fmt.Printf("  %4d MiB: %10v  ws %8.1f MiB  %v\n",
+			lim, plan.Time, float64(plan.Workspace)/(1<<20), plan.Config)
+	}
+
+	if showFront {
+		front, err := core.DesirableSet(b, k, wsMiB<<20, pol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndesirable configurations at %d MiB (%d points):\n", wsMiB, len(front))
+		for _, sc := range front {
+			fmt.Printf("  %10v  ws %8.1f MiB  %v\n", sc.Time, float64(sc.Workspace)/(1<<20), sc.Config)
+		}
+	}
+	if dbPath != "" {
+		fmt.Printf("\nbenchmark database %s now holds %d entries\n", dbPath, cache.Len())
+	}
+	return nil
+}

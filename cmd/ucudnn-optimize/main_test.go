@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("256x64x27x27", 4)
+	if err != nil || d[0] != 256 || d[3] != 27 {
+		t.Fatalf("parseDims: %v %v", d, err)
+	}
+	if _, err := parseDims("1x2x3", 4); err == nil {
+		t.Fatal("wrong arity must error")
+	}
+	if _, err := parseDims("1x0x3", 3); err == nil {
+		t.Fatal("zero dim must error")
+	}
+	if _, err := parseDims("axbxc", 3); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+}
+
+func TestRunAllOps(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "db.jsonl")
+	for _, op := range []string{"forward", "backward-data", "backward-filter"} {
+		if err := run("16x8x13x13", "12x3x3", 1, 1, op, "p100", "powerOfTwo", 8, db, 2, true); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bad", "12x3x3", 1, 1, "forward", "p100", "powerOfTwo", 8, "", 1, false); err == nil {
+		t.Fatal("bad shape must error")
+	}
+	if err := run("16x8x13x13", "12x3x3", 1, 1, "sideways", "p100", "powerOfTwo", 8, "", 1, false); err == nil {
+		t.Fatal("bad op must error")
+	}
+	if err := run("16x8x13x13", "12x3x3", 1, 1, "forward", "abacus", "powerOfTwo", 8, "", 1, false); err == nil {
+		t.Fatal("bad device must error")
+	}
+	if err := run("16x8x13x13", "12x3x3", 1, 1, "forward", "p100", "sometimes", 8, "", 1, false); err == nil {
+		t.Fatal("bad policy must error")
+	}
+	// Kernel larger than padded input: invalid convolution.
+	if err := run("1x1x2x2", "1x5x5", 0, 1, "forward", "p100", "powerOfTwo", 8, "", 1, false); err == nil {
+		t.Fatal("invalid convolution must error")
+	}
+}

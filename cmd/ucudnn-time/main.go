@@ -1,0 +1,138 @@
+// Command ucudnn-time is the `caffe time` equivalent: it builds one of
+// the zoo networks over the simulated device, runs timed forward-backward
+// iterations, and prints the per-layer breakdown — under plain cuDNN or
+// µ-cuDNN (WR or WD).
+//
+// Usage:
+//
+//	ucudnn-time -net alexnet -batch 256 -device p100 -mode wr -policy powerOfTwo -ws 64
+//	ucudnn-time -net resnet50 -batch 32 -mode wd -total 2544
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/dnn"
+	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
+	"ucudnn/internal/zoo"
+)
+
+func main() {
+	netName := flag.String("net", "alexnet", "network: alexnet, resnet18, resnet50, densenet40, inception")
+	batch := flag.Int("batch", 256, "mini-batch size")
+	dev := flag.String("device", "p100", "device: k80, p100, v100")
+	mode := flag.String("mode", "wr", "mode: cudnn, wr, wd")
+	policy := flag.String("policy", "powerOfTwo", "batch-size policy: undivided, powerOfTwo, all")
+	wsMiB := flag.Int64("ws", 64, "per-kernel workspace limit (MiB)")
+	totalMiB := flag.Int64("total", 0, "WD total workspace (MiB; required for -mode wd)")
+	iters := flag.Int("iters", 3, "timed iterations")
+	dbPath := flag.String("db", "", "benchmark database file (optional)")
+	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
+	flag.Parse()
+
+	if err := run(*netName, *batch, *dev, *mode, *policy, *wsMiB, *totalMiB, *iters, *dbPath, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(netName string, batch int, dev, mode, policy string, wsMiB, totalMiB int64, iters int, dbPath, tracePath string) error {
+	d, err := device.ByName(dev)
+	if err != nil {
+		return err
+	}
+	pol, err := core.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	inner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+	inner.Mem().Cap = 0
+	var convH dnn.ConvHandle = inner
+	var uc *core.Handle
+	switch mode {
+	case "cudnn":
+	case "wr":
+		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWorkspaceLimit(wsMiB<<20), core.WithCachePath(dbPath))
+		if err != nil {
+			return err
+		}
+		convH = uc
+	case "wd":
+		if totalMiB <= 0 {
+			return fmt.Errorf("-mode wd requires -total")
+		}
+		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWD(totalMiB<<20), core.WithCachePath(dbPath))
+		if err != nil {
+			return err
+		}
+		convH = uc
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	ctx := dnn.NewContext(convH, inner, wsMiB<<20)
+	ctx.SkipCompute = true
+	var net *dnn.Net
+	switch netName {
+	case "alexnet":
+		net, _ = zoo.AlexNet(ctx, batch, 1000)
+	case "caffe-alexnet":
+		net, _ = zoo.CaffeAlexNet(ctx, batch, 1000)
+	case "resnet18":
+		net, _ = zoo.ResNet18(ctx, batch, 1000)
+	case "resnet50":
+		net, _ = zoo.ResNet50(ctx, batch, 1000)
+	case "densenet40":
+		net, _ = zoo.DenseNet40(ctx, batch, 40, 10)
+	case "inception":
+		net = zoo.InceptionModule(ctx, batch)
+	default:
+		return fmt.Errorf("unknown network %q", netName)
+	}
+
+	rep, err := net.Time(iters)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		// Record one clean traced iteration after the timed ones.
+		rec := trace.New()
+		inner.SetTrace(rec)
+		if _, err := net.Time(1); err != nil {
+			return err
+		}
+		inner.SetTrace(nil)
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChrome(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing)\n", rec.Len(), tracePath)
+	}
+	fmt.Printf("%s on %s, N=%d, mode=%s policy=%s (%d iterations)\n\n",
+		netName, d.Name, batch, mode, pol, iters)
+	rep.Print(os.Stdout)
+	fmt.Printf("\nconvolutions: %v (%.1f%% of iteration)\n",
+		rep.SumMatching(zoo.IsConvLayer),
+		100*float64(rep.SumMatching(zoo.IsConvLayer))/float64(rep.Total()))
+	if uc != nil {
+		fmt.Printf("µ-cuDNN optimization time: %v\n", uc.OptimizationTime())
+		if s := uc.WDStats(); s != nil {
+			fmt.Printf("WD: %d ILP vars, %d nodes, solved in %v, %s MiB assigned\n",
+				s.ILPVars, s.ILPNodes, s.SolveTime, fmtMiB(s.TotalWorkspace))
+		}
+	}
+	_ = tensor.Shape{}
+	return nil
+}
+
+func fmtMiB(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }

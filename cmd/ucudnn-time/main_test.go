@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunModes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"cudnn", func() error { return run("inception", 16, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", "") }},
+		{"wr", func() error { return run("inception", 16, "p100", "wr", "powerOfTwo", 8, 0, 1, "", "") }},
+		{"wd", func() error { return run("inception", 16, "p100", "wd", "powerOfTwo", 8, 64, 1, "", "") }},
+		{"trace", func() error { return run("inception", 16, "k80", "wr", "undivided", 8, 0, 1, "", tracePath) }},
+		{"db", func() error {
+			return run("inception", 16, "v100", "wr", "all", 8, 0, 1, filepath.Join(dir, "db.jsonl"), "")
+		}},
+	}
+	for _, c := range cases {
+		if err := c.call(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"ph\":\"X\"") {
+		t.Fatal("trace file has no spans")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 8, "p100", "wr", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+		t.Fatal("bogus net must error")
+	}
+	if err := run("inception", 8, "bogus", "wr", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+		t.Fatal("bogus device must error")
+	}
+	if err := run("inception", 8, "p100", "bogus", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+		t.Fatal("bogus mode must error")
+	}
+	if err := run("inception", 8, "p100", "wr", "bogus", 8, 0, 1, "", ""); err == nil {
+		t.Fatal("bogus policy must error")
+	}
+	if err := run("inception", 8, "p100", "wd", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+		t.Fatal("wd without total must error")
+	}
+}
+
+func TestAllNetworksBuild(t *testing.T) {
+	for _, n := range []string{"alexnet", "caffe-alexnet", "resnet18", "densenet40"} {
+		if err := run(n, 4, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", ""); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}

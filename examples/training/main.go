@@ -1,0 +1,114 @@
+// End-to-end training under µ-cuDNN with real arithmetic: a small CNN
+// learns a synthetic classification task twice — once over plain cuDNN,
+// once over µ-cuDNN with a tight workspace budget — and the example shows
+// the losses track each other while µ-cuDNN runs micro-batched kernels.
+// This demonstrates the paper's claim that micro-batching decouples
+// hardware efficiency from statistical efficiency: the training dynamics
+// are unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/dnn"
+	"ucudnn/internal/tensor"
+)
+
+const (
+	batch   = 16
+	classes = 4
+	steps   = 40
+)
+
+func buildNet(ctx *dnn.Context) (*dnn.Net, *dnn.SoftmaxLoss) {
+	net := dnn.NewNet(ctx)
+	net.Input("data", tensor.Shape{N: batch, C: 3, H: 16, W: 16})
+	net.Add(dnn.NewConv("conv1", 16, 3, 1, 1, true), "conv1", "data")
+	net.Add(dnn.NewReLU("relu1"), "relu1", "conv1")
+	net.Add(dnn.NewPool("pool1", dnn.MaxPool, 2, 2, 0), "pool1", "relu1")
+	net.Add(dnn.NewConv("conv2", 32, 3, 1, 1, true), "conv2", "pool1")
+	net.Add(dnn.NewReLU("relu2"), "relu2", "conv2")
+	net.Add(dnn.NewGlobalAvgPool("gap"), "gap", "relu2")
+	net.Add(dnn.NewFC("fc", classes), "fc", "gap")
+	loss := dnn.NewSoftmaxLoss("loss")
+	net.Add(loss, "loss", "fc")
+	return net, loss
+}
+
+// makeBatch writes a quadrant-energy classification task.
+func makeBatch(rng *rand.Rand, in *tensor.Tensor, labels []int) {
+	in.Randomize(rng, 0.1)
+	for n := 0; n < batch; n++ {
+		lbl := rng.Intn(classes)
+		labels[n] = lbl
+		h0, w0 := (lbl/2)*8, (lbl%2)*8
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 8; h++ {
+				for w := 0; w < 8; w++ {
+					in.Add(n, c, h0+h, w0+w, 1.0)
+				}
+			}
+		}
+	}
+}
+
+func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle) []float32 {
+	ctx := dnn.NewContext(convH, inner, 1<<20)
+	ctx.RNG = rand.New(rand.NewSource(42))
+	net, loss := buildNet(ctx)
+	if err := net.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	sgd := dnn.NewSGD(0.05, 0.9, 1e-4)
+	rng := rand.New(rand.NewSource(7))
+	loss.Labels = make([]int, batch)
+	var hist []float32
+	for it := 0; it < steps; it++ {
+		makeBatch(rng, net.InputBlob().Data, loss.Labels)
+		net.ZeroGrads()
+		if err := net.Forward(); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Backward(); err != nil {
+			log.Fatal(err)
+		}
+		sgd.Step(net.Params())
+		hist = append(hist, loss.Loss)
+	}
+	fmt.Printf("%-8s loss: %.4f -> %.4f (simulated kernel time %v)\n",
+		name, hist[0], hist[len(hist)-1], inner.Elapsed())
+	return hist
+}
+
+func main() {
+	plain := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	base := train("cuDNN", plain, plain)
+
+	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	uc, err := core.New(inner, core.WithPolicy(core.PolicyPowerOfTwo), core.WithWorkspaceLimit(1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := train("µ-cuDNN", uc, inner)
+
+	var maxDiff float64
+	for i := range base {
+		d := float64(base[i] - opt[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nmax per-step loss divergence: %.3e (statistical efficiency preserved)\n", maxDiff)
+	fmt.Println("\nµ-cuDNN execution plans:")
+	for _, p := range uc.Plans() {
+		fmt.Printf("  %v\n", p)
+	}
+}

@@ -1,0 +1,3 @@
+module ucudnn
+
+go 1.22

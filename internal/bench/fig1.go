@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+)
+
+// Fig1 reproduces Figure 1: cuDNN forward-convolution times of all
+// single-column-AlexNet layers when the workspace limit admits the best
+// algorithm ("Best") versus one byte less ("-1 byte"), plus the conv2
+// time-vs-workspace sweep of Fig. 1(b). The paper reports a 4.51x cliff
+// on conv2.
+func Fig1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	h := newModelHandle(cfg)
+
+	t := newTable(cfg, fmt.Sprintf("Fig 1(a): AlexNet forward, Best vs -1 byte (%s, N=%d)", cfg.Device.Name, batch),
+		"layer", "best_algo", "best_ms", "best_ws_MiB", "fallback_algo", "fallback_ms", "slowdown")
+	for _, l := range alexNetFwdShapes(batch) {
+		best, err := bestPerf(h, conv.Forward, l.Shape, 1<<40)
+		if err != nil {
+			return err
+		}
+		fallback := best
+		if best.Memory > 0 {
+			fb, err := h.PickAlgo(conv.Forward, l.Shape, cudnn.SpecifyWorkspaceLimit, best.Memory-1)
+			if err == nil {
+				fallback = fb
+			}
+		}
+		t.row(l.Name, best.Algo.String(), ms(best.Time), mib(best.Memory),
+			fallback.Algo.String(), ms(fallback.Time),
+			fmt.Sprintf("%.2fx", float64(fallback.Time)/float64(best.Time)))
+	}
+	t.flush()
+
+	// Fig 1(b): conv2 execution time as the workspace limit grows.
+	cs := Conv2(batch)
+	t2 := newTable(cfg, "Fig 1(b): conv2 forward time vs workspace limit",
+		"ws_limit_MiB", "algo", "time_ms")
+	for _, limMiB := range []int64{1, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		p, err := h.PickAlgo(conv.Forward, cs, cudnn.SpecifyWorkspaceLimit, limMiB*MiB)
+		if err != nil {
+			return err
+		}
+		t2.row(fmt.Sprintf("%d", limMiB), p.Algo.String(), ms(p.Time))
+	}
+	t2.flush()
+	return nil
+}

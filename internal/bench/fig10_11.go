@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"ucudnn/internal/core"
+	"ucudnn/internal/device"
+	"ucudnn/internal/zoo"
+)
+
+// policyLabel matches the paper's figure labels: u / p / a.
+func policyLabel(p core.Policy) string {
+	switch p {
+	case core.PolicyUndivided:
+		return "u"
+	case core.PolicyPowerOfTwo:
+		return "p"
+	default:
+		return "a"
+	}
+}
+
+// runPolicySweep times one network across workspace limits and policies
+// under WR, emitting one row per (limit, policy) with per-conv-layer and
+// total times — the bar structure of Figs. 10 and 11.
+func runPolicySweep(cfg Config, network string, batch int, limitsMiB []int64) error {
+	// Collect conv layer names once for columns.
+	probe, _, err := netRun(cfg, network, "cudnn", core.PolicyUndivided, 512*MiB, batch)
+	if err != nil {
+		return err
+	}
+	var convCols []string
+	for _, l := range probe.Layers {
+		if zoo.IsConvLayer(l.Name) {
+			convCols = append(convCols, l.Name)
+		}
+	}
+	showPerLayer := len(convCols) <= 8
+
+	cols := []string{"ws_MiB", "policy", "total_ms", "conv_ms", "other_ms", "speedup_total", "speedup_conv"}
+	if showPerLayer {
+		cols = append(cols, convCols...)
+	}
+	t := newTable(cfg, fmt.Sprintf("%s (%s, N=%d): WR policy sweep, fwd+bwd per iteration",
+		network, cfg.Device.Name, batch), cols...)
+
+	for _, lim := range limitsMiB {
+		var baseTotal, baseConv float64
+		for _, pol := range core.Policies {
+			rep, _, err := netRun(cfg, network, "wr", pol, lim*MiB, batch)
+			if err != nil {
+				return err
+			}
+			total := rep.Total()
+			convT := convOnly(rep)
+			tms := total.Seconds() * 1000
+			cms := convT.Seconds() * 1000
+			if pol == core.PolicyUndivided {
+				baseTotal, baseConv = tms, cms
+			}
+			row := []string{
+				fmt.Sprintf("%d", lim), policyLabel(pol), ms(total), ms(convT),
+				ms(total - convT),
+				fmt.Sprintf("%.2fx", baseTotal/tms),
+				fmt.Sprintf("%.2fx", baseConv/cms),
+			}
+			if showPerLayer {
+				for _, c := range convCols {
+					lt := rep.Layer(c)
+					row = append(row, ms(lt.Total()))
+				}
+			}
+			t.row(row...)
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Fig10 reproduces Figure 10: AlexNet under WR across the three GPUs with
+// workspace limits {8, 64, 512} MiB and policies {undivided, powerOfTwo,
+// all}; mini-batch 256 on K80 and P100, 1024 on V100. The paper reports
+// 1.81x (K80), 1.40x (P100) and 1.47x (V100) whole-iteration speedups at
+// 64 MiB with the all policy.
+func Fig10(cfg Config) error {
+	cfg = cfg.withDefaults()
+	devs := []struct {
+		dev   device.Spec
+		batch int
+	}{
+		{device.K80, 256},
+		{device.P100, 256},
+		{device.V100, 1024},
+	}
+	for _, d := range devs {
+		c := cfg
+		c.Device = d.dev
+		batch := d.batch
+		if cfg.Batch > 0 {
+			batch = cfg.Batch
+		}
+		if err := runPolicySweep(c, "alexnet", batch, []int64{8, 64, 512}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig11 reproduces Figure 11: the TensorFlow-style evaluation on P100 —
+// AlexNet (N=256), ResNet-50 (N=64) and DenseNet-40 k=40 (N=256) with
+// externally-imposed workspace limits {8, 64, 512} MiB. The paper reports
+// 1.24x (AlexNet) and 1.06x (ResNet-50) at 64 MiB.
+func Fig11(cfg Config) error {
+	cfg = cfg.withDefaults()
+	nets := []struct {
+		name  string
+		batch int
+	}{
+		{"alexnet", 256},
+		{"resnet50", 64},
+		{"densenet40", 256},
+	}
+	for _, n := range nets {
+		batch := n.batch
+		if cfg.Batch > 0 {
+			batch = cfg.Batch
+		}
+		if err := runPolicySweep(cfg, n.name, batch, []int64{8, 64, 512}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package blas implements the single-precision dense linear algebra
+// kernels the convolution algorithms are lowered onto: a blocked,
+// goroutine-parallel SGEMM and a few vector helpers. Only the row-major
+// convention is supported, matching the repository's NCHW tensors.
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// blocking parameters for the micro-kernel; sized so an (mc x kc) A-panel
+// and a (kc x nc) B-panel fit comfortably in L2.
+const (
+	blockM = 64
+	blockN = 256
+	blockK = 128
+)
+
+// parallelThreshold is the minimum number of multiply-adds below which
+// Sgemm runs single-threaded; spawning goroutines for tiny GEMMs costs
+// more than the arithmetic.
+const parallelThreshold = 1 << 16
+
+// Sgemm computes C = alpha * op(A) * op(B) + beta * C for row-major
+// matrices, where op(X) is X or Xᵀ according to transA/transB.
+//
+// A is (m x k) after op, with leading dimension lda; B is (k x n) after
+// op, with leading dimension ldb; C is (m x n) with leading dimension ldc.
+func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	checkDims(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+	scaleC(m, n, beta, c, ldc)
+	if k == 0 || alpha == 0 {
+		return
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if int64(m)*int64(n)*int64(k) < parallelThreshold {
+		workers = 1
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		sgemmRows(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sgemmRows(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkDims(transA, transB bool, m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic("blas: negative dimension")
+	}
+	arows, acols := m, k
+	if transA {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if transB {
+		brows, bcols = n, k
+	}
+	if lda < max(1, acols) || ldb < max(1, bcols) || ldc < max(1, n) {
+		panic("blas: bad leading dimension")
+	}
+	if arows > 0 && acols > 0 && len(a) < (arows-1)*lda+acols {
+		panic("blas: A too short")
+	}
+	if brows > 0 && bcols > 0 && len(b) < (brows-1)*ldb+bcols {
+		panic("blas: B too short")
+	}
+	if m > 0 && len(c) < (m-1)*ldc+n {
+		panic("blas: C too short")
+	}
+}
+
+func scaleC(m, n int, beta float32, c []float32, ldc int) {
+	if beta == 1 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// sgemmRows computes rows [mLo, mHi) of C += alpha*op(A)*op(B) with cache
+// blocking. C has already been scaled by beta.
+func sgemmRows(transA, transB bool, mLo, mHi, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	var packA [blockM * blockK]float32
+	var packB [blockK * blockN]float32
+	for j0 := 0; j0 < n; j0 += blockN {
+		jb := min(blockN, n-j0)
+		for k0 := 0; k0 < k; k0 += blockK {
+			kb := min(blockK, k-k0)
+			packBPanel(&packB, transB, b, ldb, k0, kb, j0, jb)
+			for i0 := mLo; i0 < mHi; i0 += blockM {
+				ib := min(blockM, mHi-i0)
+				packAPanel(&packA, transA, a, lda, i0, ib, k0, kb, alpha)
+				microKernel(&packA, &packB, ib, jb, kb, c, ldc, i0, j0)
+			}
+		}
+	}
+}
+
+// packBPanel copies op(B)[k0:k0+kb, j0:j0+jb] into pack, row-major kb x jb.
+func packBPanel(pack *[blockK * blockN]float32, transB bool, b []float32, ldb int, k0, kb, j0, jb int) {
+	if !transB {
+		for p := 0; p < kb; p++ {
+			copy(pack[p*jb:(p+1)*jb], b[(k0+p)*ldb+j0:(k0+p)*ldb+j0+jb])
+		}
+	} else {
+		for p := 0; p < kb; p++ {
+			for j := 0; j < jb; j++ {
+				pack[p*jb+j] = b[(j0+j)*ldb+(k0+p)]
+			}
+		}
+	}
+}
+
+// packAPanel copies alpha*op(A)[i0:i0+ib, k0:k0+kb] into pack, row-major
+// ib x kb.
+func packAPanel(pack *[blockM * blockK]float32, transA bool, a []float32, lda int, i0, ib, k0, kb int, alpha float32) {
+	if !transA {
+		for i := 0; i < ib; i++ {
+			src := a[(i0+i)*lda+k0 : (i0+i)*lda+k0+kb]
+			dst := pack[i*kb : (i+1)*kb]
+			if alpha == 1 {
+				copy(dst, src)
+			} else {
+				for p := range src {
+					dst[p] = alpha * src[p]
+				}
+			}
+		}
+	} else {
+		for i := 0; i < ib; i++ {
+			for p := 0; p < kb; p++ {
+				pack[i*kb+p] = alpha * a[(k0+p)*lda+(i0+i)]
+			}
+		}
+	}
+}
+
+// microKernel accumulates packA (ib x kb) * packB (kb x jb) into
+// C[i0:i0+ib, j0:j0+jb]. The inner loop is over j so it vectorizes.
+func microKernel(packA *[blockM * blockK]float32, packB *[blockK * blockN]float32, ib, jb, kb int, c []float32, ldc, i0, j0 int) {
+	for i := 0; i < ib; i++ {
+		crow := c[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+jb]
+		arow := packA[i*kb : (i+1)*kb]
+		// Unroll over k in pairs to expose more ILP.
+		p := 0
+		for ; p+1 < kb; p += 2 {
+			a0, a1 := arow[p], arow[p+1]
+			b0 := packB[p*jb : (p+1)*jb]
+			b1 := packB[(p+1)*jb : (p+2)*jb]
+			for j := range crow {
+				crow[j] += a0*b0[j] + a1*b1[j]
+			}
+		}
+		if p < kb {
+			a0 := arow[p]
+			b0 := packB[p*jb : (p+1)*jb]
+			for j := range crow {
+				crow[j] += a0 * b0[j]
+			}
+		}
+	}
+}
+
+// Saxpy computes y += alpha * x.
+func Saxpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Saxpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Sdot returns the dot product of x and y.
+func Sdot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("blas: Sdot length mismatch")
+	}
+	var s float32
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

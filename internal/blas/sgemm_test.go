@@ -1,0 +1,266 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive reference GEMM: C = alpha*op(A)*op(B) + beta*C.
+func refGemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	at := func(i, p int) float32 {
+		if transA {
+			return a[p*lda+i]
+		}
+		return a[i*lda+p]
+	}
+	bt := func(p, j int) float32 {
+		if transB {
+			return b[j*ldb+p]
+		}
+		return b[p*ldb+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			c[i*ldc+j] = alpha*s + beta*c[i*ldc+j]
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func checkGemmCase(t *testing.T, transA, transB bool, m, n, k int, alpha, beta float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(m*1000 + n*100 + k)))
+	lda, ldb, ldc := k, n, n
+	if transA {
+		lda = m
+	}
+	if transB {
+		ldb = k
+	}
+	arows, brows := m, k
+	if transA {
+		arows = k
+	}
+	if transB {
+		brows = n
+	}
+	a := randSlice(rng, arows*lda)
+	b := randSlice(rng, brows*ldb)
+	c1 := randSlice(rng, m*ldc)
+	c2 := append([]float32(nil), c1...)
+	Sgemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c1, ldc)
+	refGemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c2, ldc)
+	if d := maxDiff(c1, c2); d > 1e-4*float64(k+1) {
+		t.Fatalf("tA=%v tB=%v m=%d n=%d k=%d alpha=%v beta=%v: maxdiff %g", transA, transB, m, n, k, alpha, beta, d)
+	}
+}
+
+func TestSgemmSmall(t *testing.T) {
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			checkGemmCase(t, ta, tb, 3, 4, 5, 1, 0)
+			checkGemmCase(t, ta, tb, 1, 1, 1, 2, 0.5)
+			checkGemmCase(t, ta, tb, 7, 2, 9, -1, 1)
+		}
+	}
+}
+
+func TestSgemmBlockBoundaries(t *testing.T) {
+	// Exercise sizes straddling the blocking parameters.
+	sizes := []int{blockM - 1, blockM, blockM + 1, blockK + 3, blockN + 5}
+	for _, m := range []int{blockM - 1, blockM + 1} {
+		for _, k := range []int{blockK - 1, blockK + 1} {
+			checkGemmCase(t, false, false, m, 33, k, 1, 0)
+		}
+	}
+	checkGemmCase(t, false, false, 5, sizes[4], 5, 1, 0)
+}
+
+func TestSgemmParallelLarge(t *testing.T) {
+	// Big enough to take the multi-goroutine path.
+	checkGemmCase(t, false, false, 130, 90, 70, 1.5, 0.25)
+	checkGemmCase(t, true, false, 96, 128, 64, 1, 1)
+	checkGemmCase(t, false, true, 64, 64, 200, 0.5, -1)
+}
+
+func TestSgemmBetaZeroOverwritesNaNFreeGarbage(t *testing.T) {
+	// beta=0 must overwrite C regardless of prior contents.
+	m, n, k := 4, 4, 4
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range c {
+		c[i] = 1e30
+	}
+	Sgemm(false, false, m, n, k, 1, a, k, b, n, 0, c, n)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("c[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSgemmAlphaZeroSkipsProduct(t *testing.T) {
+	m, n, k := 3, 3, 3
+	a := randSlice(rand.New(rand.NewSource(1)), m*k)
+	b := randSlice(rand.New(rand.NewSource(2)), k*n)
+	c := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	Sgemm(false, false, m, n, k, 0, a, k, b, n, 2, c, n)
+	want := []float32{2, 4, 6, 8, 10, 12, 14, 16, 18}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestSgemmZeroK(t *testing.T) {
+	c := []float32{1, 2, 3, 4}
+	Sgemm(false, false, 2, 2, 0, 1, nil, 1, nil, 2, 0.5, c, 2)
+	want := []float32{0.5, 1, 1.5, 2}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("k=0: c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestSgemmPanicsOnBadDims(t *testing.T) {
+	cases := []func(){
+		func() { Sgemm(false, false, -1, 2, 2, 1, nil, 2, nil, 2, 0, nil, 2) },
+		func() {
+			Sgemm(false, false, 2, 2, 2, 1, make([]float32, 3), 2, make([]float32, 4), 2, 0, make([]float32, 4), 2)
+		},
+		func() {
+			Sgemm(false, false, 2, 2, 2, 1, make([]float32, 4), 1, make([]float32, 4), 2, 0, make([]float32, 4), 2)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Sgemm agrees with the naive reference on random shapes.
+func TestSgemmQuick(t *testing.T) {
+	f := func(m8, n8, k8 uint8, ta, tb bool, seed int64) bool {
+		m := int(m8%40) + 1
+		n := int(n8%40) + 1
+		k := int(k8%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		lda, ldb := k, n
+		if ta {
+			lda = m
+		}
+		if tb {
+			ldb = k
+		}
+		arows, brows := m, k
+		if ta {
+			arows = k
+		}
+		if tb {
+			brows = n
+		}
+		a := randSlice(rng, arows*lda)
+		b := randSlice(rng, brows*ldb)
+		c1 := randSlice(rng, m*n)
+		c2 := append([]float32(nil), c1...)
+		Sgemm(ta, tb, m, n, k, 1.25, a, lda, b, ldb, 0.75, c1, n)
+		refGemm(ta, tb, m, n, k, 1.25, a, lda, b, ldb, 0.75, c2, n)
+		return maxDiff(c1, c2) <= 1e-4*float64(k+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaxpySdot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{4, 5, 6}
+	Saxpy(2, x, y)
+	want := []float32{6, 9, 12}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Saxpy: y[%d]=%v", i, y[i])
+		}
+	}
+	if d := Sdot(x, []float32{1, 1, 1}); d != 6 {
+		t.Fatalf("Sdot = %v", d)
+	}
+}
+
+func BenchmarkSgemm256(b *testing.B) {
+	n := 256
+	rng := rand.New(rand.NewSource(7))
+	a := randSlice(rng, n*n)
+	bm := randSlice(rng, n*n)
+	c := make([]float32, n*n)
+	b.SetBytes(int64(2 * n * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sgemm(false, false, n, n, n, 1, a, n, bm, n, 0, c, n)
+	}
+}
+
+func TestSgemmDegenerateDims(t *testing.T) {
+	// m==0 and n==0 are no-ops that must not touch C.
+	c := []float32{1, 2, 3, 4}
+	Sgemm(false, false, 0, 2, 2, 1, nil, 2, make([]float32, 4), 2, 0, c, 2)
+	Sgemm(false, false, 2, 0, 2, 1, make([]float32, 4), 2, nil, 1, 0, c, 1)
+	for i, v := range []float32{1, 2, 3, 4} {
+		if c[i] != v {
+			t.Fatalf("degenerate GEMM touched C[%d]", i)
+		}
+	}
+}
+
+func TestSaxpyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Saxpy(1, []float32{1}, []float32{1, 2})
+}
+
+func TestSdotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sdot([]float32{1}, []float32{1, 2})
+}

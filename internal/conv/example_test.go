@@ -1,0 +1,56 @@
+package conv_test
+
+import (
+	"fmt"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/tensor"
+)
+
+// ExampleRun computes a small convolution with the explicit-GEMM
+// algorithm and prints one output element.
+func ExampleRun() {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 1, C: 1, H: 3, W: 3},
+		Filt:   tensor.Filter{K: 1, C: 1, R: 3, S: 3},
+		Params: tensor.Unit,
+	}
+	x := tensor.NewShaped(cs.In)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	w := tensor.NewFilter(1, 1, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 2
+	}
+	y := tensor.NewShaped(cs.OutShape())
+	bytes, _ := conv.Workspace(conv.Forward, conv.AlgoGemm, cs)
+	ws := make([]float32, (bytes+3)/4)
+	if err := conv.Run(conv.Forward, conv.AlgoGemm, cs, x, w, y, 1, 0, ws); err != nil {
+		panic(err)
+	}
+	fmt.Println(y.Data[0]) // 9 taps x 1 x 2
+	// Output: 18
+}
+
+// ExampleWorkspace contrasts the workspace appetite of two algorithms on
+// AlexNet's conv2 — the gap the paper's Fig. 1 is about.
+func ExampleWorkspace() {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 256, C: 64, H: 27, W: 27},
+		Filt:   tensor.Filter{K: 192, C: 64, R: 5, S: 5},
+		Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1},
+	}
+	gemm, _ := conv.Workspace(conv.Forward, conv.AlgoGemm, cs)
+	fft, _ := conv.Workspace(conv.Forward, conv.AlgoFFT, cs)
+	fmt.Printf("GEMM %d MiB, FFT %d MiB\n", gemm>>20, fft>>20)
+	// Output: GEMM 4 MiB, FFT 280 MiB
+}
+
+// ExampleAlgosFor lists the algorithm sets per operation.
+func ExampleAlgosFor() {
+	fmt.Println(len(conv.AlgosFor(conv.Forward)),
+		len(conv.AlgosFor(conv.BackwardData)),
+		len(conv.AlgosFor(conv.BackwardFilter)))
+	// Output: 8 7 6
+}

@@ -1,0 +1,457 @@
+package conv
+
+import (
+	"ucudnn/internal/fftpkg"
+	"ucudnn/internal/tensor"
+)
+
+// fftTile is the fixed spatial FFT size of the FFT_TILING algorithm,
+// matching cuDNN's 32x32 tiles.
+const fftTile = 32
+
+// A spectralPlan describes the 2-D FFT geometry shared by all planes of
+// one convolution call: a P x Q transform (powers of two) of which only
+// the Hermitian half-spectrum (P rows x Q/2+1 columns) is stored, exactly
+// as cuFFT's R2C transforms do. Each stored plane is interleaved
+// (re, im) float32 pairs.
+type spectralPlan struct {
+	p, q, hw int // hw = q/2 + 1
+}
+
+func newSpectralPlan(rows, cols int) spectralPlan {
+	p := fftpkg.NextPow2(rows)
+	q := fftpkg.NextPow2(cols)
+	return spectralPlan{p: p, q: q, hw: q/2 + 1}
+}
+
+// planeFloats returns the number of float32 elements per stored plane.
+func (pl spectralPlan) planeFloats() int { return 2 * pl.p * pl.hw }
+
+// scratch returns a complex work buffer for one full plane.
+func (pl spectralPlan) scratch() []complex128 { return make([]complex128, pl.p*pl.q) }
+
+// fwdInto transforms a real rows x cols gather into dst's half-spectrum.
+// gather(r, c) is only called for r < rows, c < cols; the rest is zero.
+func (pl spectralPlan) fwdInto(dst []float32, rows, cols int, gather func(r, c int) float32, scratch []complex128) {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	for r := 0; r < rows; r++ {
+		base := r * pl.q
+		for c := 0; c < cols; c++ {
+			scratch[base+c] = complex(float64(gather(r, c)), 0)
+		}
+	}
+	fftpkg.Forward2D(scratch, pl.p, pl.q)
+	for r := 0; r < pl.p; r++ {
+		for c := 0; c < pl.hw; c++ {
+			v := scratch[r*pl.q+c]
+			dst[2*(r*pl.hw+c)] = float32(real(v))
+			dst[2*(r*pl.hw+c)+1] = float32(imag(v))
+		}
+	}
+}
+
+// invFrom reconstructs the full Hermitian spectrum from src and inverse-
+// transforms it; the real result is left in scratch (row stride pl.q).
+func (pl spectralPlan) invFrom(src []float32, scratch []complex128) {
+	for r := 0; r < pl.p; r++ {
+		for c := 0; c < pl.hw; c++ {
+			scratch[r*pl.q+c] = complex(
+				float64(src[2*(r*pl.hw+c)]),
+				float64(src[2*(r*pl.hw+c)+1]))
+		}
+	}
+	// Second pass: the mirror source (mc < hw) is now filled for all rows.
+	for r := 0; r < pl.p; r++ {
+		for c := pl.hw; c < pl.q; c++ {
+			mr := (pl.p - r) % pl.p
+			mc := pl.q - c
+			v := scratch[mr*pl.q+mc]
+			scratch[r*pl.q+c] = complex(real(v), -imag(v))
+		}
+	}
+	fftpkg.Inverse2D(scratch, pl.p, pl.q)
+}
+
+// zeroPlane clears one stored plane.
+func zeroPlane(dst []float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// accumMulConj computes dst += a * conj(b) over interleaved complex planes.
+// This is the spectral form of correlation (the DL "convolution").
+func accumMulConj(dst, a, b []float32) {
+	for i := 0; i < len(dst); i += 2 {
+		ar, ai := a[i], a[i+1]
+		br, bi := b[i], b[i+1]
+		dst[i] += ar*br + ai*bi
+		dst[i+1] += ai*br - ar*bi
+	}
+}
+
+// fftPlanes returns the worst-case padded plane dimensions over the three
+// operations, used by the support predicate to bound plan sizes.
+func fftPlanes(cs tensor.ConvShape) (int, int) {
+	p := cs.Params.Normalized()
+	rows := imax(cs.In.H+2*p.PadH, cs.In.H+cs.Filt.R-1)
+	cols := imax(cs.In.W+2*p.PadW, cs.In.W+cs.Filt.S-1)
+	return fftpkg.NextPow2(rows), fftpkg.NextPow2(cols)
+}
+
+// fftPlanFor returns the spectral plan of op on cs.
+func fftPlanFor(op Op, cs tensor.ConvShape) spectralPlan {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	switch op {
+	case Forward, BackwardFilter:
+		// Correlate the padded input (with the filter, or with dY).
+		return newSpectralPlan(cs.In.H+2*p.PadH, cs.In.W+2*p.PadW)
+	case BackwardData:
+		// Correlate dY padded by (R-1-pad) with the rotated filter; the
+		// padded extent is OH + 2(R-1-pad) = H + R - 1.
+		return newSpectralPlan(out.H+2*(cs.Filt.R-1-p.PadH), out.W+2*(cs.Filt.S-1-p.PadW))
+	}
+	panic("conv: bad op")
+}
+
+// fftFilterChunk is how many filter-bank rows (output channels for
+// Forward/BackwardFilter, input channels for BackwardData) have their
+// spectra resident at once. Chunking the filter planes makes the FFT
+// workspace batch-dominated — the property micro-batching exploits.
+const fftFilterChunk = 32
+
+// fftChunkPlanes returns the number of resident filter-spectrum planes.
+func fftChunkPlanes(op Op, cs tensor.ConvShape) int {
+	c, k := cs.In.C, cs.Filt.K
+	if op == BackwardData {
+		return imin(c, fftFilterChunk) * k
+	}
+	return imin(k, fftFilterChunk) * c
+}
+
+// fftWorkspace returns the full-plane FFT workspace: one chunk of filter
+// spectra plus spectra for every input and output plane — the
+// (chunk + N*C + N*K) structure that makes FFT the memory-hungry,
+// batch-proportional algorithm in the paper.
+func fftWorkspace(op Op, cs tensor.ConvShape) int64 {
+	pl := fftPlanFor(op, cs)
+	n, c, k := int64(cs.In.N), int64(cs.In.C), int64(cs.Filt.K)
+	planes := int64(fftChunkPlanes(op, cs)) + n*c + n*k
+	return planes * int64(pl.planeFloats()) * 4
+}
+
+// fftTilingWorkspace returns the tiled-FFT workspace: filter spectra at
+// the fixed tile size plus one tile's worth of input/output spectra,
+// reused across tiles.
+func fftTilingWorkspace(op Op, cs tensor.ConvShape) int64 {
+	pl := newSpectralPlan(fftTile, fftTile)
+	n, c, k := int64(cs.In.N), int64(cs.In.C), int64(cs.Filt.K)
+	planes := k*c + n*c + n*k
+	return planes * int64(pl.planeFloats()) * 4
+}
+
+// runFFT executes the full-plane FFT convolution.
+func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	f := cs.Filt
+	pl := fftPlanFor(op, cs)
+	pf := pl.planeFloats()
+
+	n, c, k := in.N, in.C, f.K
+	chunk := fftChunkPlanes(op, cs)
+	wspec := ws[:chunk*pf]
+	xspec := ws[chunk*pf : (chunk+n*c)*pf]
+	yspec := ws[(chunk+n*c)*pf : (chunk+n*c+n*k)*pf]
+
+	switch op {
+	case Forward:
+		kch := imin(k, fftFilterChunk)
+		// Padded-input spectra (resident for all chunks).
+		parallelFor(n*c, func(i int) {
+			nn, cc := i/c, i%c
+			scr := pl.scratch()
+			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
+				ih, iw := r-p.PadH, s-p.PadW
+				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+					return 0
+				}
+				return x.At(nn, cc, ih, iw)
+			}, scr)
+		})
+		for k0 := 0; k0 < k; k0 += kch {
+			kc := imin(kch, k-k0)
+			// Filter spectra for this chunk of output channels.
+			parallelFor(kc*c, func(i int) {
+				dk, cc := i/c, i%c
+				scr := pl.scratch()
+				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
+					return w.At(k0+dk, cc, r, s)
+				}, scr)
+			})
+			// Pointwise accumulate over channels, inverse, blend.
+			parallelFor(n*kc, func(i int) {
+				nn, dk := i/kc, i%kc
+				kk := k0 + dk
+				acc := yspec[(nn*k+kk)*pf : (nn*k+kk+1)*pf]
+				zeroPlane(acc)
+				for cc := 0; cc < c; cc++ {
+					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(dk*c+cc)*pf:(dk*c+cc+1)*pf])
+				}
+				scr := pl.scratch()
+				pl.invFrom(acc, scr)
+				for oh := 0; oh < out.H; oh++ {
+					for ow := 0; ow < out.W; ow++ {
+						blend(&y.Data[y.Index(nn, kk, oh, ow)], float32(real(scr[oh*pl.q+ow])), alpha, beta)
+					}
+				}
+			})
+		}
+	case BackwardData:
+		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
+		cch := imin(c, fftFilterChunk)
+		// Padded dY spectra, stored in yspec [n][k], resident.
+		parallelFor(n*k, func(i int) {
+			nn, kk := i/k, i%k
+			scr := pl.scratch()
+			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H+2*padB, out.W+2*padBW, func(r, s int) float32 {
+				oh, ow := r-padB, s-padBW
+				if oh < 0 || oh >= out.H || ow < 0 || ow >= out.W {
+					return 0
+				}
+				return y.At(nn, kk, oh, ow)
+			}, scr)
+		})
+		for c0 := 0; c0 < c; c0 += cch {
+			ccnt := imin(cch, c-c0)
+			// Rotated-filter spectra for this chunk of input channels,
+			// indexed [dc][k].
+			parallelFor(ccnt*k, func(i int) {
+				dc, kk := i/k, i%k
+				scr := pl.scratch()
+				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
+					return w.At(kk, c0+dc, f.R-1-r, f.S-1-s)
+				}, scr)
+			})
+			// dX[n,c] = sum_k corr(padded dY[n,k], rot(w[k,c])).
+			parallelFor(n*ccnt, func(i int) {
+				nn, dc := i/ccnt, i%ccnt
+				cc := c0 + dc
+				acc := xspec[(nn*c+cc)*pf : (nn*c+cc+1)*pf]
+				zeroPlane(acc)
+				for kk := 0; kk < k; kk++ {
+					accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(dc*k+kk)*pf:(dc*k+kk+1)*pf])
+				}
+				scr := pl.scratch()
+				pl.invFrom(acc, scr)
+				for ih := 0; ih < in.H; ih++ {
+					for iw := 0; iw < in.W; iw++ {
+						blend(&x.Data[x.Index(nn, cc, ih, iw)], float32(real(scr[ih*pl.q+iw])), alpha, beta)
+					}
+				}
+			})
+		}
+	case BackwardFilter:
+		kch := imin(k, fftFilterChunk)
+		// dW[k,c] = sum_n corr(padded X[n,c], dY[n,k])[0:R, 0:S].
+		parallelFor(n*c, func(i int) {
+			nn, cc := i/c, i%c
+			scr := pl.scratch()
+			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
+				ih, iw := r-p.PadH, s-p.PadW
+				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+					return 0
+				}
+				return x.At(nn, cc, ih, iw)
+			}, scr)
+		})
+		parallelFor(n*k, func(i int) {
+			nn, kk := i/k, i%k
+			scr := pl.scratch()
+			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H, out.W, func(r, s int) float32 {
+				return y.At(nn, kk, r, s)
+			}, scr)
+		})
+		for k0 := 0; k0 < k; k0 += kch {
+			kc := imin(kch, k-k0)
+			parallelFor(kc*c, func(i int) {
+				dk, cc := i/c, i%c
+				kk := k0 + dk
+				acc := wspec[i*pf : (i+1)*pf]
+				zeroPlane(acc)
+				for nn := 0; nn < n; nn++ {
+					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
+				}
+				scr := pl.scratch()
+				pl.invFrom(acc, scr)
+				for r := 0; r < f.R; r++ {
+					for s := 0; s < f.S; s++ {
+						blend(&w.Data[w.Index(kk, cc, r, s)], float32(real(scr[r*pl.q+s])), alpha, beta)
+					}
+				}
+			})
+		}
+	}
+}
+
+// runFFTTiling executes the 32x32-tiled FFT convolution: filter spectra
+// are computed once at the tile size and reused across spatial tiles,
+// while input/output tile spectra are recomputed per tile, bounding the
+// workspace independently of the spatial extent.
+func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	f := cs.Filt
+	pl := newSpectralPlan(fftTile, fftTile)
+	pf := pl.planeFloats()
+	n, c, k := in.N, in.C, f.K
+	wspec := ws[:k*c*pf]
+	xspec := ws[k*c*pf : (k*c+n*c)*pf]
+	yspec := ws[(k*c+n*c)*pf : (k*c+n*c+n*k)*pf]
+
+	switch op {
+	case Forward:
+		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
+		tilesH, tilesW := ceilDiv(out.H, tileOutH), ceilDiv(out.W, tileOutW)
+		parallelFor(k*c, func(i int) {
+			kk, cc := i/c, i%c
+			scr := pl.scratch()
+			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
+				return w.At(kk, cc, r, s)
+			}, scr)
+		})
+		for th := 0; th < tilesH; th++ {
+			for tw := 0; tw < tilesW; tw++ {
+				baseH, baseW := th*tileOutH, tw*tileOutW
+				parallelFor(n*c, func(i int) {
+					nn, cc := i/c, i%c
+					scr := pl.scratch()
+					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
+						ih := baseH + r - p.PadH
+						iw := baseW + s - p.PadW
+						if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+							return 0
+						}
+						return x.At(nn, cc, ih, iw)
+					}, scr)
+				})
+				parallelFor(n*k, func(i int) {
+					nn, kk := i/k, i%k
+					acc := yspec[i*pf : (i+1)*pf]
+					zeroPlane(acc)
+					for cc := 0; cc < c; cc++ {
+						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(kk*c+cc)*pf:(kk*c+cc+1)*pf])
+					}
+					scr := pl.scratch()
+					pl.invFrom(acc, scr)
+					for dh := 0; dh < tileOutH && baseH+dh < out.H; dh++ {
+						for dw := 0; dw < tileOutW && baseW+dw < out.W; dw++ {
+							blend(&y.Data[y.Index(nn, kk, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
+						}
+					}
+				})
+			}
+		}
+	case BackwardData:
+		// Same structure on the rotated filter and padded dY, tiled over dX.
+		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
+		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
+		tilesH, tilesW := ceilDiv(in.H, tileOutH), ceilDiv(in.W, tileOutW)
+		parallelFor(c*k, func(i int) {
+			cc, kk := i/k, i%k
+			scr := pl.scratch()
+			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
+				return w.At(kk, cc, f.R-1-r, f.S-1-s)
+			}, scr)
+		})
+		for th := 0; th < tilesH; th++ {
+			for tw := 0; tw < tilesW; tw++ {
+				baseH, baseW := th*tileOutH, tw*tileOutW
+				parallelFor(n*k, func(i int) {
+					nn, kk := i/k, i%k
+					scr := pl.scratch()
+					pl.fwdInto(yspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
+						oh := baseH + r - padB
+						ow := baseW + s - padBW
+						if oh < 0 || oh >= out.H || ow < 0 || ow >= out.W {
+							return 0
+						}
+						return y.At(nn, kk, oh, ow)
+					}, scr)
+				})
+				parallelFor(n*c, func(i int) {
+					nn, cc := i/c, i%c
+					acc := xspec[i*pf : (i+1)*pf]
+					zeroPlane(acc)
+					for kk := 0; kk < k; kk++ {
+						accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(cc*k+kk)*pf:(cc*k+kk+1)*pf])
+					}
+					scr := pl.scratch()
+					pl.invFrom(acc, scr)
+					for dh := 0; dh < tileOutH && baseH+dh < in.H; dh++ {
+						for dw := 0; dw < tileOutW && baseW+dw < in.W; dw++ {
+							blend(&x.Data[x.Index(nn, cc, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
+						}
+					}
+				})
+			}
+		}
+	case BackwardFilter:
+		// Tile the summation domain: each tile contributes a partial
+		// correlation of the padded input patch with the dY patch;
+		// contributions accumulate in spectral space in wspec.
+		tileH, tileW := fftTile-f.R+1, fftTile-f.S+1
+		tilesH, tilesW := ceilDiv(out.H, tileH), ceilDiv(out.W, tileW)
+		parallelFor(k*c, func(i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
+		for th := 0; th < tilesH; th++ {
+			for tw := 0; tw < tilesW; tw++ {
+				baseH, baseW := th*tileH, tw*tileW
+				parallelFor(n*c, func(i int) {
+					nn, cc := i/c, i%c
+					scr := pl.scratch()
+					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
+						ih := baseH + r - p.PadH
+						iw := baseW + s - p.PadW
+						if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+							return 0
+						}
+						return x.At(nn, cc, ih, iw)
+					}, scr)
+				})
+				parallelFor(n*k, func(i int) {
+					nn, kk := i/k, i%k
+					scr := pl.scratch()
+					pl.fwdInto(yspec[i*pf:(i+1)*pf], tileH, tileW, func(r, s int) float32 {
+						oh, ow := baseH+r, baseW+s
+						if oh >= out.H || ow >= out.W {
+							return 0
+						}
+						return y.At(nn, kk, oh, ow)
+					}, scr)
+				})
+				parallelFor(k*c, func(i int) {
+					kk, cc := i/c, i%c
+					acc := wspec[i*pf : (i+1)*pf]
+					for nn := 0; nn < n; nn++ {
+						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
+					}
+				})
+			}
+		}
+		parallelFor(k*c, func(i int) {
+			kk, cc := i/c, i%c
+			scr := pl.scratch()
+			pl.invFrom(wspec[i*pf:(i+1)*pf], scr)
+			for r := 0; r < f.R; r++ {
+				for s := 0; s < f.S; s++ {
+					blend(&w.Data[w.Index(kk, cc, r, s)], float32(real(scr[r*pl.q+s])), alpha, beta)
+				}
+			}
+		})
+	}
+}

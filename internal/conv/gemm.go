@@ -1,0 +1,149 @@
+package conv
+
+import (
+	"ucudnn/internal/blas"
+	"ucudnn/internal/tensor"
+)
+
+// gemmWorkspace returns the scratch bytes for the explicit-GEMM algorithm:
+// one per-sample im2col lowering buffer of (C*R*S) x (OH*OW) float32
+// elements, reused across the batch loop. The footprint is therefore
+// independent of the (micro-)batch size, as with cuDNN's GEMM algorithm.
+func gemmWorkspace(op Op, cs tensor.ConvShape) int64 {
+	out := cs.OutShape()
+	cols := int64(cs.Filt.C) * int64(cs.Filt.R) * int64(cs.Filt.S)
+	return cols * int64(out.H) * int64(out.W) * 4
+}
+
+// im2col lowers sample xn (C x H x W, sample-local) into col, a
+// (C*R*S) x (OH*OW) row-major matrix, zero-filling padded positions.
+func im2col(cs tensor.ConvShape, xn []float32, col []float32) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	f := cs.Filt
+	pixels := out.H * out.W
+	row := 0
+	for c := 0; c < f.C; c++ {
+		plane := xn[c*in.H*in.W : (c+1)*in.H*in.W]
+		for r := 0; r < f.R; r++ {
+			for s := 0; s < f.S; s++ {
+				dst := col[row*pixels : (row+1)*pixels]
+				row++
+				i := 0
+				for oh := 0; oh < out.H; oh++ {
+					ih := oh*p.StrideH - p.PadH + r*p.DilationH
+					if ih < 0 || ih >= in.H {
+						for ow := 0; ow < out.W; ow++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					src := plane[ih*in.W : (ih+1)*in.W]
+					for ow := 0; ow < out.W; ow++ {
+						iw := ow*p.StrideW - p.PadW + s*p.DilationW
+						if iw < 0 || iw >= in.W {
+							dst[i] = 0
+						} else {
+							dst[i] = src[iw]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters col (the gradient of the im2col lowering) back into
+// sample xn, accumulating alpha*col on top of the existing contents.
+func col2im(cs tensor.ConvShape, col []float32, xn []float32, alpha float32) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	f := cs.Filt
+	pixels := out.H * out.W
+	row := 0
+	for c := 0; c < f.C; c++ {
+		plane := xn[c*in.H*in.W : (c+1)*in.H*in.W]
+		for r := 0; r < f.R; r++ {
+			for s := 0; s < f.S; s++ {
+				src := col[row*pixels : (row+1)*pixels]
+				row++
+				i := 0
+				for oh := 0; oh < out.H; oh++ {
+					ih := oh*p.StrideH - p.PadH + r*p.DilationH
+					if ih < 0 || ih >= in.H {
+						i += out.W
+						continue
+					}
+					dstRow := plane[ih*in.W : (ih+1)*in.W]
+					for ow := 0; ow < out.W; ow++ {
+						iw := ow*p.StrideW - p.PadW + s*p.DilationW
+						if iw >= 0 && iw < in.W {
+							dstRow[iw] += alpha * src[i]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// runGemm executes the explicit im2col + SGEMM algorithm.
+func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
+	out := cs.OutShape()
+	in := cs.In
+	f := cs.Filt
+	crs := f.C * f.R * f.S
+	pixels := out.H * out.W
+	col := ws[:crs*pixels]
+	inPlane := in.C * in.H * in.W
+	outPlane := out.C * out.H * out.W
+
+	switch op {
+	case Forward:
+		// Y[n] (K x pixels) = alpha * Wmat (K x CRS) * col + beta * Y[n].
+		for n := 0; n < in.N; n++ {
+			im2col(cs, x.Data[n*inPlane:(n+1)*inPlane], col)
+			blas.Sgemm(false, false, f.K, pixels, crs,
+				alpha, w.Data, crs, col, pixels, beta,
+				y.Data[n*outPlane:(n+1)*outPlane], pixels)
+		}
+	case BackwardData:
+		// colGrad = Wmatᵀ (CRS x K) * dY[n] (K x pixels); scatter via col2im.
+		for n := 0; n < in.N; n++ {
+			blas.Sgemm(true, false, crs, pixels, f.K,
+				1, w.Data, crs, y.Data[n*outPlane:(n+1)*outPlane], pixels, 0,
+				col, pixels)
+			dx := x.Data[n*inPlane : (n+1)*inPlane]
+			if beta == 0 {
+				for i := range dx {
+					dx[i] = 0
+				}
+			} else if beta != 1 {
+				for i := range dx {
+					dx[i] *= beta
+				}
+			}
+			col2im(cs, col, dx, alpha)
+		}
+	case BackwardFilter:
+		// dW (K x CRS) = beta*dW + alpha * sum_n dY[n] (K x pixels) * colᵀ.
+		if beta == 0 {
+			w.Zero()
+		} else if beta != 1 {
+			for i := range w.Data {
+				w.Data[i] *= beta
+			}
+		}
+		for n := 0; n < in.N; n++ {
+			im2col(cs, x.Data[n*inPlane:(n+1)*inPlane], col)
+			blas.Sgemm(false, true, f.K, crs, pixels,
+				alpha, y.Data[n*outPlane:(n+1)*outPlane], pixels, col, pixels, 1,
+				w.Data, crs)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ucudnn/internal/tensor"
+)
+
+// Property: convolution is linear in the filter — conv(x, a*w) equals
+// a*conv(x, w) — for every algorithm.
+func TestLinearityInFilter(t *testing.T) {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 2, C: 3, H: 8, W: 8},
+		Filt:   tensor.Filter{K: 4, C: 3, R: 3, S: 3},
+		Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1},
+	}
+	for _, algo := range AlgosFor(Forward) {
+		if !Supported(Forward, algo, cs) {
+			continue
+		}
+		x, w, _ := randomProblem(cs, 31)
+		ws := wsFor(t, Forward, algo, cs)
+		y1 := tensor.NewShaped(cs.OutShape())
+		if err := Run(Forward, algo, cs, x, w, y1, 1, 0, ws); err != nil {
+			t.Fatal(err)
+		}
+		const a = 2.5
+		w2 := w.Clone()
+		for i := range w2.Data {
+			w2.Data[i] *= a
+		}
+		y2 := tensor.NewShaped(cs.OutShape())
+		if err := Run(Forward, algo, cs, x, w2, y2, 1, 0, ws); err != nil {
+			t.Fatal(err)
+		}
+		for i := range y1.Data {
+			y1.Data[i] *= a
+		}
+		if !tensor.AllClose(y1.Data, y2.Data, 10*tolFor(algo, cs), 1e-3) {
+			t.Errorf("%v: not linear in filter: maxdiff %g", algo, tensor.MaxAbsDiff(y1.Data, y2.Data))
+		}
+	}
+}
+
+// Property: conv(x1 + x2, w) == conv(x1, w) + conv(x2, w).
+func TestAdditivityInInput(t *testing.T) {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 2, C: 2, H: 9, W: 9},
+		Filt:   tensor.Filter{K: 3, C: 2, R: 5, S: 5},
+		Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1},
+	}
+	for _, algo := range []Algo{AlgoGemm, AlgoFFT, AlgoWinogradNonfused} {
+		if !Supported(Forward, algo, cs) {
+			continue
+		}
+		rng := rand.New(rand.NewSource(33))
+		x1 := tensor.NewShaped(cs.In)
+		x1.Randomize(rng, 1)
+		x2 := tensor.NewShaped(cs.In)
+		x2.Randomize(rng, 1)
+		w := tensor.NewFilter(3, 2, 5, 5)
+		w.Randomize(rng, 1)
+		ws := wsFor(t, Forward, algo, cs)
+		yA := tensor.NewShaped(cs.OutShape())
+		Run(Forward, algo, cs, x1, w, yA, 1, 0, ws)
+		yB := tensor.NewShaped(cs.OutShape())
+		Run(Forward, algo, cs, x2, w, yB, 1, 0, ws)
+		xs := x1.Clone()
+		for i := range xs.Data {
+			xs.Data[i] += x2.Data[i]
+		}
+		yS := tensor.NewShaped(cs.OutShape())
+		Run(Forward, algo, cs, xs, w, yS, 1, 0, ws)
+		for i := range yA.Data {
+			yA.Data[i] += yB.Data[i]
+		}
+		if !tensor.AllClose(yA.Data, yS.Data, 10*tolFor(algo, cs), 1e-3) {
+			t.Errorf("%v: not additive: maxdiff %g", algo, tensor.MaxAbsDiff(yA.Data, yS.Data))
+		}
+	}
+}
+
+// Property: workspace sizes are deterministic, nonnegative, and
+// monotonically nondecreasing in batch for batch-dependent algorithms.
+func TestWorkspaceQuick(t *testing.T) {
+	f := func(n8, c8, k8, h8 uint8, seed int64) bool {
+		n := int(n8%8) + 1
+		c := int(c8%8) + 1
+		k := int(k8%8) + 1
+		h := int(h8%12) + 5
+		cs := tensor.ConvShape{
+			In:     tensor.Shape{N: n, C: c, H: h, W: h},
+			Filt:   tensor.Filter{K: k, C: c, R: 3, S: 3},
+			Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1},
+		}
+		for _, op := range Ops {
+			for _, algo := range AlgosFor(op) {
+				w1, ok1 := Workspace(op, algo, cs)
+				w2, ok2 := Workspace(op, algo, cs)
+				if ok1 != ok2 || w1 != w2 {
+					return false // non-deterministic
+				}
+				if !ok1 {
+					continue
+				}
+				if w1 < 0 {
+					return false
+				}
+				big, okBig := Workspace(op, algo, cs.WithN(n+4))
+				if okBig && big < w1 {
+					return false // workspace shrank with batch
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: micro-batch equivalence holds for random shapes and random
+// split points (the §II loop-splitting argument, fuzzed).
+func TestMicroBatchQuick(t *testing.T) {
+	f := func(seed int64, splitAt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		cs := tensor.ConvShape{
+			In:     tensor.Shape{N: n, C: 2 + rng.Intn(3), H: 6 + rng.Intn(5), W: 6 + rng.Intn(5)},
+			Filt:   tensor.Filter{K: 1 + rng.Intn(4), C: 0, R: 3, S: 3},
+			Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1},
+		}
+		cs.Filt.C = cs.In.C
+		split := 1 + int(splitAt)%(n-1)
+		algos := []Algo{AlgoGemm, AlgoImplicitGemm, AlgoFFT}
+		algo := algos[rng.Intn(len(algos))]
+		if !Supported(Forward, algo, cs) {
+			return true
+		}
+		x, w, _ := randomProblem(cs, seed)
+		ws := make([]float32, 1<<22)
+		yu := tensor.NewShaped(cs.OutShape())
+		if err := Run(Forward, algo, cs, x, w, yu, 1, 0, ws); err != nil {
+			return false
+		}
+		ys := tensor.NewShaped(cs.OutShape())
+		c1 := cs.WithN(split)
+		c2 := cs.WithN(n - split)
+		if err := Run(Forward, algo, c1, x.Sample(0, split), w, ys.Sample(0, split), 1, 0, ws); err != nil {
+			return false
+		}
+		if err := Run(Forward, algo, c2, x.Sample(split, n-split), w, ys.Sample(split, n-split), 1, 0, ws); err != nil {
+			return false
+		}
+		return tensor.AllClose(yu.Data, ys.Data, tolFor(algo, cs), 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FFT and FFT_TILING must agree with each other on shapes where both are
+// supported (they share no code path beyond the spectral helpers).
+func TestFFTVariantsAgree(t *testing.T) {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 2, C: 3, H: 40, W: 40},
+		Filt:   tensor.Filter{K: 4, C: 3, R: 5, S: 5},
+		Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1},
+	}
+	for _, op := range Ops {
+		if !Supported(op, AlgoFFT, cs) || !Supported(op, AlgoFFTTiling, cs) {
+			continue
+		}
+		x, w, y := randomProblem(cs, 35)
+		x2, w2, y2 := x.Clone(), w.Clone(), y.Clone()
+		wsA := wsFor(t, op, AlgoFFT, cs)
+		wsB := wsFor(t, op, AlgoFFTTiling, cs)
+		if err := Run(op, AlgoFFT, cs, x, w, y, 1, 0, wsA); err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(op, AlgoFFTTiling, cs, x2, w2, y2, 1, 0, wsB); err != nil {
+			t.Fatal(err)
+		}
+		var a, b []float32
+		switch op {
+		case Forward:
+			a, b = y.Data, y2.Data
+		case BackwardData:
+			a, b = x.Data, x2.Data
+		case BackwardFilter:
+			a, b = w.Data, w2.Data
+		}
+		if !tensor.AllClose(a, b, 2*tolFor(AlgoFFT, cs), 1e-3) {
+			t.Errorf("%v: FFT vs FFT_TILING diverge: %g", op, tensor.MaxAbsDiff(a, b))
+		}
+	}
+}

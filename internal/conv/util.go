@@ -1,0 +1,70 @@
+package conv
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS workers in
+// contiguous chunks. Chunk ownership is deterministic, so kernels that
+// write disjoint regions per index stay reproducible.
+func parallelFor(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// blend writes out = alpha*v + beta*out for one element.
+func blend(out *float32, v, alpha, beta float32) {
+	if beta == 0 {
+		*out = alpha * v
+	} else {
+		*out = alpha*v + beta**out
+	}
+}
+
+func imin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func imax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

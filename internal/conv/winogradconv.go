@@ -1,0 +1,322 @@
+package conv
+
+import (
+	"fmt"
+	"sync"
+
+	"ucudnn/internal/blas"
+	"ucudnn/internal/tensor"
+	"ucudnn/internal/winograd"
+)
+
+// fusedBlockTiles bounds how many tiles the fused Winograd variant keeps
+// in flight; its workspace is independent of the spatial extent and batch.
+const fusedBlockTiles = 64
+
+var (
+	wtMu    sync.Mutex
+	wtCache = map[[2]int]*winograd.Transform{}
+)
+
+// winogradTransformFor returns the cached transform for the variant:
+// fused uses F(2x2,3x3); non-fused uses the larger-tile F(4x4,3x3) and
+// supports 5x5 kernels via F(2x2,5x5), mirroring cuDNN.
+func winogradTransformFor(fused bool, r int) *winograd.Transform {
+	var m int
+	switch {
+	case fused && r == 3:
+		m = 2
+	case !fused && r == 3:
+		m = 4
+	case !fused && r == 5:
+		m = 2
+	default:
+		panic(fmt.Sprintf("conv: no winograd transform for fused=%v r=%d", fused, r))
+	}
+	key := [2]int{m, r}
+	wtMu.Lock()
+	defer wtMu.Unlock()
+	if tr, ok := wtCache[key]; ok {
+		return tr
+	}
+	tr, err := winograd.NewTransform(m, r)
+	if err != nil {
+		panic(err)
+	}
+	wtCache[key] = tr
+	return tr
+}
+
+// winogradTiles returns the number of tiles per image dimension and total
+// tile count for tiling a rows x cols output with m x m tiles over batch n.
+func winogradTiles(m, rows, cols, n int) (tilesH, tilesW, total int) {
+	tilesH = ceilDiv(rows, m)
+	tilesW = ceilDiv(cols, m)
+	return tilesH, tilesW, n * tilesH * tilesW
+}
+
+// winogradWorkspace returns the scratch bytes of the (non-)fused Winograd
+// algorithm for op on cs.
+func winogradWorkspace(op Op, cs tensor.ConvShape, fused bool) int64 {
+	tr := winogradTransformFor(fused, cs.Filt.R)
+	a2 := int64(tr.Alpha * tr.Alpha)
+	out := cs.OutShape()
+	c, k := int64(cs.In.C), int64(cs.Filt.K)
+	var total int64
+	switch op {
+	case Forward:
+		_, _, t := winogradTiles(tr.M, out.H, out.W, cs.In.N)
+		total = int64(t)
+	case BackwardData:
+		_, _, t := winogradTiles(tr.M, cs.In.H, cs.In.W, cs.In.N)
+		total = int64(t)
+	case BackwardFilter:
+		_, _, t := winogradTiles(tr.M, out.H, out.W, cs.In.N)
+		// Input tiles, output-gradient tiles, and the spectral accumulator.
+		return a2 * (c*int64(t) + k*int64(t) + k*c) * 4
+	}
+	bp := total
+	if fused && bp > fusedBlockTiles {
+		bp = fusedBlockTiles
+	}
+	return a2 * (k*c + (c+k)*bp) * 4
+}
+
+func runWinograd(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32, fused bool) error {
+	tr := winogradTransformFor(fused, cs.Filt.R)
+	switch op {
+	case Forward:
+		winogradCorrelate(tr, cs, x, w, y, alpha, beta, ws, fused, false)
+	case BackwardData:
+		// dX is the correlation of dY (padded by R-1-pad) with the rotated,
+		// channel-swapped filter; reuse the forward engine on the
+		// transformed problem.
+		p := cs.Params.Normalized()
+		if p.PadH > cs.Filt.R-1 || p.PadW > cs.Filt.S-1 {
+			return fmt.Errorf("conv: winograd BackwardData requires pad < kernel size")
+		}
+		out := cs.OutShape()
+		tcs := tensor.ConvShape{
+			In:   tensor.Shape{N: cs.In.N, C: cs.Filt.K, H: out.H, W: out.W},
+			Filt: tensor.Filter{K: cs.In.C, C: cs.Filt.K, R: cs.Filt.R, S: cs.Filt.S},
+			Params: tensor.ConvParams{
+				PadH: cs.Filt.R - 1 - p.PadH, PadW: cs.Filt.S - 1 - p.PadW,
+				StrideH: 1, StrideW: 1, DilationH: 1, DilationW: 1,
+			},
+		}
+		winogradCorrelate(tr, tcs, y, w, x, alpha, beta, ws, fused, true)
+	case BackwardFilter:
+		winogradBackwardFilter(tr, cs, x, w, y, alpha, beta, ws)
+	}
+	return nil
+}
+
+// winogradCorrelate computes out = alpha*corr(in, filt) + beta*out with
+// the Winograd transform tr; cs describes the correlation being computed
+// (for BackwardData, the transformed problem). When rotSwap is set, the
+// filter is read rotated 180 degrees with its K/C axes swapped (the raw
+// filter tensor retains its original KCRS layout).
+func winogradCorrelate(tr *winograd.Transform, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32, fused, rotSwap bool) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	m, alpha2 := tr.M, tr.Alpha*tr.Alpha
+	r := cs.Filt.R
+	c, k := cs.Filt.C, cs.Filt.K
+	tilesH, tilesW, total := winogradTiles(m, out.H, out.W, in.N)
+	tilesPer := tilesH * tilesW
+	bp := total
+	if fused && bp > fusedBlockTiles {
+		bp = fusedBlockTiles
+	}
+
+	u := ws[:alpha2*k*c]
+	v := ws[alpha2*k*c : alpha2*(k*c+c*bp)]
+	mm := ws[alpha2*(k*c+c*bp) : alpha2*(k*c+(c+k)*bp)]
+
+	// Filter transforms: U[e][kk*c+cc].
+	parallelFor(k*c, func(i int) {
+		kk, cc := i/c, i%c
+		g := make([]float32, r*r)
+		for a := 0; a < r; a++ {
+			for b := 0; b < r; b++ {
+				if rotSwap {
+					// Transformed-problem filter [kk=orig c][cc=orig k].
+					g[a*r+b] = w.At(cc, kk, r-1-a, r-1-b)
+				} else {
+					g[a*r+b] = w.At(kk, cc, a, b)
+				}
+			}
+		}
+		ut := make([]float32, alpha2)
+		tmp := make([]float32, tr.Alpha*r)
+		tr.FilterTransform(ut, g, tmp)
+		for e := 0; e < alpha2; e++ {
+			u[e*k*c+i] = ut[e]
+		}
+	})
+
+	for p0 := 0; p0 < total; p0 += bp {
+		cnt := imin(bp, total-p0)
+		// Input tile transforms: V[e][cc*bp + (p-p0)].
+		parallelFor(c*cnt, func(i int) {
+			cc, dp := i/cnt, i%cnt
+			pp := p0 + dp
+			nn := pp / tilesPer
+			th := (pp % tilesPer) / tilesW
+			tw := pp % tilesW
+			baseH := th*m - p.PadH
+			baseW := tw*m - p.PadW
+			d := make([]float32, alpha2)
+			for a := 0; a < tr.Alpha; a++ {
+				ih := baseH + a
+				if ih < 0 || ih >= in.H {
+					continue
+				}
+				for b := 0; b < tr.Alpha; b++ {
+					iw := baseW + b
+					if iw < 0 || iw >= in.W {
+						continue
+					}
+					d[a*tr.Alpha+b] = x.At(nn, cc, ih, iw)
+				}
+			}
+			vt := make([]float32, alpha2)
+			tmp := make([]float32, alpha2)
+			tr.InputTransform(vt, d, tmp)
+			for e := 0; e < alpha2; e++ {
+				v[e*c*bp+cc*bp+dp] = vt[e]
+			}
+		})
+		// Spectral GEMMs: M[e] (k x cnt) = U[e] (k x c) * V[e] (c x cnt).
+		for e := 0; e < alpha2; e++ {
+			blas.Sgemm(false, false, k, cnt, c,
+				1, u[e*k*c:(e+1)*k*c], c, v[e*c*bp:e*c*bp+c*bp], bp, 0,
+				mm[e*k*bp:e*k*bp+k*bp], bp)
+		}
+		// Inverse transforms and scatter.
+		parallelFor(k*cnt, func(i int) {
+			kk, dp := i/cnt, i%cnt
+			pp := p0 + dp
+			nn := pp / tilesPer
+			th := (pp % tilesPer) / tilesW
+			tw := pp % tilesW
+			macc := make([]float32, alpha2)
+			for e := 0; e < alpha2; e++ {
+				macc[e] = mm[e*k*bp+kk*bp+dp]
+			}
+			yt := make([]float32, m*m)
+			tmp := make([]float32, m*tr.Alpha)
+			tr.OutputTransform(yt, macc, tmp)
+			for a := 0; a < m; a++ {
+				oh := th*m + a
+				if oh >= out.H {
+					break
+				}
+				for b := 0; b < m; b++ {
+					ow := tw*m + b
+					if ow >= out.W {
+						break
+					}
+					blend(&y.Data[y.Index(nn, kk, oh, ow)], yt[a*m+b], alpha, beta)
+				}
+			}
+		})
+	}
+}
+
+// winogradBackwardFilter computes dW = alpha*grad + beta*dW using the
+// exact adjoint of the Winograd forward tiling (non-fused only).
+func winogradBackwardFilter(tr *winograd.Transform, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
+	p := cs.Params.Normalized()
+	out := cs.OutShape()
+	in := cs.In
+	m, alpha2 := tr.M, tr.Alpha*tr.Alpha
+	r := cs.Filt.R
+	c, k := cs.Filt.C, cs.Filt.K
+	tilesH, tilesW, total := winogradTiles(m, out.H, out.W, in.N)
+	tilesPer := tilesH * tilesW
+
+	v := ws[:alpha2*c*total]
+	wb := ws[alpha2*c*total : alpha2*(c+k)*total]
+	du := ws[alpha2*(c+k)*total : alpha2*((c+k)*total+k*c)]
+
+	// Input tiles (same gather as forward): V[e][cc*total + p].
+	parallelFor(c*total, func(i int) {
+		cc, pp := i/total, i%total
+		nn := pp / tilesPer
+		th := (pp % tilesPer) / tilesW
+		tw := pp % tilesW
+		baseH := th*m - p.PadH
+		baseW := tw*m - p.PadW
+		d := make([]float32, alpha2)
+		for a := 0; a < tr.Alpha; a++ {
+			ih := baseH + a
+			if ih < 0 || ih >= in.H {
+				continue
+			}
+			for b := 0; b < tr.Alpha; b++ {
+				iw := baseW + b
+				if iw < 0 || iw >= in.W {
+					continue
+				}
+				d[a*tr.Alpha+b] = x.At(nn, cc, ih, iw)
+			}
+		}
+		vt := make([]float32, alpha2)
+		tmp := make([]float32, alpha2)
+		tr.InputTransform(vt, d, tmp)
+		for e := 0; e < alpha2; e++ {
+			v[e*c*total+cc*total+pp] = vt[e]
+		}
+	})
+	// Output-gradient tiles through the adjoint: Wb[e][kk*total + p].
+	parallelFor(k*total, func(i int) {
+		kk, pp := i/total, i%total
+		nn := pp / tilesPer
+		th := (pp % tilesPer) / tilesW
+		tw := pp % tilesW
+		dy := make([]float32, m*m)
+		for a := 0; a < m; a++ {
+			oh := th*m + a
+			if oh >= out.H {
+				break
+			}
+			for b := 0; b < m; b++ {
+				ow := tw*m + b
+				if ow >= out.W {
+					break
+				}
+				dy[a*m+b] = y.At(nn, kk, oh, ow)
+			}
+		}
+		wt := make([]float32, alpha2)
+		tmp := make([]float32, tr.Alpha*m)
+		tr.OutputAdjoint(wt, dy, tmp)
+		for e := 0; e < alpha2; e++ {
+			wb[e*k*total+kk*total+pp] = wt[e]
+		}
+	})
+	// Spectral accumulation: dU[e] (k x c) = Wb[e] (k x total) * V[e]ᵀ.
+	for e := 0; e < alpha2; e++ {
+		blas.Sgemm(false, true, k, c, total,
+			1, wb[e*k*total:(e+1)*k*total], total, v[e*c*total:(e+1)*c*total], total, 0,
+			du[e*k*c:(e+1)*k*c], c)
+	}
+	// Back to filter space.
+	parallelFor(k*c, func(i int) {
+		kk, cc := i/c, i%c
+		uacc := make([]float32, alpha2)
+		for e := 0; e < alpha2; e++ {
+			uacc[e] = du[e*k*c+i]
+		}
+		g := make([]float32, r*r)
+		tmp := make([]float32, r*tr.Alpha)
+		tr.FilterAdjoint(g, uacc, tmp)
+		for a := 0; a < r; a++ {
+			for b := 0; b < r; b++ {
+				blend(&w.Data[w.Index(kk, cc, a, b)], g[a*r+b], alpha, beta)
+			}
+		}
+	})
+}

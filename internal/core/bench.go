@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"ucudnn/internal/cudnn"
+)
+
+// Bencher measures (or, with the model backend, predicts) per-algorithm
+// kernel performance for the optimizers, with caching and parallel
+// evaluation of micro-batch candidates (the paper's multi-GPU parallel
+// benchmarking, realized as a worker pool over virtual devices).
+type Bencher struct {
+	h       *cudnn.Handle
+	cache   *Cache
+	workers int
+}
+
+// NewBencher builds a bencher over the given cuDNN handle. workers <= 1
+// evaluates sequentially.
+func NewBencher(h *cudnn.Handle, cache *Cache, workers int) *Bencher {
+	if cache == nil {
+		cache, _ = NewCache("")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Bencher{h: h, cache: cache, workers: workers}
+}
+
+// Perfs returns the per-algorithm results for kernel k, fastest first,
+// consulting the cache.
+func (b *Bencher) Perfs(k Kernel) []cudnn.AlgoPerf {
+	key := CacheKey(b.h.Device().Name, b.h.Backend(), k.Op, k.Shape)
+	if p, ok := b.cache.Get(key); ok {
+		return p
+	}
+	p := b.h.AlgoPerfs(k.Op, k.Shape)
+	_ = b.cache.Put(key, p)
+	return p
+}
+
+// PerfsForSizes benchmarks kernel k at each micro-batch size, distributing
+// the uncached sizes over the worker pool.
+func (b *Bencher) PerfsForSizes(k Kernel, sizes []int) map[int][]cudnn.AlgoPerf {
+	out := make(map[int][]cudnn.AlgoPerf, len(sizes))
+	var pending []int
+	var mu sync.Mutex
+	for _, n := range sizes {
+		key := CacheKey(b.h.Device().Name, b.h.Backend(), k.Op, k.Shape.WithN(n))
+		if p, ok := b.cache.Get(key); ok {
+			out[n] = p
+		} else {
+			pending = append(pending, n)
+		}
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	workers := b.workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ch {
+				mk := Kernel{Op: k.Op, Shape: k.Shape.WithN(n)}
+				p := b.h.AlgoPerfs(mk.Op, mk.Shape)
+				key := CacheKey(b.h.Device().Name, b.h.Backend(), mk.Op, mk.Shape)
+				mu.Lock()
+				_ = b.cache.Put(key, p)
+				out[n] = p
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, n := range pending {
+		ch <- n
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

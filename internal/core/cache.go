@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/tensor"
+)
+
+// Cache stores kernel benchmark results in memory and, optionally, in an
+// append-only JSON-lines file database (paper §III-D): the file enables
+// offline benchmarking and sharing results across a homogeneous cluster
+// via a network filesystem.
+type Cache struct {
+	mu   sync.Mutex
+	mem  map[string][]cudnn.AlgoPerf
+	path string
+	file *os.File
+}
+
+// NewCache creates a cache; path may be empty for memory-only operation.
+// An existing database file is loaded eagerly.
+func NewCache(path string) (*Cache, error) {
+	c := &Cache{mem: map[string][]cudnn.AlgoPerf{}, path: path}
+	if path == "" {
+		return c, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening benchmark db: %w", err)
+	}
+	c.file = f
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec dbRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Tolerate torn trailing writes; stop at the first bad line.
+			break
+		}
+		c.mem[rec.Key] = rec.toPerfs()
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: reading benchmark db: %w", err)
+	}
+	return c, nil
+}
+
+// Close releases the file database, if any.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		return nil
+	}
+	err := c.file.Close()
+	c.file = nil
+	return err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+type dbPerf struct {
+	Algo int   `json:"algo"`
+	NS   int64 `json:"ns"`
+	Mem  int64 `json:"mem"`
+}
+
+type dbRecord struct {
+	Key   string   `json:"key"`
+	Perfs []dbPerf `json:"perfs"`
+}
+
+func (r dbRecord) toPerfs() []cudnn.AlgoPerf {
+	out := make([]cudnn.AlgoPerf, len(r.Perfs))
+	for i, p := range r.Perfs {
+		out[i] = cudnn.AlgoPerf{Algo: conv.Algo(p.Algo), Time: time.Duration(p.NS), Memory: p.Mem}
+	}
+	return out
+}
+
+// CacheKey builds the lookup key of one benchmarked kernel instance. The
+// device and timing backend are part of the key so one database can serve
+// a heterogeneous set of runs.
+func CacheKey(dev string, backend cudnn.Backend, op conv.Op, cs tensor.ConvShape) string {
+	p := cs.Params.Normalized()
+	return fmt.Sprintf("%s|%s|%s|%dx%dx%dx%d|%dx%dx%dx%d|p%dx%d|s%dx%d|d%dx%d",
+		dev, backend, op,
+		cs.In.N, cs.In.C, cs.In.H, cs.In.W,
+		cs.Filt.K, cs.Filt.C, cs.Filt.R, cs.Filt.S,
+		p.PadH, p.PadW, p.StrideH, p.StrideW, p.DilationH, p.DilationW)
+}
+
+// Get returns the cached perfs for key.
+func (c *Cache) Get(key string) ([]cudnn.AlgoPerf, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.mem[key]
+	return p, ok
+}
+
+// Put stores perfs for key, appending to the file database when present.
+func (c *Cache) Put(key string, perfs []cudnn.AlgoPerf) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = perfs
+	if c.file == nil {
+		return nil
+	}
+	rec := dbRecord{Key: key}
+	for _, p := range perfs {
+		rec.Perfs = append(rec.Perfs, dbPerf{Algo: int(p.Algo), NS: int64(p.Time), Mem: p.Memory})
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := c.file.Write(data); err != nil {
+		return fmt.Errorf("core: writing benchmark db: %w", err)
+	}
+	return nil
+}

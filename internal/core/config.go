@@ -1,0 +1,122 @@
+// Package core implements µ-cuDNN, the paper's contribution: a transparent
+// wrapper around the cuDNN-shaped convolution API (internal/cudnn) that
+// divides each layer's mini-batch into micro-batches so faster convolution
+// algorithms fit a workspace budget.
+//
+// The two optimizers of §III are provided:
+//
+//   - WR (Workspace Reuse): a per-kernel dynamic program over micro-batch
+//     divisions under a per-kernel workspace limit (OptimizeWR);
+//   - WD (Workspace Division): per-kernel desirable-configuration sets
+//     (Pareto fronts in the time x workspace plane, DesirableSet) combined
+//     by a 0-1 ILP under a network-wide workspace budget (OptimizeWD).
+//
+// Handle wires the optimizers behind the cuDNN call surface: frameworks
+// swap their handle type and keep calling cudnnGetConvolution*Algorithm /
+// cudnnConvolution*, exactly as the paper's three-line Caffe patch does.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/tensor"
+)
+
+// MicroConfig pairs a convolution algorithm with the micro-batch size it
+// runs at: one entry of a kernel's configuration (paper §III-A).
+type MicroConfig struct {
+	BatchSize int
+	Algo      conv.Algo
+}
+
+func (m MicroConfig) String() string {
+	return fmt.Sprintf("%v@%d", m.Algo, m.BatchSize)
+}
+
+// Config is an ordered list of micro-configurations whose batch sizes sum
+// to the kernel's mini-batch size; the paper writes it as
+// <algo@size, algo@size, ...>.
+type Config []MicroConfig
+
+// TotalBatch returns the summed batch size of the configuration.
+func (c Config) TotalBatch() int {
+	n := 0
+	for _, m := range c {
+		n += m.BatchSize
+	}
+	return n
+}
+
+// Validate checks the configuration covers exactly batch samples with
+// positive micro-batches.
+func (c Config) Validate(batch int) error {
+	if len(c) == 0 {
+		return fmt.Errorf("core: empty configuration")
+	}
+	for _, m := range c {
+		if m.BatchSize <= 0 {
+			return fmt.Errorf("core: non-positive micro-batch in %v", c)
+		}
+	}
+	if got := c.TotalBatch(); got != batch {
+		return fmt.Errorf("core: configuration covers %d samples, want %d", got, batch)
+	}
+	return nil
+}
+
+// Workspace returns the workspace requirement of the configuration for op
+// on the kernel shape cs: micro-batches run sequentially and share one
+// slot, so it is the maximum over micro-configurations.
+func (c Config) Workspace(op conv.Op, cs tensor.ConvShape) int64 {
+	var max int64
+	for _, m := range c {
+		ws, ok := conv.Workspace(op, m.Algo, cs.WithN(m.BatchSize))
+		if !ok {
+			continue
+		}
+		if ws > max {
+			max = ws
+		}
+	}
+	return max
+}
+
+func (c Config) String() string {
+	parts := make([]string, len(c))
+	for i, m := range c {
+		parts[i] = m.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Undivided reports whether the configuration is a single micro-batch.
+func (c Config) Undivided() bool { return len(c) == 1 }
+
+// Kernel identifies one convolution kernel instance: the unit the
+// optimizers plan for. A convolutional layer contributes up to three
+// kernels (Forward, BackwardData, BackwardFilter).
+type Kernel struct {
+	Op    conv.Op
+	Shape tensor.ConvShape
+}
+
+func (k Kernel) String() string {
+	return fmt.Sprintf("%v[%v]", k.Op, k.Shape)
+}
+
+// Plan is an optimized execution plan for one kernel.
+type Plan struct {
+	Kernel Kernel
+	Config Config
+	// Time is the predicted execution time of the configuration.
+	Time time.Duration
+	// Workspace is the kernel's workspace requirement under the plan.
+	Workspace int64
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("%v -> %v (%v, ws=%d)", p.Kernel, p.Config, p.Time, p.Workspace)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ScoredConfig is a configuration annotated with its execution time and
+// shared-slot workspace requirement.
+type ScoredConfig struct {
+	Config    Config
+	Time      time.Duration
+	Workspace int64
+}
+
+// paretoPrune returns the subset of entries not dominated in the
+// (time, workspace) plane (paper §III-C1, "desirable configurations"):
+// entry a dominates b when a is no slower and needs no more workspace.
+// Exact-duplicate costs collapse to one representative. The result is
+// sorted by ascending time (so descending workspace).
+func paretoPrune(entries []ScoredConfig) []ScoredConfig {
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Time != entries[j].Time {
+			return entries[i].Time < entries[j].Time
+		}
+		return entries[i].Workspace < entries[j].Workspace
+	})
+	out := entries[:0]
+	bestWS := int64(-1)
+	for _, e := range entries {
+		if bestWS >= 0 && e.Workspace >= bestWS {
+			continue // dominated by an earlier (faster) entry
+		}
+		out = append(out, e)
+		bestWS = e.Workspace
+	}
+	return append([]ScoredConfig(nil), out...)
+}
+
+// DesirableSet computes kernel k's desirable-configuration set: the Pareto
+// front over all configurations whose micro-batch sizes come from the
+// policy's candidates and whose workspace fits wsLimit (for WD, the
+// network-wide budget). The dynamic program extends the WR recurrence to
+// carry whole Pareto fronts:
+//
+//	WD'(n) = P( C1(n) ∪ { WD'(n - n') ⊕ C1(n') } )
+//
+// The WR optimum is always an element of the result (the paper's
+// consistency property), which the tests assert.
+func DesirableSet(b *Bencher, k Kernel, wsLimit int64, policy Policy) ([]ScoredConfig, error) {
+	n := k.Shape.In.N
+	sizes := policy.CandidateSizes(n)
+	perfs := b.PerfsForSizes(k, sizes)
+
+	// Single micro-configurations per size, already Pareto-pruned.
+	c1 := make(map[int][]ScoredConfig, len(sizes))
+	for _, m := range sizes {
+		var opts []ScoredConfig
+		for _, p := range perfs[m] {
+			if p.Memory > wsLimit {
+				continue
+			}
+			opts = append(opts, ScoredConfig{
+				Config:    Config{{BatchSize: m, Algo: p.Algo}},
+				Time:      p.Time,
+				Workspace: p.Memory,
+			})
+		}
+		c1[m] = paretoPrune(opts)
+	}
+
+	// Coin-change style enumeration: processing candidate sizes in a fixed
+	// outer order generates each multiset of micro-batches exactly once.
+	fronts := make([][]ScoredConfig, n+1)
+	fronts[0] = []ScoredConfig{{Config: Config{}, Time: 0, Workspace: 0}}
+	for _, m := range sizes {
+		opts := c1[m]
+		if len(opts) == 0 {
+			continue
+		}
+		for i := m; i <= n; i++ {
+			prev := fronts[i-m]
+			if len(prev) == 0 {
+				continue
+			}
+			// Generate candidates lazily on cost, materialize survivors.
+			type lazy struct {
+				prevIdx, optIdx int
+			}
+			cands := make([]ScoredConfig, len(fronts[i]), len(fronts[i])+len(prev)*len(opts))
+			copy(cands, fronts[i])
+			backing := make([]lazy, len(fronts[i]), cap(cands))
+			for pi := range prev {
+				for oi := range opts {
+					// Workspace is shared across the kernel's sequential
+					// micro-batches: the slot is the maximum requirement.
+					ws := prev[pi].Workspace
+					if opts[oi].Workspace > ws {
+						ws = opts[oi].Workspace
+					}
+					cands = append(cands, ScoredConfig{
+						Time:      prev[pi].Time + opts[oi].Time,
+						Workspace: ws,
+					})
+					backing = append(backing, lazy{prevIdx: pi + 1, optIdx: oi})
+				}
+			}
+			// Prune on cost only; indices track provenance for
+			// materialization.
+			idx := make([]int, len(cands))
+			for j := range idx {
+				idx[j] = j
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				ca, cb := cands[idx[a]], cands[idx[b]]
+				if ca.Time != cb.Time {
+					return ca.Time < cb.Time
+				}
+				return ca.Workspace < cb.Workspace
+			})
+			var next []ScoredConfig
+			bestWS := int64(-1)
+			for _, j := range idx {
+				if bestWS >= 0 && cands[j].Workspace >= bestWS {
+					continue
+				}
+				bestWS = cands[j].Workspace
+				sc := cands[j]
+				if j < len(fronts[i]) || backing[j].prevIdx == 0 {
+					// Pre-existing, already materialized.
+					sc.Config = cands[j].Config
+				} else {
+					p := prev[backing[j].prevIdx-1]
+					cfg := make(Config, len(p.Config)+1)
+					copy(cfg, p.Config)
+					cfg[len(p.Config)] = opts[backing[j].optIdx].Config[0]
+					sc.Config = cfg
+				}
+				next = append(next, sc)
+			}
+			fronts[i] = next
+		}
+	}
+	if len(fronts[n]) == 0 {
+		return nil, fmt.Errorf("core: no configuration of %v fits %d bytes under %v", k, wsLimit, policy)
+	}
+	return fronts[n], nil
+}

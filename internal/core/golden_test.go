@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+)
+
+// Golden anchors: the paper-facing results in EXPERIMENTS.md depend on
+// these exact planning outcomes. The device model is deterministic, so
+// any drift here silently changes every figure — fail loudly instead.
+
+func TestGoldenConv2PowerOfTwoPlan(t *testing.T) {
+	b := modelBencher()
+	k := Kernel{Op: conv.Forward, Shape: conv2Shape(256)}
+	plan, err := OptimizeWR(b, k, 64<<20, PolicyPowerOfTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 9 configuration: FFT over eight micro-batches of 32.
+	want := "<FFT@32, FFT@32, FFT@32, FFT@32, FFT@32, FFT@32, FFT@32, FFT@32>"
+	if got := plan.Config.String(); got != want {
+		t.Fatalf("conv2 powerOfTwo plan drifted:\n got %s\nwant %s", got, want)
+	}
+	if ws := plan.Workspace >> 20; ws < 40 || ws > 50 {
+		t.Fatalf("conv2 powerOfTwo workspace %d MiB outside [40,50] (paper: 48.9)", ws)
+	}
+}
+
+func TestGoldenConv2UndividedIsGemm(t *testing.T) {
+	b := modelBencher()
+	k := Kernel{Op: conv.Forward, Shape: conv2Shape(256)}
+	plan, err := OptimizeWR(b, k, 64<<20, PolicyUndivided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.String() != "<GEMM@256>" {
+		t.Fatalf("undivided conv2 plan drifted: %v", plan.Config)
+	}
+}
+
+func TestGoldenConv2BestAlgoIsFFT(t *testing.T) {
+	h := cudnn.NewHandle(modelBencher().h.Device(), cudnn.ModelOnlyBackend)
+	p, err := h.PickAlgo(conv.Forward, conv2Shape(256), cudnn.PreferFastest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algo != conv.AlgoFFT {
+		t.Fatalf("conv2 best algorithm drifted: %v", p.Algo)
+	}
+	// Workspace anchor: hundreds of MiB (paper: 213 MiB; model: ~280 MiB).
+	if ws := p.Memory >> 20; ws < 150 || ws > 400 {
+		t.Fatalf("conv2 FFT workspace %d MiB outside [150,400]", ws)
+	}
+}
+
+// The headline speedups must stay within bands bracketing the paper's
+// numbers (exact values are model-dependent; bands catch regressions).
+func TestGoldenSpeedupBands(t *testing.T) {
+	b := modelBencher()
+	k := Kernel{Op: conv.Forward, Shape: conv2Shape(256)}
+	undiv, err := OptimizeWR(b, k, 64<<20, PolicyUndivided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := OptimizeWR(b, k, 64<<20, PolicyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(undiv.Time) / float64(all.Time)
+	if speedup < 2.0 || speedup > 6.0 {
+		t.Fatalf("conv2 WR(all) speedup %.2f outside [2,6] (paper: 2.33)", speedup)
+	}
+}

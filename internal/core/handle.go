@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/tensor"
+)
+
+// VirtualAlgo is the algorithm identifier µ-cuDNN hands back from the
+// Get*/Find* calls (§III-D): frameworks pass it to Convolution*, where the
+// handle substitutes the optimized micro-batched configuration. Its
+// workspace requirement is reported as zero because µ-cuDNN manages
+// workspaces itself.
+const VirtualAlgo conv.Algo = -1
+
+// Mode selects the workspace policy of §III-A.
+type Mode int
+
+const (
+	// WR (Workspace Reuse) optimizes each kernel independently under a
+	// per-kernel workspace limit.
+	WR Mode = iota
+	// WD (Workspace Division) optimizes all registered kernels jointly
+	// under a network-wide workspace budget.
+	WD
+)
+
+func (m Mode) String() string {
+	if m == WD {
+		return "WD"
+	}
+	return "WR"
+}
+
+// DefaultWorkspaceLimit is Caffe2's per-kernel default (64 MiB), used when
+// neither the framework nor the environment specifies a limit.
+const DefaultWorkspaceLimit = 64 << 20
+
+// Options configure a µ-cuDNN handle.
+type Options struct {
+	// Policy is the batch-size policy (default PolicyPowerOfTwo).
+	Policy Policy
+	// Mode selects WR or WD (default WR).
+	Mode Mode
+	// WorkspaceLimit is the per-kernel limit for WR and for kernels that
+	// bypass WD registration; frameworks that pass an explicit limit
+	// through Get*Algorithm override it per kernel.
+	WorkspaceLimit int64
+	// TotalWorkspaceLimit is the network-wide budget for WD.
+	TotalWorkspaceLimit int64
+	// Workers is the parallel micro-benchmark width (§III-D's multi-GPU
+	// evaluation; default 1).
+	Workers int
+	// CachePath optionally points at the file benchmark database.
+	CachePath string
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithPolicy sets the batch-size policy.
+func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithWorkspaceLimit sets the per-kernel workspace limit (WR).
+func WithWorkspaceLimit(bytes int64) Option {
+	return func(o *Options) { o.WorkspaceLimit = bytes }
+}
+
+// WithWD enables Workspace Division with a total budget.
+func WithWD(totalBytes int64) Option {
+	return func(o *Options) {
+		o.Mode = WD
+		o.TotalWorkspaceLimit = totalBytes
+	}
+}
+
+// WithWorkers sets the parallel benchmark width.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithCachePath sets the benchmark database file.
+func WithCachePath(path string) Option { return func(o *Options) { o.CachePath = path } }
+
+// FromEnv applies the paper's environment-variable configuration:
+// UCUDNN_BATCH_SIZE_POLICY, UCUDNN_WORKSPACE_LIMIT (bytes),
+// UCUDNN_TOTAL_WORKSPACE_SIZE (bytes; enables WD),
+// UCUDNN_BENCHMARK_DB_PATH and UCUDNN_WORKERS.
+func FromEnv() Option {
+	return func(o *Options) {
+		if v := os.Getenv("UCUDNN_BATCH_SIZE_POLICY"); v != "" {
+			if p, err := ParsePolicy(v); err == nil {
+				o.Policy = p
+			}
+		}
+		if v := os.Getenv("UCUDNN_WORKSPACE_LIMIT"); v != "" {
+			if b, err := strconv.ParseInt(v, 10, 64); err == nil && b > 0 {
+				o.WorkspaceLimit = b
+			}
+		}
+		if v := os.Getenv("UCUDNN_TOTAL_WORKSPACE_SIZE"); v != "" {
+			if b, err := strconv.ParseInt(v, 10, 64); err == nil && b > 0 {
+				o.Mode = WD
+				o.TotalWorkspaceLimit = b
+			}
+		}
+		if v := os.Getenv("UCUDNN_BENCHMARK_DB_PATH"); v != "" {
+			o.CachePath = v
+		}
+		if v := os.Getenv("UCUDNN_WORKERS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				o.Workers = n
+			}
+		}
+	}
+}
+
+type execPlan struct {
+	plan Plan
+}
+
+// Handle is µ-cuDNN's drop-in replacement for the cuDNN handle
+// (UcudnnHandle_t in the paper). It exposes the same convolution call
+// surface as *cudnn.Handle; all other cuDNN functionality is reached
+// through Inner(), the Go analogue of the paper's cast operator.
+type Handle struct {
+	inner   *cudnn.Handle
+	opts    Options
+	cache   *Cache
+	bencher *Bencher
+
+	mu         sync.Mutex
+	plans      map[string]*execPlan
+	limits     map[string]int64
+	registered []Kernel
+	regSet     map[string]bool
+	regClosed  bool
+	wdResult   *WDResult
+	optTime    time.Duration
+	// wsArena backs every plan's workspace. Kernel execution on a handle
+	// is serialized (one stream), so plans share the host buffer while
+	// device-memory accounting stays per kernel segment.
+	wsArena []float32
+}
+
+// growArena ensures the arena covers bytes; callers hold h.mu.
+func (h *Handle) growArena(bytes int64) {
+	n := int((bytes + 3) / 4)
+	if len(h.wsArena) < n {
+		h.wsArena = make([]float32, n)
+	}
+}
+
+// New wraps a cuDNN handle. The returned µ-cuDNN handle is safe for
+// concurrent use.
+func New(inner *cudnn.Handle, opts ...Option) (*Handle, error) {
+	o := Options{
+		Policy:         PolicyPowerOfTwo,
+		WorkspaceLimit: DefaultWorkspaceLimit,
+		Workers:        1,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.Mode == WD && o.TotalWorkspaceLimit <= 0 {
+		return nil, fmt.Errorf("core: WD mode requires a positive total workspace limit")
+	}
+	cache, err := NewCache(o.CachePath)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{
+		inner:   inner,
+		opts:    o,
+		cache:   cache,
+		bencher: NewBencher(inner, cache, o.Workers),
+		plans:   map[string]*execPlan{},
+		limits:  map[string]int64{},
+		regSet:  map[string]bool{},
+	}, nil
+}
+
+// Inner returns the wrapped cuDNN handle for non-convolution calls.
+func (h *Handle) Inner() *cudnn.Handle { return h.inner }
+
+// Options returns the handle's configuration.
+func (h *Handle) Options() Options { return h.opts }
+
+// Cache returns the benchmark cache.
+func (h *Handle) Cache() *Cache { return h.cache }
+
+// OptimizationTime returns the cumulative time spent benchmarking kernels
+// and solving the DP/ILP (the paper's §IV-B optimization-cost metric).
+func (h *Handle) OptimizationTime() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.optTime
+}
+
+// Plans returns a snapshot of the execution plans decided so far.
+func (h *Handle) Plans() []Plan {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Plan, 0, len(h.plans))
+	for _, p := range h.plans {
+		out = append(out, p.plan)
+	}
+	return out
+}
+
+// WDStats returns the WD optimization result, if WD has run.
+func (h *Handle) WDStats() *WDResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.wdResult
+}
+
+// register notes a kernel (and its per-kernel limit) seen through a
+// Get*Algorithm call. In WD mode the kernel list is what the ILP later
+// optimizes; after FinalizeRegistration (or the first Convolution* call),
+// further registrations are ignored — the paper's Caffe integration note.
+func (h *Handle) register(k Kernel, wsLimit int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.regClosed {
+		return
+	}
+	key := k.String()
+	if wsLimit > 0 {
+		h.limits[key] = wsLimit
+	}
+	if h.opts.Mode == WD && !h.regSet[key] {
+		h.regSet[key] = true
+		h.registered = append(h.registered, k)
+	}
+}
+
+// FinalizeRegistration closes kernel registration and, in WD mode, runs
+// the ILP optimization immediately (the explicit library call the paper
+// adds after Caffe's network initialization).
+func (h *Handle) FinalizeRegistration() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.finalizeLocked()
+}
+
+func (h *Handle) finalizeLocked() error {
+	if h.regClosed {
+		return nil
+	}
+	h.regClosed = true
+	if h.opts.Mode != WD || len(h.registered) == 0 {
+		return nil
+	}
+	start := time.Now()
+	res, err := OptimizeWD(h.bencher, h.registered, h.opts.TotalWorkspaceLimit, h.opts.Policy)
+	h.optTime += time.Since(start)
+	if err != nil {
+		return err
+	}
+	h.wdResult = res
+	// Identical kernels share one workspace segment; each unique segment
+	// is accounted against device memory.
+	for _, p := range res.Plans {
+		key := p.Kernel.String()
+		if _, ok := h.plans[key]; ok {
+			continue
+		}
+		if err := h.inner.Mem().Alloc(p.Workspace); err != nil {
+			return fmt.Errorf("core: allocating WD segment for %v: %w", p.Kernel, err)
+		}
+		h.growArena(p.Workspace)
+		h.plans[key] = &execPlan{plan: p}
+	}
+	return nil
+}
+
+// ensurePlan returns (computing if needed) the execution plan of kernel k.
+func (h *Handle) ensurePlan(k Kernel) (*execPlan, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := k.String()
+	if p, ok := h.plans[key]; ok {
+		return p, nil
+	}
+	// First execution closes WD registration and optimizes the network.
+	if err := h.finalizeLocked(); err != nil {
+		return nil, err
+	}
+	if p, ok := h.plans[key]; ok {
+		return p, nil
+	}
+	// WR path (or WD fallback for unregistered kernels).
+	limit := h.opts.WorkspaceLimit
+	if l, ok := h.limits[key]; ok {
+		limit = l
+	}
+	start := time.Now()
+	plan, err := OptimizeWR(h.bencher, k, limit, h.opts.Policy)
+	h.optTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.inner.Mem().Alloc(plan.Workspace); err != nil {
+		return nil, fmt.Errorf("core: allocating workspace for %v: %w", k, err)
+	}
+	h.growArena(plan.Workspace)
+	p := &execPlan{plan: plan}
+	h.plans[key] = p
+	return p, nil
+}
+
+// execute runs the kernel's micro-batched configuration sequentially,
+// slicing the mini-batch tensors in place (no copies) and accumulating
+// BackwardFilter gradients with beta=1 after the first micro-batch.
+func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32) error {
+	ep, err := h.ensurePlan(Kernel{Op: op, Shape: cs})
+	if err != nil {
+		return err
+	}
+	ws := h.wsArena[:(ep.plan.Workspace+3)/4]
+	off := 0
+	for i, mc := range ep.plan.Config {
+		mcs := cs.WithN(mc.BatchSize)
+		mx, my := x, y
+		if x != nil {
+			mx = x.Sample(off, mc.BatchSize)
+		}
+		if y != nil {
+			my = y.Sample(off, mc.BatchSize)
+		}
+		mbeta := beta
+		if op == conv.BackwardFilter {
+			if i > 0 {
+				mbeta = 1
+			}
+			// dW is shared across micro-batches: pass the full tensors for
+			// x and dy slices, the filter stays whole.
+		}
+		if err := h.inner.Convolve(op, mc.Algo, mcs, mx, w, my, alpha, mbeta, ws); err != nil {
+			return fmt.Errorf("core: micro-batch %d of %v: %w", i, ep.plan.Config, err)
+		}
+		off += mc.BatchSize
+	}
+	return nil
+}

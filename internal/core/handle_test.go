@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/tensor"
+)
+
+// smallConv is a shape small enough for real arithmetic in tests but large
+// enough that micro-batching decisions are nontrivial.
+func smallConv(n int) (cudnn.TensorDesc, cudnn.FilterDesc, cudnn.ConvDesc, cudnn.TensorDesc, tensor.ConvShape) {
+	xd, _ := cudnn.NewTensorDesc(n, 8, 12, 12)
+	wd, _ := cudnn.NewFilterDesc(12, 8, 3, 3)
+	cd, _ := cudnn.NewConvDesc(1, 1, 1, 1, 1, 1)
+	yd, _ := cudnn.GetOutputDim(xd, wd, cd)
+	return xd, wd, cd, yd, cudnn.Shape(xd, wd, cd)
+}
+
+func newTestHandle(t *testing.T, backend cudnn.Backend, opts ...Option) *Handle {
+	t.Helper()
+	h, err := New(cudnn.NewHandle(device.P100, backend), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHandleReturnsVirtualAlgoAndZeroWorkspace(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelOnlyBackend)
+	xd, wd, cd, yd, _ := smallConv(16)
+	algo, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.SpecifyWorkspaceLimit, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != VirtualAlgo {
+		t.Fatalf("algo = %v, want virtual", algo)
+	}
+	ws, err := h.GetConvolutionForwardWorkspaceSize(xd, wd, cd, yd, algo)
+	if err != nil || ws != 0 {
+		t.Fatalf("virtual workspace = %d, %v", ws, err)
+	}
+	// Real algorithms still delegate.
+	ws2, err := h.GetConvolutionForwardWorkspaceSize(xd, wd, cd, yd, conv.AlgoGemm)
+	if err != nil || ws2 == 0 {
+		t.Fatalf("delegated workspace = %d, %v", ws2, err)
+	}
+	perfs, err := h.FindConvolutionForwardAlgorithm(xd, wd, cd, yd)
+	if err != nil || len(perfs) != 1 || perfs[0].Algo != VirtualAlgo || perfs[0].Memory != 0 {
+		t.Fatalf("find = %v, %v", perfs, err)
+	}
+}
+
+// End-to-end numeric correctness: the micro-batched plan produces the same
+// forward results as an undivided direct convolution.
+func TestHandleForwardCorrect(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend, WithPolicy(PolicyPowerOfTwo), WithWorkspaceLimit(1<<20))
+	xd, wd, cd, yd, cs := smallConv(10)
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.NewShaped(cs.In)
+	x.Randomize(rng, 1)
+	w := tensor.NewFilter(12, 8, 3, 3)
+	w.Randomize(rng, 0.5)
+	y := tensor.NewShaped(cs.OutShape())
+	algo, _ := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, algo, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.NewShaped(cs.OutShape())
+	if err := conv.Run(conv.Forward, conv.AlgoDirect, cs, x, w, ref, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y.Data, ref.Data, 1e-3, 1e-3) {
+		t.Fatalf("micro-batched forward wrong: maxdiff %g", tensor.MaxAbsDiff(y.Data, ref.Data))
+	}
+	// The plan is cached: a second call does not re-optimize.
+	opt1 := h.OptimizationTime()
+	if opt1 <= 0 {
+		t.Fatal("optimization time not recorded")
+	}
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, algo, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+	if h.OptimizationTime() != opt1 {
+		t.Fatal("second call re-optimized")
+	}
+	if len(h.Plans()) != 1 {
+		t.Fatalf("plans = %d", len(h.Plans()))
+	}
+}
+
+// Micro-batched BackwardFilter accumulation equals the undivided gradient,
+// including a nonzero user beta.
+func TestHandleBackwardFilterAccumulation(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend, WithWorkspaceLimit(1<<20))
+	xd, wd, cd, yd, cs := smallConv(9)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.NewShaped(cs.In)
+	x.Randomize(rng, 1)
+	dy := tensor.NewShaped(cs.OutShape())
+	dy.Randomize(rng, 1)
+	dw := tensor.NewFilter(12, 8, 3, 3)
+	dw.Randomize(rng, 1)
+	ref := dw.Clone()
+	algo, _ := h.GetConvolutionBackwardFilterAlgorithm(xd, yd, cd, wd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err := h.ConvolutionBackwardFilter(0.5, xd, x, yd, dy, cd, algo, nil, 0.25, wd, dw); err != nil {
+		t.Fatal(err)
+	}
+	if err := conv.Run(conv.BackwardFilter, conv.AlgoDirect, cs, x, ref, dy, 0.5, 0.25, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(dw.Data, ref.Data, 1e-3, 1e-3) {
+		t.Fatalf("micro-batched dW wrong: maxdiff %g", tensor.MaxAbsDiff(dw.Data, ref.Data))
+	}
+}
+
+func TestHandleBackwardDataCorrect(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend, WithWorkspaceLimit(1<<20))
+	xd, wd, cd, yd, cs := smallConv(6)
+	rng := rand.New(rand.NewSource(5))
+	w := tensor.NewFilter(12, 8, 3, 3)
+	w.Randomize(rng, 0.5)
+	dy := tensor.NewShaped(cs.OutShape())
+	dy.Randomize(rng, 1)
+	dx := tensor.NewShaped(cs.In)
+	algo, _ := h.GetConvolutionBackwardDataAlgorithm(wd, yd, cd, xd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err := h.ConvolutionBackwardData(1, wd, w, yd, dy, cd, algo, nil, 0, xd, dx); err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.NewShaped(cs.In)
+	if err := conv.Run(conv.BackwardData, conv.AlgoDirect, cs, ref, w, dy, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(dx.Data, ref.Data, 1e-3, 1e-3) {
+		t.Fatalf("micro-batched dX wrong: maxdiff %g", tensor.MaxAbsDiff(dx.Data, ref.Data))
+	}
+}
+
+// Bypass: calling with a concrete algorithm skips µ-cuDNN and delegates.
+func TestHandleDelegatesRealAlgo(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend)
+	xd, wd, cd, yd, cs := smallConv(4)
+	x := tensor.NewShaped(cs.In)
+	w := tensor.NewFilter(12, 8, 3, 3)
+	y := tensor.NewShaped(cs.OutShape())
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, conv.AlgoDirect, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Plans()) != 0 {
+		t.Fatal("delegated call must not create a plan")
+	}
+}
+
+func TestHandleWDMode(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelOnlyBackend,
+		WithWD(32<<20), WithPolicy(PolicyPowerOfTwo))
+	// Register three kernels of a small "network" through Get calls.
+	xd, wd, cd, yd, cs := smallConv(32)
+	if _, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetConvolutionBackwardDataAlgorithm(wd, yd, cd, xd, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetConvolutionBackwardFilterAlgorithm(xd, yd, cd, wd, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FinalizeRegistration(); err != nil {
+		t.Fatal(err)
+	}
+	res := h.WDStats()
+	if res == nil {
+		t.Fatal("WD did not run")
+	}
+	if res.TotalWorkspace > 32<<20 {
+		t.Fatalf("WD workspace %d over budget", res.TotalWorkspace)
+	}
+	if len(res.Plans) != 3 {
+		t.Fatalf("WD planned %d kernels", len(res.Plans))
+	}
+	// Registration is closed: new Get calls don't grow the kernel list.
+	xd2, wd2, cd2, yd2, _ := smallConv(64)
+	if _, err := h.GetConvolutionForwardAlgorithm(xd2, wd2, cd2, yd2, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.WDStats(); len(got.Plans) != 3 {
+		t.Fatal("post-finalize registration must be ignored")
+	}
+	// Executing a planned kernel works in model-only mode (nil buffers).
+	if err := h.ConvolutionForward(1, xd, nil, wd, nil, cd, VirtualAlgo, nil, 0, yd, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An unregistered kernel falls back to WR.
+	if err := h.ConvolutionForward(1, xd2, nil, wd2, nil, cd2, VirtualAlgo, nil, 0, yd2, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = cs
+}
+
+func TestHandleWDSharedSegments(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelOnlyBackend, WithWD(32<<20))
+	xd, wd, cd, yd, _ := smallConv(32)
+	// Same forward kernel registered twice (replicated layer).
+	h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.PreferFastest, 0)
+	h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.PreferFastest, 0)
+	if err := h.FinalizeRegistration(); err != nil {
+		t.Fatal(err)
+	}
+	res := h.WDStats()
+	used := h.Inner().Mem().Used()
+	if used != res.TotalWorkspace {
+		t.Fatalf("allocated %d != WD total %d (segments must be shared)", used, res.TotalWorkspace)
+	}
+}
+
+func TestHandleWDRequiresBudget(t *testing.T) {
+	if _, err := New(cudnn.NewHandle(device.P100, cudnn.ModelOnlyBackend), WithWD(0)); err == nil {
+		t.Fatal("WD without budget must error")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("UCUDNN_BATCH_SIZE_POLICY", "all")
+	t.Setenv("UCUDNN_WORKSPACE_LIMIT", "1048576")
+	t.Setenv("UCUDNN_TOTAL_WORKSPACE_SIZE", "8388608")
+	t.Setenv("UCUDNN_WORKERS", "4")
+	h := newTestHandle(t, cudnn.ModelOnlyBackend, FromEnv())
+	o := h.Options()
+	if o.Policy != PolicyAll || o.WorkspaceLimit != 1<<20 || o.Mode != WD ||
+		o.TotalWorkspaceLimit != 8<<20 || o.Workers != 4 {
+		t.Fatalf("env options wrong: %+v", o)
+	}
+	if WR.String() != "WR" || WD.String() != "WD" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestFromEnvIgnoresBadValues(t *testing.T) {
+	t.Setenv("UCUDNN_BATCH_SIZE_POLICY", "nope")
+	t.Setenv("UCUDNN_WORKSPACE_LIMIT", "xyz")
+	t.Setenv("UCUDNN_TOTAL_WORKSPACE_SIZE", "")
+	t.Setenv("UCUDNN_WORKERS", "-3")
+	h := newTestHandle(t, cudnn.ModelOnlyBackend, FromEnv())
+	o := h.Options()
+	if o.Policy != PolicyPowerOfTwo || o.WorkspaceLimit != DefaultWorkspaceLimit || o.Mode != WR || o.Workers != 1 {
+		t.Fatalf("bad env values must keep defaults: %+v", o)
+	}
+}
+
+func TestHandleParallelWorkersPlanIdentical(t *testing.T) {
+	// Parallel micro-benchmarking (the multi-GPU evaluation) must not
+	// change the resulting plan: the model backend is deterministic.
+	xd, wd, cd, yd, _ := smallConv(32)
+	var plans []string
+	for _, workers := range []int{1, 4} {
+		h := newTestHandle(t, cudnn.ModelOnlyBackend, WithWorkers(workers), WithWorkspaceLimit(1<<20))
+		algo, _ := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.PreferFastest, 0)
+		if err := h.ConvolutionForward(1, xd, nil, wd, nil, cd, algo, nil, 0, yd, nil); err != nil {
+			t.Fatal(err)
+		}
+		ps := h.Plans()
+		if len(ps) != 1 {
+			t.Fatal("one plan expected")
+		}
+		plans = append(plans, ps[0].Config.String())
+	}
+	if plans[0] != plans[1] {
+		t.Fatalf("workers changed the plan: %v vs %v", plans[0], plans[1])
+	}
+}
+
+// WD mode with real arithmetic: registered kernels execute their ILP-
+// chosen micro-batched configurations and the numbers match the direct
+// reference.
+func TestHandleWDRealCompute(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend, WithWD(2<<20), WithPolicy(core_TestPolicy()))
+	xd, wd, cd, yd, cs := smallConv(12)
+	if _, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GetConvolutionBackwardFilterAlgorithm(xd, yd, cd, wd, cudnn.PreferFastest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FinalizeRegistration(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	x := tensor.NewShaped(cs.In)
+	x.Randomize(rng, 1)
+	w := tensor.NewFilter(cs.Filt.K, cs.Filt.C, cs.Filt.R, cs.Filt.S)
+	w.Randomize(rng, 0.5)
+	y := tensor.NewShaped(cs.OutShape())
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, VirtualAlgo, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.NewShaped(cs.OutShape())
+	if err := conv.Run(conv.Forward, conv.AlgoDirect, cs, x, w, ref, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y.Data, ref.Data, 1e-3, 1e-3) {
+		t.Fatalf("WD forward wrong: %g", tensor.MaxAbsDiff(y.Data, ref.Data))
+	}
+	// Backward filter through the WD plan, with accumulation.
+	dy := tensor.NewShaped(cs.OutShape())
+	dy.Randomize(rng, 1)
+	dw := tensor.NewFilter(cs.Filt.K, cs.Filt.C, cs.Filt.R, cs.Filt.S)
+	if err := h.ConvolutionBackwardFilter(1, xd, x, yd, dy, cd, VirtualAlgo, nil, 0, wd, dw); err != nil {
+		t.Fatal(err)
+	}
+	refDw := tensor.NewFilter(cs.Filt.K, cs.Filt.C, cs.Filt.R, cs.Filt.S)
+	if err := conv.Run(conv.BackwardFilter, conv.AlgoDirect, cs, x, refDw, dy, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(dw.Data, refDw.Data, 1e-3, 1e-3) {
+		t.Fatalf("WD dW wrong: %g", tensor.MaxAbsDiff(dw.Data, refDw.Data))
+	}
+}
+
+// core_TestPolicy lets the WD real-compute test pick a dividing policy.
+func core_TestPolicy() Policy { return PolicyPowerOfTwo }

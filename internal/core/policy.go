@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// Policy is the batch-size policy of §III-D: which micro-batch sizes are
+// benchmarked during optimization.
+type Policy int
+
+const (
+	// PolicyUndivided benchmarks only the original mini-batch size; WR then
+	// selects exactly what cuDNN would, so it measures µ-cuDNN's overhead.
+	PolicyUndivided Policy = iota
+	// PolicyPowerOfTwo benchmarks power-of-two micro-batch sizes
+	// {1, 2, 4, ..., N}: O(log N) benchmark cost.
+	PolicyPowerOfTwo
+	// PolicyAll benchmarks every micro-batch size {1, ..., N}: optimal but
+	// O(N) benchmark cost.
+	PolicyAll
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyUndivided:
+		return "undivided"
+	case PolicyPowerOfTwo:
+		return "powerOfTwo"
+	case PolicyAll:
+		return "all"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses the environment-variable spellings of the paper's
+// policies ("undivided", "powerOfTwo", "all", case-insensitive on the
+// first letter forms "u"/"p"/"a" used in the figures).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "undivided", "u":
+		return PolicyUndivided, nil
+	case "powerOfTwo", "poweroftwo", "p":
+		return PolicyPowerOfTwo, nil
+	case "all", "a":
+		return PolicyAll, nil
+	}
+	return 0, fmt.Errorf("core: unknown batch-size policy %q (want undivided|powerOfTwo|all)", s)
+}
+
+// Policies lists all batch-size policies in increasing search-effort order.
+var Policies = []Policy{PolicyUndivided, PolicyPowerOfTwo, PolicyAll}
+
+// CandidateSizes returns the micro-batch sizes the policy benchmarks for a
+// mini-batch of size n, in increasing order, always including n itself.
+func (p Policy) CandidateSizes(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	switch p {
+	case PolicyUndivided:
+		return []int{n}
+	case PolicyPowerOfTwo:
+		var out []int
+		for b := 1; b < n; b <<= 1 {
+			out = append(out, b)
+		}
+		return append(out, n)
+	case PolicyAll:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ucudnn/internal/ilp"
+	"ucudnn/internal/lp"
+)
+
+// WDResult is the outcome of the Workspace Division optimizer.
+type WDResult struct {
+	// Plans holds one plan per input kernel, in input order. Kernels with
+	// identical (op, shape) receive the same configuration and share one
+	// workspace segment (they execute sequentially).
+	Plans []Plan
+	// TotalTime is the predicted summed kernel time per iteration.
+	TotalTime time.Duration
+	// TotalWorkspace is the summed size of the assigned segments.
+	TotalWorkspace int64
+	// ILPVars is the number of 0-1 variables after Pareto pruning.
+	ILPVars int
+	// ILPNodes is the number of branch-and-bound nodes explored.
+	ILPNodes int
+	// SolveTime is the wall time spent in the ILP solver alone.
+	SolveTime time.Duration
+}
+
+// OptimizeWD runs the Workspace Division optimizer of §III-C: desirable
+// configuration sets per kernel (Pareto fronts, pruned per §III-C1) feed a
+// 0-1 ILP that picks exactly one configuration per kernel while keeping
+// the *total* workspace under totalLimit (Eq. 1-4), minimizing the summed
+// execution time.
+//
+// Kernels with identical (op, shape) — replicated layers, as in ResNet —
+// are optimized once: they contribute their multiplicity to the objective
+// and share a single workspace segment, since kernels execute
+// sequentially. This matches the variable counts the paper reports
+// (562 binary variables for ResNet-50).
+func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (*WDResult, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("core: no kernels to optimize")
+	}
+	// Group identical kernels.
+	type group struct {
+		kernel Kernel
+		count  int
+		front  []ScoredConfig
+	}
+	var groups []*group
+	byKey := map[string]*group{}
+	groupOf := make([]*group, len(kernels))
+	for i, k := range kernels {
+		key := k.String()
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{kernel: k}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.count++
+		groupOf[i] = g
+	}
+	for _, g := range groups {
+		front, err := DesirableSet(b, g.kernel, totalLimit, policy)
+		if err != nil {
+			return nil, err
+		}
+		g.front = front
+	}
+
+	// Assemble the ILP (Eq. 1-4). Workspace is scaled to MiB and time to
+	// microseconds to keep the simplex well-conditioned.
+	const wsScale = 1.0 / (1 << 20)
+	var c []float64
+	var wsRow []float64
+	type varRef struct {
+		g   *group
+		cfg int
+	}
+	var refs []varRef
+	starts := make(map[*group][2]int)
+	for _, g := range groups {
+		lo := len(c)
+		for ci, sc := range g.front {
+			c = append(c, float64(g.count)*float64(sc.Time)/float64(time.Microsecond))
+			wsRow = append(wsRow, float64(sc.Workspace)*wsScale)
+			refs = append(refs, varRef{g: g, cfg: ci})
+		}
+		starts[g] = [2]int{lo, len(c)}
+	}
+	n := len(c)
+	prob := &ilp.Problem{
+		LP: lp.Problem{
+			C:   c,
+			A:   [][]float64{wsRow},
+			B:   []float64{float64(totalLimit) * wsScale},
+			Rel: []lp.Relation{lp.LE},
+		},
+		Binary: make([]bool, n),
+	}
+	for i := range prob.Binary {
+		prob.Binary[i] = true
+	}
+	for _, g := range groups {
+		row := make([]float64, n)
+		s := starts[g]
+		for j := s[0]; j < s[1]; j++ {
+			row[j] = 1
+		}
+		prob.LP.A = append(prob.LP.A, row)
+		prob.LP.B = append(prob.LP.B, 1)
+		prob.LP.Rel = append(prob.LP.Rel, lp.EQ)
+	}
+
+	solveStart := time.Now()
+	res, err := ilp.Solve(prob)
+	solveTime := time.Since(solveStart)
+	if err != nil {
+		return nil, fmt.Errorf("core: WD ILP: %w", err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: WD ILP %v: no configuration assignment fits %d bytes", res.Status, totalLimit)
+	}
+
+	chosen := map[*group]ScoredConfig{}
+	for j, v := range res.X {
+		if math.Round(v) == 1 {
+			r := refs[j]
+			chosen[r.g] = r.g.front[r.cfg]
+		}
+	}
+	out := &WDResult{ILPVars: n, ILPNodes: res.Nodes, SolveTime: solveTime}
+	for _, g := range groups {
+		sc, ok := chosen[g]
+		if !ok {
+			return nil, fmt.Errorf("core: WD ILP left kernel %v unassigned", g.kernel)
+		}
+		out.TotalTime += time.Duration(g.count) * sc.Time
+		out.TotalWorkspace += sc.Workspace
+	}
+	for i := range kernels {
+		sc := chosen[groupOf[i]]
+		out.Plans = append(out.Plans, Plan{
+			Kernel:    kernels[i],
+			Config:    sc.Config,
+			Time:      sc.Time,
+			Workspace: sc.Workspace,
+		})
+	}
+	return out, nil
+}

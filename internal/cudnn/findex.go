@@ -1,0 +1,101 @@
+package cudnn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/tensor"
+)
+
+// FindAlgoEx benchmarks every supported algorithm of op on the *caller's*
+// buffers, mirroring cudnnFind*AlgorithmEx (the entry point TensorFlow's
+// autotuner uses): only algorithms whose workspace fits the provided
+// scratch are attempted, each is actually executed (clobbering the output
+// buffer, as in cuDNN), and results come back sorted fastest first.
+//
+// Under the model backends the arithmetic runs once per algorithm
+// (ModelOnly skips it) and the reported time is the model's; under the
+// real backend it is the measured wall time.
+func (h *Handle) FindAlgoEx(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, ws []float32) ([]AlgoPerf, error) {
+	if !cs.Valid() {
+		return nil, fmt.Errorf("cudnn: invalid convolution %v", cs)
+	}
+	var out []AlgoPerf
+	limit := int64(len(ws)) * 4
+	for _, algo := range conv.AlgosFor(op) {
+		if !conv.Supported(op, algo, cs) {
+			continue
+		}
+		mem, _ := conv.Workspace(op, algo, cs)
+		if mem > limit {
+			continue
+		}
+		var t time.Duration
+		switch h.backend {
+		case RealBackend:
+			start := time.Now()
+			if err := conv.Run(op, algo, cs, x, w, y, 1, 0, ws); err != nil {
+				continue
+			}
+			t = time.Since(start)
+		case ModelBackend:
+			if err := conv.Run(op, algo, cs, x, w, y, 1, 0, ws); err != nil {
+				continue
+			}
+			mt, ok := h.dev.ModelTime(op, algo, cs)
+			if !ok {
+				continue
+			}
+			t = mt
+		case ModelOnlyBackend:
+			mt, ok := h.dev.ModelTime(op, algo, cs)
+			if !ok {
+				continue
+			}
+			t = mt
+		}
+		out = append(out, AlgoPerf{Algo: algo, Time: t, Memory: mem})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cudnn: no algorithm fits %d workspace bytes for %v on %v", limit, op, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Memory < out[j].Memory
+	})
+	return out, nil
+}
+
+// FindConvolutionForwardAlgorithmEx mirrors
+// cudnnFindConvolutionForwardAlgorithmEx.
+func (h *Handle) FindConvolutionForwardAlgorithmEx(xd TensorDesc, x *tensor.Tensor, wd FilterDesc, w *tensor.FilterTensor, cd ConvDesc, yd TensorDesc, y *tensor.Tensor, ws []float32) ([]AlgoPerf, error) {
+	cs, err := checkConv(conv.Forward, xd, wd, cd, yd)
+	if err != nil {
+		return nil, err
+	}
+	return h.FindAlgoEx(conv.Forward, cs, x, w, y, ws)
+}
+
+// FindConvolutionBackwardDataAlgorithmEx mirrors
+// cudnnFindConvolutionBackwardDataAlgorithmEx.
+func (h *Handle) FindConvolutionBackwardDataAlgorithmEx(wd FilterDesc, w *tensor.FilterTensor, dyd TensorDesc, dy *tensor.Tensor, cd ConvDesc, dxd TensorDesc, dx *tensor.Tensor, ws []float32) ([]AlgoPerf, error) {
+	cs, err := checkConv(conv.BackwardData, dxd, wd, cd, dyd)
+	if err != nil {
+		return nil, err
+	}
+	return h.FindAlgoEx(conv.BackwardData, cs, dx, w, dy, ws)
+}
+
+// FindConvolutionBackwardFilterAlgorithmEx mirrors
+// cudnnFindConvolutionBackwardFilterAlgorithmEx.
+func (h *Handle) FindConvolutionBackwardFilterAlgorithmEx(xd TensorDesc, x *tensor.Tensor, dyd TensorDesc, dy *tensor.Tensor, cd ConvDesc, dwd FilterDesc, dw *tensor.FilterTensor, ws []float32) ([]AlgoPerf, error) {
+	cs, err := checkConv(conv.BackwardFilter, xd, dwd, cd, dyd)
+	if err != nil {
+		return nil, err
+	}
+	return h.FindAlgoEx(conv.BackwardFilter, cs, x, dw, dy, ws)
+}

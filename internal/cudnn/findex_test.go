@@ -1,0 +1,98 @@
+package cudnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/device"
+	"ucudnn/internal/tensor"
+)
+
+func TestFindExRespectsProvidedWorkspace(t *testing.T) {
+	h := NewHandle(device.P100, ModelOnlyBackend)
+	xd, _ := NewTensorDesc(32, 16, 27, 27)
+	wd, _ := NewFilterDesc(24, 16, 5, 5)
+	cd, _ := NewConvDesc(2, 2, 1, 1, 1, 1)
+	yd, _ := GetOutputDim(xd, wd, cd)
+	// Tiny scratch: only low-workspace algorithms may appear.
+	small := make([]float32, 1024)
+	perfs, err := h.FindConvolutionForwardAlgorithmEx(xd, nil, wd, nil, cd, yd, nil, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range perfs {
+		if p.Memory > int64(len(small))*4 {
+			t.Fatalf("%v reported with ws %d > provided", p.Algo, p.Memory)
+		}
+	}
+	// Big scratch: strictly more algorithms.
+	big := make([]float32, 256<<20/4)
+	perfsBig, err := h.FindConvolutionForwardAlgorithmEx(xd, nil, wd, nil, cd, yd, nil, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perfsBig) <= len(perfs) {
+		t.Fatalf("big scratch found %d algos, small found %d", len(perfsBig), len(perfs))
+	}
+	for i := 1; i < len(perfsBig); i++ {
+		if perfsBig[i].Time < perfsBig[i-1].Time {
+			t.Fatal("Ex perfs unsorted")
+		}
+	}
+}
+
+func TestFindExExecutesArithmetic(t *testing.T) {
+	h := NewHandle(device.P100, ModelBackend)
+	xd, _ := NewTensorDesc(2, 3, 8, 8)
+	wd, _ := NewFilterDesc(4, 3, 3, 3)
+	cd, _ := NewConvDesc(1, 1, 1, 1, 1, 1)
+	yd, _ := GetOutputDim(xd, wd, cd)
+	cs := Shape(xd, wd, cd)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewShaped(cs.In)
+	x.Randomize(rng, 1)
+	w := tensor.NewFilter(4, 3, 3, 3)
+	w.Randomize(rng, 1)
+	y := tensor.NewShaped(cs.OutShape())
+	ws := make([]float32, 8<<20/4)
+	perfs, err := h.FindConvolutionForwardAlgorithmEx(xd, x, wd, w, cd, yd, y, ws)
+	if err != nil || len(perfs) == 0 {
+		t.Fatalf("findex: %v %v", perfs, err)
+	}
+	// The output buffer was clobbered with a real result (cuDNN semantics).
+	ref := tensor.NewShaped(cs.OutShape())
+	if err := conv.Run(conv.Forward, conv.AlgoDirect, cs, x, w, ref, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(y.Data, ref.Data, 1e-3, 1e-3) {
+		t.Fatal("Ex did not execute the convolution")
+	}
+}
+
+func TestFindExBackwardVariants(t *testing.T) {
+	h := NewHandle(device.P100, ModelOnlyBackend)
+	xd, _ := NewTensorDesc(8, 8, 10, 10)
+	wd, _ := NewFilterDesc(12, 8, 3, 3)
+	cd, _ := NewConvDesc(1, 1, 1, 1, 1, 1)
+	yd, _ := GetOutputDim(xd, wd, cd)
+	ws := make([]float32, 64<<20/4)
+	bd, err := h.FindConvolutionBackwardDataAlgorithmEx(wd, nil, yd, nil, cd, xd, nil, ws)
+	if err != nil || len(bd) == 0 {
+		t.Fatalf("bwd data ex: %v %v", bd, err)
+	}
+	bf, err := h.FindConvolutionBackwardFilterAlgorithmEx(xd, nil, yd, nil, cd, wd, nil, ws)
+	if err != nil || len(bf) == 0 {
+		t.Fatalf("bwd filter ex: %v %v", bf, err)
+	}
+}
+
+func TestFindExNoFit(t *testing.T) {
+	h := NewHandle(device.P100, ModelOnlyBackend)
+	// Shape where every algorithm needs some workspace cannot exist (the
+	// implicit algorithms need none), so force failure with a bad shape.
+	cs := tensor.ConvShape{In: tensor.Shape{N: 1, C: 2, H: 4, W: 4}, Filt: tensor.Filter{K: 1, C: 3, R: 3, S: 3}}
+	if _, err := h.FindAlgoEx(conv.Forward, cs, nil, nil, nil, nil); err == nil {
+		t.Fatal("invalid shape must error")
+	}
+}

@@ -1,0 +1,131 @@
+// Package device models the GPUs of the paper's Table I. It provides:
+//
+//   - Spec: per-device hardware parameters (peak single-precision FLOP/s,
+//     memory bandwidth, device memory, kernel-launch overhead);
+//   - an analytical convolution-kernel time model used by the "model"
+//     execution backend (see ModelTime), built from a roofline term per
+//     algorithm plus per-call launch overheads and algorithm-specific
+//     efficiency curves with tile-quantization effects;
+//   - a simple device-memory accounting helper used by the memory
+//     experiments (paper Fig. 12).
+//
+// Absolute GPU times are not claimed; the model reproduces the relative
+// algorithm landscape the µ-cuDNN optimizers navigate: FFT amortizes
+// filter transforms over the batch, Winograd wins on small kernels, GEMM
+// variants are the low-workspace fallback, and per-call overhead penalizes
+// very small micro-batches.
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Spec describes one GPU model.
+type Spec struct {
+	Name string
+	// PeakFlops is the peak single-precision throughput in FLOP/s.
+	PeakFlops float64
+	// MemBW is the device-memory bandwidth in bytes/s.
+	MemBW float64
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// LaunchOverhead is the fixed cost per kernel launch.
+	LaunchOverhead time.Duration
+	// SMs is the number of streaming multiprocessors, used for the
+	// occupancy floor of small problems.
+	SMs int
+}
+
+// The evaluation devices of the paper (Table I). The K80 entries are per
+// die (the board hosts two GK210 dies; frameworks address one at a time).
+var (
+	K80 = Spec{
+		Name:           "K80",
+		PeakFlops:      4.37e12,
+		MemBW:          240e9,
+		MemBytes:       12 << 30,
+		LaunchOverhead: 8 * time.Microsecond,
+		SMs:            13,
+	}
+	P100 = Spec{
+		Name:           "P100-SXM2",
+		PeakFlops:      10.6e12,
+		MemBW:          732e9,
+		MemBytes:       16 << 30,
+		LaunchOverhead: 6 * time.Microsecond,
+		SMs:            56,
+	}
+	V100 = Spec{
+		Name:           "V100-SXM2",
+		PeakFlops:      15.7e12,
+		MemBW:          900e9,
+		MemBytes:       16 << 30,
+		LaunchOverhead: 5 * time.Microsecond,
+		SMs:            80,
+	}
+)
+
+// Devices lists the built-in device specs.
+var Devices = []Spec{K80, P100, V100}
+
+// ByName resolves a device spec by (case-insensitive, prefix-tolerant)
+// name, e.g. "p100", "P100-SXM2", "v100".
+func ByName(name string) (Spec, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, d := range Devices {
+		dn := strings.ToLower(d.Name)
+		if dn == n || strings.HasPrefix(dn, n) && n != "" {
+			return d, nil
+		}
+	}
+	names := make([]string, len(Devices))
+	for i, d := range Devices {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("device: unknown device %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// MemTracker accounts device-memory allocations, mirroring how a framework
+// would allocate tensors and workspaces on a real GPU. It is not
+// concurrency-safe; callers own synchronization.
+type MemTracker struct {
+	Cap  int64
+	used int64
+	peak int64
+}
+
+// NewMemTracker returns a tracker with the device's capacity.
+func (s Spec) NewMemTracker() *MemTracker { return &MemTracker{Cap: s.MemBytes} }
+
+// Alloc reserves n bytes, failing when capacity would be exceeded.
+func (m *MemTracker) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("device: negative allocation %d", n)
+	}
+	if m.Cap > 0 && m.used+n > m.Cap {
+		return fmt.Errorf("device: out of memory: used %d + %d > cap %d", m.used, n, m.Cap)
+	}
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Free releases n bytes.
+func (m *MemTracker) Free(n int64) {
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// Used returns the bytes currently allocated.
+func (m *MemTracker) Used() int64 { return m.used }
+
+// Peak returns the high-water mark.
+func (m *MemTracker) Peak() int64 { return m.peak }

@@ -1,0 +1,218 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/tensor"
+)
+
+// conv2 is AlexNet's second convolution, the paper's running example.
+func conv2(n int) tensor.ConvShape {
+	return tensor.ConvShape{
+		In:     tensor.Shape{N: n, C: 64, H: 27, W: 27},
+		Filt:   tensor.Filter{K: 192, C: 64, R: 5, S: 5},
+		Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1},
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, q := range []string{"p100", "P100-SXM2", "P100"} {
+		d, err := ByName(q)
+		if err != nil || d.Name != P100.Name {
+			t.Fatalf("ByName(%q) = %v, %v", q, d.Name, err)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("empty name must error")
+	}
+}
+
+func TestSpecsSane(t *testing.T) {
+	for _, d := range Devices {
+		if d.PeakFlops <= 0 || d.MemBW <= 0 || d.MemBytes <= 0 || d.LaunchOverhead <= 0 || d.SMs <= 0 {
+			t.Fatalf("%s: incomplete spec %+v", d.Name, d)
+		}
+	}
+	// Newer devices are strictly faster (Table I ordering).
+	if !(K80.PeakFlops < P100.PeakFlops && P100.PeakFlops < V100.PeakFlops) {
+		t.Fatal("peak flops ordering broken")
+	}
+	if !(K80.MemBW < P100.MemBW && P100.MemBW < V100.MemBW) {
+		t.Fatal("bandwidth ordering broken")
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	cs := conv2(256)
+	a, ok1 := P100.ModelTime(conv.Forward, conv.AlgoFFT, cs)
+	b, ok2 := P100.ModelTime(conv.Forward, conv.AlgoFFT, cs)
+	if !ok1 || !ok2 || a != b {
+		t.Fatalf("model not deterministic: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("model time must be positive")
+	}
+}
+
+func TestModelUnsupported(t *testing.T) {
+	stride4 := conv2(32)
+	stride4.Params.StrideH = 4
+	stride4.Params.StrideW = 4
+	if _, ok := P100.ModelTime(conv.Forward, conv.AlgoFFT, stride4); ok {
+		t.Fatal("FFT at stride 4 must be unsupported")
+	}
+}
+
+// FFT must beat GEMM on conv2 at a large batch: the crossover the paper's
+// Fig. 9 exploits.
+func TestFFTBeatsGemmOnConv2(t *testing.T) {
+	cs := conv2(256)
+	fft, _ := P100.ModelTime(conv.Forward, conv.AlgoFFT, cs)
+	gemm, _ := P100.ModelTime(conv.Forward, conv.AlgoGemm, cs)
+	if fft >= gemm {
+		t.Fatalf("FFT %v should beat GEMM %v on conv2@256", fft, gemm)
+	}
+	if ratio := float64(gemm) / float64(fft); ratio < 1.5 || ratio > 10 {
+		t.Fatalf("GEMM/FFT ratio %.2f outside the plausible band", ratio)
+	}
+	// Direct must be the slowest reasonable algorithm.
+	direct, _ := P100.ModelTime(conv.Forward, conv.AlgoDirect, cs)
+	if direct <= gemm {
+		t.Fatalf("direct %v should trail GEMM %v", direct, gemm)
+	}
+}
+
+// Micro-batched FFT (8 x batch-32) must stay well below undivided GEMM:
+// otherwise the paper's WR optimization could never win.
+func TestMicroBatchedFFTStillWins(t *testing.T) {
+	full := conv2(256)
+	micro := conv2(32)
+	fft32, _ := P100.ModelTime(conv.Forward, conv.AlgoFFT, micro)
+	gemm, _ := P100.ModelTime(conv.Forward, conv.AlgoGemm, full)
+	if 8*fft32 >= gemm {
+		t.Fatalf("8 x FFT@32 (%v) should beat GEMM@256 (%v)", 8*fft32, gemm)
+	}
+	// But micro-batching the same algorithm must not be free: 8 calls cost
+	// more than one.
+	fft256, _ := P100.ModelTime(conv.Forward, conv.AlgoFFT, full)
+	if 8*fft32 <= fft256 {
+		t.Fatalf("micro-batching must add overhead: 8x%v vs %v", fft32, fft256)
+	}
+}
+
+// Batch-1 kernels must be disproportionately expensive (launch overhead +
+// occupancy floor), so optimizers avoid degenerate divisions.
+func TestTinyBatchPenalty(t *testing.T) {
+	t1, _ := P100.ModelTime(conv.Forward, conv.AlgoGemm, conv2(1))
+	t256, _ := P100.ModelTime(conv.Forward, conv.AlgoGemm, conv2(256))
+	if 256*int64(t1) <= int64(t256) {
+		t.Fatalf("per-sample cost must grow at batch 1: 256x%v vs %v", t1, t256)
+	}
+}
+
+// Faster devices must produce faster predictions for the same kernel.
+func TestDeviceOrdering(t *testing.T) {
+	cs := conv2(256)
+	for _, algo := range []conv.Algo{conv.AlgoGemm, conv.AlgoFFT, conv.AlgoWinogradNonfused} {
+		k, _ := K80.ModelTime(conv.Forward, algo, cs)
+		p, _ := P100.ModelTime(conv.Forward, algo, cs)
+		v, _ := V100.ModelTime(conv.Forward, algo, cs)
+		if !(k > p && p > v) {
+			t.Fatalf("%v: device ordering broken: K80=%v P100=%v V100=%v", algo, k, p, v)
+		}
+	}
+}
+
+// Times scale close to linearly in batch for large batches.
+func TestBatchScaling(t *testing.T) {
+	for _, algo := range []conv.Algo{conv.AlgoGemm, conv.AlgoFFT, conv.AlgoImplicitGemm} {
+		t128, _ := P100.ModelTime(conv.Forward, algo, conv2(128))
+		t256, _ := P100.ModelTime(conv.Forward, algo, conv2(256))
+		r := float64(t256) / float64(t128)
+		if r < 1.6 || r > 2.4 {
+			t.Fatalf("%v: 256/128 time ratio %.2f not ~2", algo, r)
+		}
+	}
+}
+
+// All three operations of a supported combination produce sane times.
+func TestAllOpsModeled(t *testing.T) {
+	cs := tensor.ConvShape{
+		In:     tensor.Shape{N: 32, C: 64, H: 56, W: 56},
+		Filt:   tensor.Filter{K: 64, C: 64, R: 3, S: 3},
+		Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1},
+	}
+	for _, op := range conv.Ops {
+		for _, algo := range conv.AlgosFor(op) {
+			if !conv.Supported(op, algo, cs) {
+				continue
+			}
+			d, ok := P100.ModelTime(op, algo, cs)
+			if !ok || d <= 0 || d > time.Second {
+				t.Fatalf("%v/%v: model time %v (ok=%v)", op, algo, d, ok)
+			}
+		}
+	}
+}
+
+func TestMemBoundAndGemmTimes(t *testing.T) {
+	if P100.MemBoundTime(0) < P100.LaunchOverhead {
+		t.Fatal("mem-bound time must include launch overhead")
+	}
+	small := P100.MemBoundTime(1 << 20)
+	big := P100.MemBoundTime(1 << 30)
+	if big <= small {
+		t.Fatal("more bytes must take longer")
+	}
+	if P100.GemmTime(0, 1, 1) != P100.LaunchOverhead {
+		t.Fatal("degenerate GEMM is just a launch")
+	}
+	g1 := P100.GemmTime(256, 256, 256)
+	g2 := P100.GemmTime(1024, 1024, 1024)
+	if g2 <= g1 {
+		t.Fatal("bigger GEMM must take longer")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	m := &MemTracker{Cap: 100}
+	if err := m.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc(50); err == nil {
+		t.Fatal("over-capacity alloc must fail")
+	}
+	if err := m.Alloc(40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 100 || m.Peak() != 100 {
+		t.Fatalf("used=%d peak=%d", m.Used(), m.Peak())
+	}
+	m.Free(70)
+	if m.Used() != 30 || m.Peak() != 100 {
+		t.Fatalf("after free: used=%d peak=%d", m.Used(), m.Peak())
+	}
+	if err := m.Alloc(-1); err == nil {
+		t.Fatal("negative alloc must fail")
+	}
+	m.Free(1000)
+	if m.Used() != 0 {
+		t.Fatal("free clamps at zero")
+	}
+	unlimited := &MemTracker{}
+	if err := unlimited.Alloc(1 << 40); err != nil {
+		t.Fatal("cap 0 means unlimited")
+	}
+}
+
+func TestNewMemTrackerUsesCapacity(t *testing.T) {
+	m := P100.NewMemTracker()
+	if m.Cap != P100.MemBytes {
+		t.Fatalf("cap = %d, want %d", m.Cap, P100.MemBytes)
+	}
+}

@@ -1,0 +1,301 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/tensor"
+)
+
+// Conv is a 2-D convolution layer with optional bias. It is the only
+// layer that touches the kernel library, doing so exactly the way Caffe
+// does: one Get*Algorithm call per kernel at setup (passing the
+// framework's per-layer workspace limit), one workspace-size query, and
+// Convolution* calls per iteration. Under µ-cuDNN the returned algorithm
+// is virtual and the workspace sizes are zero.
+type Conv struct {
+	name                           string
+	k, r, s                        int
+	strideH, strideW               int
+	padH, padW                     int
+	withBias                       bool
+	filter                         *tensor.FilterTensor
+	dFilter                        *tensor.FilterTensor
+	filterParam, biasParam         *Param
+	xd, yd                         cudnn.TensorDesc
+	wd                             cudnn.FilterDesc
+	cd                             cudnn.ConvDesc
+	fwdAlgo, bwdDAlgo, bwdFAlgo    conv.Algo
+	wsFBytes, wsBDBytes, wsBFBytes int64
+	skipInputGrad                  bool
+
+	// Grouped-convolution state: the descriptors above describe one
+	// group's kernel; per-group channel slices are staged through the
+	// temporaries below (nil when groups == 1 or in timing-only mode).
+	groups     int
+	in, out    tensor.Shape
+	xg, yg, dg *tensor.Tensor
+}
+
+// NewConv builds a conv layer with square kernels.
+func NewConv(name string, k, kernel, stride, pad int, bias bool) *Conv {
+	return &Conv{
+		name: name, k: k, r: kernel, s: kernel,
+		strideH: stride, strideW: stride, padH: pad, padW: pad,
+		withBias: bias, groups: 1,
+	}
+}
+
+// NewConvGrouped builds a grouped convolution (Caffe's group parameter):
+// input and output channels are split into `groups` independent
+// convolutions, executed as separate kernels exactly as Caffe issues them
+// to cuDNN — so each group's kernel is individually optimizable by
+// µ-cuDNN.
+func NewConvGrouped(name string, k, kernel, stride, pad, groups int, bias bool) *Conv {
+	c := NewConv(name, k, kernel, stride, pad, bias)
+	c.groups = groups
+	return c
+}
+
+// SkipInputGrad marks the layer as the network's first convolution, whose
+// BackwardData kernel frameworks skip (no gradient flows to raw data).
+func (l *Conv) SkipInputGrad() *Conv { l.skipInputGrad = true; return l }
+
+// Name implements Layer.
+func (l *Conv) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Conv) Params() []*Param {
+	if l.biasParam != nil {
+		return []*Param{l.filterParam, l.biasParam}
+	}
+	return []*Param{l.filterParam}
+}
+
+// Shape returns the layer's convolution shape (for inspection/benches).
+func (l *Conv) Shape() tensor.ConvShape { return cudnn.Shape(l.xd, l.wd, l.cd) }
+
+// Setup implements Layer.
+func (l *Conv) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) != 1 {
+		return tensor.Shape{}, fmt.Errorf("conv %s: want 1 bottom, got %d", l.name, len(bottoms))
+	}
+	in := bottoms[0]
+	if l.groups < 1 {
+		l.groups = 1
+	}
+	if in.C%l.groups != 0 || l.k%l.groups != 0 {
+		return tensor.Shape{}, fmt.Errorf("conv %s: channels %d/%d not divisible by %d groups", l.name, in.C, l.k, l.groups)
+	}
+	cg, kg := in.C/l.groups, l.k/l.groups
+	var err error
+	// Descriptors describe one group's kernel (the whole layer when
+	// groups == 1), which is the unit cuDNN — and hence µ-cuDNN — sees.
+	if l.xd, err = cudnn.NewTensorDesc(in.N, cg, in.H, in.W); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.wd, err = cudnn.NewFilterDesc(kg, cg, l.r, l.s); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.cd, err = cudnn.NewConvDesc(l.padH, l.padW, l.strideH, l.strideW, 1, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.yd, err = cudnn.GetOutputDim(l.xd, l.wd, l.cd); err != nil {
+		return tensor.Shape{}, err
+	}
+	l.in = in
+	l.out = tensor.Shape{N: in.N, C: l.k, H: l.yd.H, W: l.yd.W}
+
+	// Parameters: He initialization. Grouped filters are K x C/G x R x S,
+	// as in Caffe.
+	l.filter = tensor.NewFilter(l.k, cg, l.r, l.s)
+	l.dFilter = tensor.NewFilter(l.k, cg, l.r, l.s)
+	if !ctx.SkipCompute {
+		scale := float32(math.Sqrt(2.0 / float64(cg*l.r*l.s)))
+		l.filter.Randomize(ctx.RNG, scale)
+	}
+	if l.groups > 1 && !ctx.SkipCompute {
+		l.xg = tensor.New(in.N, cg, in.H, in.W)
+		l.yg = tensor.New(in.N, kg, l.yd.H, l.yd.W)
+		l.dg = tensor.New(in.N, kg, l.yd.H, l.yd.W)
+	}
+	if err := ctx.Cudnn.Mem().Alloc(2 * l.filter.Filter.Bytes()); err != nil {
+		return tensor.Shape{}, err
+	}
+	l.filterParam = &Param{Name: l.name + ".weight", Data: l.filter.Data, Grad: l.dFilter.Data}
+	if l.withBias {
+		l.biasParam = &Param{
+			Name: l.name + ".bias",
+			Data: make([]float32, l.k),
+			Grad: make([]float32, l.k),
+		}
+		if err := ctx.Cudnn.Mem().Alloc(2 * int64(l.k) * 4); err != nil {
+			return tensor.Shape{}, err
+		}
+	}
+
+	// Algorithm selection and workspace queries through the framework's
+	// preference convention (Caffe: explicit limit; TF: PreferFastest).
+	pref, limit := ctx.Pref, ctx.WorkspaceLimit
+	if l.fwdAlgo, err = ctx.Conv.GetConvolutionForwardAlgorithm(l.xd, l.wd, l.cd, l.yd, pref, limit); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.bwdDAlgo, err = ctx.Conv.GetConvolutionBackwardDataAlgorithm(l.wd, l.yd, l.cd, l.xd, pref, limit); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.bwdFAlgo, err = ctx.Conv.GetConvolutionBackwardFilterAlgorithm(l.xd, l.yd, l.cd, l.wd, pref, limit); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.wsFBytes, err = ctx.Conv.GetConvolutionForwardWorkspaceSize(l.xd, l.wd, l.cd, l.yd, l.fwdAlgo); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.wsBDBytes, err = ctx.Conv.GetConvolutionBackwardDataWorkspaceSize(l.wd, l.yd, l.cd, l.xd, l.bwdDAlgo); err != nil {
+		return tensor.Shape{}, err
+	}
+	if l.wsBFBytes, err = ctx.Conv.GetConvolutionBackwardFilterWorkspaceSize(l.xd, l.yd, l.cd, l.wd, l.bwdFAlgo); err != nil {
+		return tensor.Shape{}, err
+	}
+	// Each kernel's workspace counts against device memory individually
+	// (frameworks allocate per layer); the host backing is the context's
+	// shared arena since execution is sequential.
+	if err := ctx.Cudnn.Mem().Alloc(l.wsFBytes + l.wsBDBytes + l.wsBFBytes); err != nil {
+		return tensor.Shape{}, err
+	}
+	return l.out, nil
+}
+
+// groupFilter returns a view of group g's filters (dFilter when grad is
+// set); the KCRS layout makes each group's K/G filter rows contiguous.
+func (l *Conv) groupFilter(g int, grad bool) *tensor.FilterTensor {
+	src := l.filter
+	if grad {
+		src = l.dFilter
+	}
+	if l.groups == 1 {
+		return src
+	}
+	kg := l.k / l.groups
+	per := kg * src.Filter.C * l.r * l.s
+	return &tensor.FilterTensor{
+		Filter: tensor.Filter{K: kg, C: src.Filter.C, R: l.r, S: l.s},
+		Data:   src.Data[g*per : (g+1)*per],
+	}
+}
+
+// copyChannels copies count channels starting at channel src0 of src into
+// channel dst0 of dst, for every sample.
+func copyChannels(dst *tensor.Tensor, dst0 int, src *tensor.Tensor, src0, count int) {
+	plane := src.Shape.H * src.Shape.W
+	for n := 0; n < src.Shape.N; n++ {
+		s := src.Data[src.Index(n, src0, 0, 0) : src.Index(n, src0, 0, 0)+count*plane]
+		d := dst.Data[dst.Index(n, dst0, 0, 0) : dst.Index(n, dst0, 0, 0)+count*plane]
+		copy(d, s)
+	}
+}
+
+// WorkspaceBytes reports the layer's three per-kernel workspace sizes
+// (Forward, BackwardData, BackwardFilter).
+func (l *Conv) WorkspaceBytes() (fwd, bwdData, bwdFilter int64) {
+	return l.wsFBytes, l.wsBDBytes, l.wsBFBytes
+}
+
+// Forward implements Layer.
+func (l *Conv) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	if l.groups == 1 {
+		if err := ctx.Conv.ConvolutionForward(1, l.xd, bottoms[0], l.wd, l.filter, l.cd, l.fwdAlgo, ctx.Workspace(l.wsFBytes), 0, l.yd, top); err != nil {
+			return err
+		}
+	} else {
+		cg, kg := l.in.C/l.groups, l.k/l.groups
+		for g := 0; g < l.groups; g++ {
+			// Channel gather/scatter is a device copy, as in Caffe's
+			// per-group cuDNN calls with strided descriptors.
+			ctx.ChargeMem(2 * (l.xd.Shape().Bytes() + l.yd.Shape().Bytes()))
+			if !ctx.SkipCompute {
+				copyChannels(l.xg, 0, bottoms[0], g*cg, cg)
+			}
+			if err := ctx.Conv.ConvolutionForward(1, l.xd, l.xg, l.wd, l.groupFilter(g, false), l.cd, l.fwdAlgo, ctx.Workspace(l.wsFBytes), 0, l.yd, l.yg); err != nil {
+				return err
+			}
+			if !ctx.SkipCompute {
+				copyChannels(top, g*kg, l.yg, 0, kg)
+			}
+		}
+	}
+	if l.withBias {
+		ctx.ChargeMem(2 * l.out.Bytes())
+		if !ctx.SkipCompute {
+			plane := l.out.H * l.out.W
+			for n := 0; n < l.out.N; n++ {
+				for k := 0; k < l.out.C; k++ {
+					b := l.biasParam.Data[k]
+					base := top.Index(n, k, 0, 0)
+					for i := 0; i < plane; i++ {
+						top.Data[base+i] += b
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *Conv) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	if l.groups == 1 {
+		// Parameter gradients accumulate (beta=1); the trainer zeroes them.
+		if err := ctx.Conv.ConvolutionBackwardFilter(1, l.xd, bottoms[0], l.yd, dTop, l.cd, l.bwdFAlgo, ctx.Workspace(l.wsBFBytes), 1, l.wd, l.dFilter); err != nil {
+			return err
+		}
+	} else {
+		cg, kg := l.in.C/l.groups, l.k/l.groups
+		for g := 0; g < l.groups; g++ {
+			ctx.ChargeMem(2 * (l.xd.Shape().Bytes() + l.yd.Shape().Bytes()))
+			if !ctx.SkipCompute {
+				copyChannels(l.xg, 0, bottoms[0], g*cg, cg)
+				copyChannels(l.dg, 0, dTop, g*kg, kg)
+			}
+			if err := ctx.Conv.ConvolutionBackwardFilter(1, l.xd, l.xg, l.yd, l.dg, l.cd, l.bwdFAlgo, ctx.Workspace(l.wsBFBytes), 1, l.wd, l.groupFilter(g, true)); err != nil {
+				return err
+			}
+		}
+	}
+	if l.withBias {
+		ctx.ChargeMem(l.out.Bytes())
+		if !ctx.SkipCompute {
+			plane := l.out.H * l.out.W
+			for n := 0; n < l.out.N; n++ {
+				for k := 0; k < l.out.C; k++ {
+					base := dTop.Index(n, k, 0, 0)
+					var s float32
+					for i := 0; i < plane; i++ {
+						s += dTop.Data[base+i]
+					}
+					l.biasParam.Grad[k] += s
+				}
+			}
+		}
+	}
+	if l.skipInputGrad {
+		return nil
+	}
+	if l.groups == 1 {
+		return ctx.Conv.ConvolutionBackwardData(1, l.wd, l.filter, l.yd, dTop, l.cd, l.bwdDAlgo, ctx.Workspace(l.wsBDBytes), 0, l.xd, dBottoms[0])
+	}
+	cg, kg := l.in.C/l.groups, l.k/l.groups
+	for g := 0; g < l.groups; g++ {
+		ctx.ChargeMem(2 * (l.xd.Shape().Bytes() + l.yd.Shape().Bytes()))
+		if !ctx.SkipCompute {
+			copyChannels(l.dg, 0, dTop, g*kg, kg)
+		}
+		if err := ctx.Conv.ConvolutionBackwardData(1, l.wd, l.groupFilter(g, false), l.yd, l.dg, l.cd, l.bwdDAlgo, ctx.Workspace(l.wsBDBytes), 0, l.xd, l.xg); err != nil {
+			return err
+		}
+		if !ctx.SkipCompute {
+			copyChannels(dBottoms[0], g*cg, l.xg, 0, cg)
+		}
+	}
+	return nil
+}

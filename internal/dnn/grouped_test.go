@@ -1,0 +1,257 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/tensor"
+)
+
+// refGroupedForward computes a grouped convolution directly.
+func refGroupedForward(x *tensor.Tensor, w *tensor.FilterTensor, groups, stride, pad int, bias []float32) *tensor.Tensor {
+	in := x.Shape
+	f := w.Filter // K x C/G x R x S
+	kTotal := f.K
+	cg := in.C / groups
+	kg := kTotal / groups
+	oh := (in.H+2*pad-f.R)/stride + 1
+	ow := (in.W+2*pad-f.S)/stride + 1
+	y := tensor.New(in.N, kTotal, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for k := 0; k < kTotal; k++ {
+			g := k / kg
+			for u := 0; u < oh; u++ {
+				for v := 0; v < ow; v++ {
+					acc := float64(0)
+					for c := 0; c < cg; c++ {
+						for r := 0; r < f.R; r++ {
+							ih := u*stride - pad + r
+							if ih < 0 || ih >= in.H {
+								continue
+							}
+							for s := 0; s < f.S; s++ {
+								iw := v*stride - pad + s
+								if iw < 0 || iw >= in.W {
+									continue
+								}
+								acc += float64(x.At(n, g*cg+c, ih, iw)) * float64(w.At(k, c, r, s))
+							}
+						}
+					}
+					if bias != nil {
+						acc += float64(bias[k])
+					}
+					y.Set(n, k, u, v, float32(acc))
+				}
+			}
+		}
+	}
+	return y
+}
+
+func TestGroupedConvForwardMatchesReference(t *testing.T) {
+	ctx := testCtx()
+	ctx.RNG = rand.New(rand.NewSource(21))
+	l := NewConvGrouped("gconv", 6, 3, 1, 1, 2, true)
+	in := tensor.Shape{N: 3, C: 4, H: 7, W: 7}
+	out, err := l.Setup(ctx, []tensor.Shape{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (tensor.Shape{N: 3, C: 6, H: 7, W: 7}) {
+		t.Fatalf("out = %v", out)
+	}
+	// Filter must be K x C/G x R x S.
+	if l.filter.Filter != (tensor.Filter{K: 6, C: 2, R: 3, S: 3}) {
+		t.Fatalf("filter = %v", l.filter.Filter)
+	}
+	rng := rand.New(rand.NewSource(22))
+	x := tensor.NewShaped(in)
+	x.Randomize(rng, 1)
+	for i := range l.biasParam.Data {
+		l.biasParam.Data[i] = rng.Float32()
+	}
+	y := tensor.NewShaped(out)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := refGroupedForward(x, l.filter, 2, 1, 1, l.biasParam.Data)
+	if !tensor.AllClose(y.Data, want.Data, 1e-4, 1e-4) {
+		t.Fatalf("grouped forward wrong: maxdiff %g", tensor.MaxAbsDiff(y.Data, want.Data))
+	}
+}
+
+// The grouped output's channel blocks must be independent: zeroing the
+// second input group's channels must not change the first output group.
+func TestGroupedConvGroupIndependence(t *testing.T) {
+	ctx := testCtx()
+	ctx.RNG = rand.New(rand.NewSource(23))
+	l := NewConvGrouped("gconv", 4, 3, 1, 1, 2, false)
+	in := tensor.Shape{N: 2, C: 4, H: 5, W: 5}
+	out, err := l.Setup(ctx, []tensor.Shape{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	x := tensor.NewShaped(in)
+	x.Randomize(rng, 1)
+	y1 := tensor.NewShaped(out)
+	l.Forward(ctx, []*tensor.Tensor{x}, y1)
+	// Zero group 1's input channels (2, 3).
+	for n := 0; n < in.N; n++ {
+		for c := 2; c < 4; c++ {
+			for h := 0; h < in.H; h++ {
+				for w := 0; w < in.W; w++ {
+					x.Set(n, c, h, w, 0)
+				}
+			}
+		}
+	}
+	y2 := tensor.NewShaped(out)
+	l.Forward(ctx, []*tensor.Tensor{x}, y2)
+	// Output channels 0, 1 (group 0) unchanged; 2, 3 changed.
+	for n := 0; n < out.N; n++ {
+		for h := 0; h < out.H; h++ {
+			for w := 0; w < out.W; w++ {
+				if y1.At(n, 0, h, w) != y2.At(n, 0, h, w) || y1.At(n, 1, h, w) != y2.At(n, 1, h, w) {
+					t.Fatal("group 0 output depends on group 1 input")
+				}
+			}
+		}
+	}
+	changed := false
+	for n := 0; n < out.N; n++ {
+		for h := 0; h < out.H; h++ {
+			for w := 0; w < out.W; w++ {
+				if y1.At(n, 2, h, w) != y2.At(n, 2, h, w) {
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("group 1 output ignored its input")
+	}
+}
+
+func TestGroupedConvGradient(t *testing.T) {
+	gradCheckLayer(t, NewConvGrouped("gconv", 4, 3, 1, 1, 2, true),
+		[]tensor.Shape{{N: 2, C: 4, H: 5, W: 5}}, 25, 2e-2)
+}
+
+func TestGroupedConvStridedGradient(t *testing.T) {
+	gradCheckLayer(t, NewConvGrouped("gconv", 6, 3, 2, 1, 3, false),
+		[]tensor.Shape{{N: 2, C: 6, H: 7, W: 7}}, 26, 2e-2)
+}
+
+func TestGroupedConvRejectsBadGroups(t *testing.T) {
+	ctx := testCtx()
+	l := NewConvGrouped("g", 4, 3, 1, 1, 3, false)
+	if _, err := l.Setup(ctx, []tensor.Shape{{N: 1, C: 4, H: 5, W: 5}}); err == nil {
+		t.Fatal("C=4 with 3 groups must fail")
+	}
+	l2 := NewConvGrouped("g", 5, 3, 1, 1, 2, false)
+	if _, err := l2.Setup(ctx, []tensor.Shape{{N: 1, C: 4, H: 5, W: 5}}); err == nil {
+		t.Fatal("K=5 with 2 groups must fail")
+	}
+}
+
+// Grouped conv in a net trains: loss decreases on the quadrant task.
+func TestGroupedConvTrains(t *testing.T) {
+	ctx := testCtx()
+	net := NewNet(ctx)
+	net.Input("data", tensor.Shape{N: 8, C: 4, H: 8, W: 8})
+	net.Add(NewConvGrouped("conv1", 8, 3, 1, 1, 2, true), "conv1", "data")
+	net.Add(NewReLU("relu1"), "relu1", "conv1")
+	net.Add(NewGlobalAvgPool("gap"), "gap", "relu1")
+	net.Add(NewFC("fc", 4), "fc", "gap")
+	loss := NewSoftmaxLoss("loss")
+	net.Add(loss, "loss", "fc")
+	if err := net.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(27))
+	sgd := NewSGD(0.1, 0.9, 0)
+	loss.Labels = make([]int, 8)
+	var first, last float32
+	for it := 0; it < 100; it++ {
+		in := net.InputBlob().Data
+		in.Randomize(rng, 0.1)
+		for n := 0; n < 8; n++ {
+			lbl := rng.Intn(4)
+			loss.Labels[n] = lbl
+			h0, w0 := (lbl/2)*4, (lbl%2)*4
+			for c := 0; c < 4; c++ {
+				for h := 0; h < 4; h++ {
+					for w := 0; w < 4; w++ {
+						in.Add(n, c, h0+h, w0+w, 1.5)
+					}
+				}
+			}
+		}
+		net.ZeroGrads()
+		if err := net.Forward(); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Backward(); err != nil {
+			t.Fatal(err)
+		}
+		sgd.Step(net.Params())
+		if it == 0 {
+			first = loss.Loss
+		}
+		last = loss.Loss
+	}
+	if math.IsNaN(float64(last)) || last > first*0.8 {
+		t.Fatalf("grouped training did not converge: %v -> %v", first, last)
+	}
+}
+
+// Grouped convolution under µ-cuDNN: each group's kernel is planned and
+// micro-batched independently, and the result matches plain cuDNN.
+func TestGroupedConvUnderUcudnn(t *testing.T) {
+	run := func(h ConvHandle, inner *cudnn.Handle) []float32 {
+		ctx := NewContext(h, inner, 1<<20)
+		ctx.RNG = rand.New(rand.NewSource(51))
+		l := NewConvGrouped("gconv", 8, 3, 1, 1, 2, true)
+		in := tensor.Shape{N: 6, C: 6, H: 9, W: 9}
+		out, err := l.Setup(ctx, []tensor.Shape{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(52))
+		x := tensor.NewShaped(in)
+		x.Randomize(rng, 1)
+		y := tensor.NewShaped(out)
+		if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+			t.Fatal(err)
+		}
+		return y.Data
+	}
+	plain := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	base := run(plain, plain)
+
+	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	uc, err := core.New(inner, core.WithPolicy(core.PolicyPowerOfTwo), core.WithWorkspaceLimit(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := run(uc, inner)
+	if !tensor.AllClose(base, opt, 1e-4, 1e-4) {
+		t.Fatalf("grouped conv diverged under µ-cuDNN: %g", tensor.MaxAbsDiff(base, opt))
+	}
+	// µ-cuDNN planned the group-shaped kernel (C/G channels).
+	found := false
+	for _, p := range uc.Plans() {
+		if p.Kernel.Shape.In.C == 3 && p.Kernel.Shape.Filt.K == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no group-shaped plan: %v", uc.Plans())
+	}
+}

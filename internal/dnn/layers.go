@@ -1,0 +1,509 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"ucudnn/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name  string
+	shape tensor.Shape
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *ReLU) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) != 1 {
+		return tensor.Shape{}, fmt.Errorf("relu %s: want 1 bottom", l.name)
+	}
+	l.shape = bottoms[0]
+	return bottoms[0], nil
+}
+
+// Forward implements Layer.
+func (l *ReLU) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(2 * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	for i, v := range bottoms[0].Data {
+		if v > 0 {
+			top.Data[i] = v
+		} else {
+			top.Data[i] = 0
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(3 * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	for i, v := range bottoms[0].Data {
+		if v > 0 {
+			dBottoms[0].Data[i] = dTop.Data[i]
+		} else {
+			dBottoms[0].Data[i] = 0
+		}
+	}
+	return nil
+}
+
+// PoolKind selects max or average pooling.
+type PoolKind int
+
+const (
+	// MaxPool takes the window maximum.
+	MaxPool PoolKind = iota
+	// AvgPool takes the window average (counting only in-bounds elements,
+	// Caffe's convention).
+	AvgPool
+)
+
+// Pool is a spatial pooling layer.
+type Pool struct {
+	name           string
+	kind           PoolKind
+	kernel, stride int
+	pad            int
+	in, out        tensor.Shape
+	argmax         []int32
+}
+
+// NewPool builds a pooling layer.
+func NewPool(name string, kind PoolKind, kernel, stride, pad int) *Pool {
+	return &Pool{name: name, kind: kind, kernel: kernel, stride: stride, pad: pad}
+}
+
+// Name implements Layer.
+func (l *Pool) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Pool) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *Pool) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) != 1 {
+		return tensor.Shape{}, fmt.Errorf("pool %s: want 1 bottom", l.name)
+	}
+	in := bottoms[0]
+	// Caffe's pooling output dims (ceil mode).
+	oh := int(math.Ceil(float64(in.H+2*l.pad-l.kernel)/float64(l.stride))) + 1
+	ow := int(math.Ceil(float64(in.W+2*l.pad-l.kernel)/float64(l.stride))) + 1
+	if l.pad > 0 {
+		// Clip windows that start inside the padding entirely.
+		if (oh-1)*l.stride >= in.H+l.pad {
+			oh--
+		}
+		if (ow-1)*l.stride >= in.W+l.pad {
+			ow--
+		}
+	}
+	if oh <= 0 || ow <= 0 {
+		return tensor.Shape{}, fmt.Errorf("pool %s: empty output", l.name)
+	}
+	l.in = in
+	l.out = tensor.Shape{N: in.N, C: in.C, H: oh, W: ow}
+	if l.kind == MaxPool && !ctx.SkipCompute {
+		l.argmax = make([]int32, l.out.Elems())
+	}
+	return l.out, nil
+}
+
+// Forward implements Layer.
+func (l *Pool) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(l.in.Bytes() + l.out.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	x := bottoms[0]
+	for n := 0; n < l.out.N; n++ {
+		for c := 0; c < l.out.C; c++ {
+			for oh := 0; oh < l.out.H; oh++ {
+				for ow := 0; ow < l.out.W; ow++ {
+					h0 := oh*l.stride - l.pad
+					w0 := ow*l.stride - l.pad
+					h1 := imin(h0+l.kernel, l.in.H)
+					w1 := imin(w0+l.kernel, l.in.W)
+					h0 = imax(h0, 0)
+					w0 = imax(w0, 0)
+					oi := top.Index(n, c, oh, ow)
+					if l.kind == MaxPool {
+						best := float32(math.Inf(-1))
+						bestIdx := int32(-1)
+						for h := h0; h < h1; h++ {
+							for w := w0; w < w1; w++ {
+								if v := x.At(n, c, h, w); v > best {
+									best = v
+									bestIdx = int32(x.Index(n, c, h, w))
+								}
+							}
+						}
+						top.Data[oi] = best
+						l.argmax[oi] = bestIdx
+					} else {
+						var sum float32
+						cnt := 0
+						for h := h0; h < h1; h++ {
+							for w := w0; w < w1; w++ {
+								sum += x.At(n, c, h, w)
+								cnt++
+							}
+						}
+						top.Data[oi] = sum / float32(cnt)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *Pool) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(l.in.Bytes() + l.out.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	dx := dBottoms[0]
+	dx.Zero()
+	if l.kind == MaxPool {
+		for oi, src := range l.argmax {
+			if src >= 0 {
+				dx.Data[src] += dTop.Data[oi]
+			}
+		}
+		return nil
+	}
+	for n := 0; n < l.out.N; n++ {
+		for c := 0; c < l.out.C; c++ {
+			for oh := 0; oh < l.out.H; oh++ {
+				for ow := 0; ow < l.out.W; ow++ {
+					h0 := oh*l.stride - l.pad
+					w0 := ow*l.stride - l.pad
+					h1 := imin(h0+l.kernel, l.in.H)
+					w1 := imin(w0+l.kernel, l.in.W)
+					h0 = imax(h0, 0)
+					w0 = imax(w0, 0)
+					cnt := (h1 - h0) * (w1 - w0)
+					g := dTop.At(n, c, oh, ow) / float32(cnt)
+					for h := h0; h < h1; h++ {
+						for w := w0; w < w1; w++ {
+							dx.Add(n, c, h, w, g)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalAvgPool averages each channel plane to 1x1.
+type GlobalAvgPool struct {
+	name string
+	in   tensor.Shape
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *GlobalAvgPool) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *GlobalAvgPool) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) != 1 {
+		return tensor.Shape{}, fmt.Errorf("gap %s: want 1 bottom", l.name)
+	}
+	l.in = bottoms[0]
+	return tensor.Shape{N: l.in.N, C: l.in.C, H: 1, W: 1}, nil
+}
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(l.in.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	plane := l.in.H * l.in.W
+	inv := 1 / float32(plane)
+	for n := 0; n < l.in.N; n++ {
+		for c := 0; c < l.in.C; c++ {
+			base := bottoms[0].Index(n, c, 0, 0)
+			var s float32
+			for i := 0; i < plane; i++ {
+				s += bottoms[0].Data[base+i]
+			}
+			top.Set(n, c, 0, 0, s*inv)
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(l.in.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	plane := l.in.H * l.in.W
+	inv := 1 / float32(plane)
+	for n := 0; n < l.in.N; n++ {
+		for c := 0; c < l.in.C; c++ {
+			g := dTop.At(n, c, 0, 0) * inv
+			base := dBottoms[0].Index(n, c, 0, 0)
+			for i := 0; i < plane; i++ {
+				dBottoms[0].Data[base+i] = g
+			}
+		}
+	}
+	return nil
+}
+
+// Add is the elementwise sum of its bottoms (residual connections).
+type Add struct {
+	name  string
+	shape tensor.Shape
+	arity int
+}
+
+// NewAdd builds an elementwise-sum layer.
+func NewAdd(name string) *Add { return &Add{name: name} }
+
+// Name implements Layer.
+func (l *Add) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Add) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *Add) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) < 2 {
+		return tensor.Shape{}, fmt.Errorf("add %s: want >=2 bottoms", l.name)
+	}
+	for _, b := range bottoms[1:] {
+		if b != bottoms[0] {
+			return tensor.Shape{}, fmt.Errorf("add %s: shape mismatch %v vs %v", l.name, b, bottoms[0])
+		}
+	}
+	l.shape = bottoms[0]
+	l.arity = len(bottoms)
+	return bottoms[0], nil
+}
+
+// Forward implements Layer.
+func (l *Add) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(int64(l.arity+1) * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	copy(top.Data, bottoms[0].Data)
+	for _, b := range bottoms[1:] {
+		for i, v := range b.Data {
+			top.Data[i] += v
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *Add) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(int64(l.arity+1) * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	for _, db := range dBottoms {
+		copy(db.Data, dTop.Data)
+	}
+	return nil
+}
+
+// Concat concatenates its bottoms along the channel axis (Inception,
+// DenseNet).
+type Concat struct {
+	name string
+	in   []tensor.Shape
+	out  tensor.Shape
+}
+
+// NewConcat builds a channel concatenation layer.
+func NewConcat(name string) *Concat { return &Concat{name: name} }
+
+// Name implements Layer.
+func (l *Concat) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Concat) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *Concat) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) < 1 {
+		return tensor.Shape{}, fmt.Errorf("concat %s: want >=1 bottom", l.name)
+	}
+	c := 0
+	for _, b := range bottoms {
+		if b.N != bottoms[0].N || b.H != bottoms[0].H || b.W != bottoms[0].W {
+			return tensor.Shape{}, fmt.Errorf("concat %s: spatial mismatch", l.name)
+		}
+		c += b.C
+	}
+	l.in = append([]tensor.Shape{}, bottoms...)
+	l.out = tensor.Shape{N: bottoms[0].N, C: c, H: bottoms[0].H, W: bottoms[0].W}
+	return l.out, nil
+}
+
+// Forward implements Layer.
+func (l *Concat) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(2 * l.out.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	for n := 0; n < l.out.N; n++ {
+		cOff := 0
+		for bi, b := range bottoms {
+			sz := l.in[bi].C * l.in[bi].H * l.in[bi].W
+			copy(top.Data[top.Index(n, cOff, 0, 0):top.Index(n, cOff, 0, 0)+sz],
+				b.Data[b.Index(n, 0, 0, 0):b.Index(n, 0, 0, 0)+sz])
+			cOff += l.in[bi].C
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *Concat) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(2 * l.out.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	for n := 0; n < l.out.N; n++ {
+		cOff := 0
+		for bi, db := range dBottoms {
+			sz := l.in[bi].C * l.in[bi].H * l.in[bi].W
+			copy(db.Data[db.Index(n, 0, 0, 0):db.Index(n, 0, 0, 0)+sz],
+				dTop.Data[dTop.Index(n, cOff, 0, 0):dTop.Index(n, cOff, 0, 0)+sz])
+			cOff += l.in[bi].C
+		}
+	}
+	return nil
+}
+
+// Dropout zeroes a fraction of activations at training time, scaling the
+// survivors (inverted dropout); identity at inference.
+type Dropout struct {
+	name  string
+	ratio float32
+	shape tensor.Shape
+	mask  []bool
+}
+
+// NewDropout builds a dropout layer.
+func NewDropout(name string, ratio float32) *Dropout {
+	return &Dropout{name: name, ratio: ratio}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Setup implements Layer.
+func (l *Dropout) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error) {
+	if len(bottoms) != 1 {
+		return tensor.Shape{}, fmt.Errorf("dropout %s: want 1 bottom", l.name)
+	}
+	l.shape = bottoms[0]
+	if !ctx.SkipCompute {
+		l.mask = make([]bool, l.shape.Elems())
+	}
+	return bottoms[0], nil
+}
+
+// Forward implements Layer.
+func (l *Dropout) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	ctx.ChargeMem(2 * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	if !ctx.Training {
+		copy(top.Data, bottoms[0].Data)
+		return nil
+	}
+	scale := 1 / (1 - l.ratio)
+	for i, v := range bottoms[0].Data {
+		if ctx.RNG.Float32() < l.ratio {
+			l.mask[i] = false
+			top.Data[i] = 0
+		} else {
+			l.mask[i] = true
+			top.Data[i] = v * scale
+		}
+	}
+	return nil
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	ctx.ChargeMem(2 * l.shape.Bytes())
+	if ctx.SkipCompute {
+		return nil
+	}
+	if !ctx.Training {
+		copy(dBottoms[0].Data, dTop.Data)
+		return nil
+	}
+	scale := 1 / (1 - l.ratio)
+	for i := range dTop.Data {
+		if l.mask[i] {
+			dBottoms[0].Data[i] = dTop.Data[i] * scale
+		} else {
+			dBottoms[0].Data[i] = 0
+		}
+	}
+	return nil
+}
+
+func imin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func imax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InPlace marks ReLU as in-place eligible (Caffe's convention).
+func (l *ReLU) InPlace() bool { return true }
+
+// InPlace marks Dropout as in-place eligible.
+func (l *Dropout) InPlace() bool { return true }
+
+// InPlace marks Concat as in-place eligible: memory-efficient DenseNet
+// implementations write each layer's output directly into a shared
+// per-block buffer, so the concatenation consumes no memory beyond its
+// (already-counted) inputs.
+func (l *Concat) InPlace() bool { return true }

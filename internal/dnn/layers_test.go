@@ -1,0 +1,382 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/tensor"
+)
+
+func testCtx() *Context {
+	h := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	return NewContext(h, h, 8<<20)
+}
+
+// gradCheckLayer verifies a layer's Backward against central differences
+// of a random linear functional of its Forward.
+func gradCheckLayer(t *testing.T, l Layer, inShapes []tensor.Shape, seed int64, tol float64) {
+	t.Helper()
+	ctx := testCtx()
+	ctx.RNG = rand.New(rand.NewSource(seed))
+	outShape, err := l.Setup(ctx, inShapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	bottoms := make([]*tensor.Tensor, len(inShapes))
+	for i, s := range inShapes {
+		bottoms[i] = tensor.NewShaped(s)
+		bottoms[i].Randomize(rng, 1)
+	}
+	top := tensor.NewShaped(outShape)
+	g := tensor.NewShaped(outShape)
+	g.Randomize(rng, 1)
+	loss := func() float64 {
+		if err := l.Forward(ctx, bottoms, top); err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range top.Data {
+			s += float64(top.Data[i]) * float64(g.Data[i])
+		}
+		return s
+	}
+	loss() // populate forward caches
+	dBottoms := make([]*tensor.Tensor, len(bottoms))
+	for i := range dBottoms {
+		dBottoms[i] = tensor.NewShaped(bottoms[i].Shape)
+	}
+	for _, p := range l.Params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+	if err := l.Backward(ctx, bottoms, top, g, dBottoms); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-2
+	check := func(name string, data []float32, grad []float32, idxs []int) {
+		for _, i := range idxs {
+			orig := data[i]
+			data[i] = orig + h
+			lp := loss()
+			data[i] = orig - h
+			lm := loss()
+			data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-float64(grad[i])) > tol*(1+math.Abs(num)) {
+				t.Errorf("%s: %s[%d] numeric %g analytic %g", l.Name(), name, i, num, grad[i])
+			}
+		}
+	}
+	for bi := range bottoms {
+		n := len(bottoms[bi].Data)
+		check("bottom", bottoms[bi].Data, dBottoms[bi].Data, []int{0, n / 3, n - 1})
+	}
+	for _, p := range l.Params() {
+		n := len(p.Data)
+		check(p.Name, p.Data, p.Grad, []int{0, n / 2, n - 1})
+	}
+}
+
+func TestReLUGradient(t *testing.T) {
+	gradCheckLayer(t, NewReLU("relu"), []tensor.Shape{{N: 2, C: 3, H: 4, W: 4}}, 1, 2e-2)
+}
+
+func TestMaxPoolGradient(t *testing.T) {
+	gradCheckLayer(t, NewPool("pool", MaxPool, 3, 2, 0), []tensor.Shape{{N: 2, C: 2, H: 7, W: 7}}, 2, 2e-2)
+}
+
+func TestAvgPoolGradient(t *testing.T) {
+	gradCheckLayer(t, NewPool("pool", AvgPool, 2, 2, 0), []tensor.Shape{{N: 2, C: 2, H: 6, W: 6}}, 3, 1e-2)
+}
+
+func TestAvgPoolPaddedGradient(t *testing.T) {
+	gradCheckLayer(t, NewPool("pool", AvgPool, 3, 2, 1), []tensor.Shape{{N: 1, C: 2, H: 5, W: 5}}, 4, 1e-2)
+}
+
+func TestGlobalAvgPoolGradient(t *testing.T) {
+	gradCheckLayer(t, NewGlobalAvgPool("gap"), []tensor.Shape{{N: 2, C: 3, H: 5, W: 5}}, 5, 1e-2)
+}
+
+func TestAddGradient(t *testing.T) {
+	s := tensor.Shape{N: 2, C: 2, H: 3, W: 3}
+	gradCheckLayer(t, NewAdd("add"), []tensor.Shape{s, s, s}, 6, 1e-2)
+}
+
+func TestConcatGradient(t *testing.T) {
+	gradCheckLayer(t, NewConcat("cat"),
+		[]tensor.Shape{{N: 2, C: 2, H: 3, W: 3}, {N: 2, C: 3, H: 3, W: 3}}, 7, 1e-2)
+}
+
+func TestLRNGradient(t *testing.T) {
+	gradCheckLayer(t, NewLRN("lrn"), []tensor.Shape{{N: 2, C: 8, H: 3, W: 3}}, 8, 2e-2)
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	gradCheckLayer(t, NewBatchNorm("bn"), []tensor.Shape{{N: 3, C: 2, H: 4, W: 4}}, 9, 5e-2)
+}
+
+func TestFCGradient(t *testing.T) {
+	gradCheckLayer(t, NewFC("fc", 5), []tensor.Shape{{N: 3, C: 4, H: 2, W: 2}}, 10, 2e-2)
+}
+
+func TestConvLayerGradient(t *testing.T) {
+	gradCheckLayer(t, NewConv("conv", 4, 3, 1, 1, true), []tensor.Shape{{N: 2, C: 3, H: 5, W: 5}}, 11, 2e-2)
+}
+
+func TestConvStridedGradient(t *testing.T) {
+	gradCheckLayer(t, NewConv("conv", 3, 3, 2, 1, false), []tensor.Shape{{N: 2, C: 2, H: 7, W: 7}}, 12, 2e-2)
+}
+
+func TestDropoutInference(t *testing.T) {
+	ctx := testCtx()
+	ctx.Training = false
+	l := NewDropout("drop", 0.5)
+	s := tensor.Shape{N: 1, C: 2, H: 2, W: 2}
+	if _, err := l.Setup(ctx, []tensor.Shape{s}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewShaped(s)
+	x.Fill(3)
+	y := tensor.NewShaped(s)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y.Data {
+		if v != 3 {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainingMaskConsistency(t *testing.T) {
+	ctx := testCtx()
+	l := NewDropout("drop", 0.5)
+	s := tensor.Shape{N: 1, C: 1, H: 8, W: 8}
+	if _, err := l.Setup(ctx, []tensor.Shape{s}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewShaped(s)
+	x.Fill(1)
+	y := tensor.NewShaped(s)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		} else if v != 2 { // inverted dropout scale 1/(1-0.5)
+			t.Fatalf("unexpected survivor value %v", v)
+		}
+	}
+	if zeros == 0 || zeros == len(y.Data) {
+		t.Fatalf("implausible dropout mask: %d zeros", zeros)
+	}
+	// Backward uses the same mask.
+	dTop := tensor.NewShaped(s)
+	dTop.Fill(1)
+	dx := tensor.NewShaped(s)
+	if err := l.Backward(ctx, []*tensor.Tensor{x}, y, dTop, []*tensor.Tensor{dx}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dx.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestSoftmaxLossGradient(t *testing.T) {
+	ctx := testCtx()
+	l := NewSoftmaxLoss("loss")
+	s := tensor.Shape{N: 3, C: 4, H: 1, W: 1}
+	if _, err := l.Setup(ctx, []tensor.Shape{s}); err != nil {
+		t.Fatal(err)
+	}
+	l.Labels = []int{1, 3, 0}
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.NewShaped(s)
+	x.Randomize(rng, 1)
+	top := tensor.New(1, 1, 1, 1)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, top); err != nil {
+		t.Fatal(err)
+	}
+	dx := tensor.NewShaped(s)
+	if err := l.Backward(ctx, []*tensor.Tensor{x}, top, nil, []*tensor.Tensor{dx}); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-2
+	for _, i := range []int{0, 5, 11} {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		l.Forward(ctx, []*tensor.Tensor{x}, top)
+		lp := float64(l.Loss)
+		x.Data[i] = orig - h
+		l.Forward(ctx, []*tensor.Tensor{x}, top)
+		lm := float64(l.Loss)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-float64(dx.Data[i])) > 2e-2*(1+math.Abs(num)) {
+			t.Errorf("softmax dx[%d]: numeric %g analytic %g", i, num, dx.Data[i])
+		}
+	}
+}
+
+func TestSoftmaxLossDecreasesWithConfidence(t *testing.T) {
+	ctx := testCtx()
+	l := NewSoftmaxLoss("loss")
+	s := tensor.Shape{N: 1, C: 3, H: 1, W: 1}
+	l.Setup(ctx, []tensor.Shape{s})
+	l.Labels = []int{0}
+	x := tensor.NewShaped(s)
+	top := tensor.New(1, 1, 1, 1)
+	x.Data[0] = 0
+	l.Forward(ctx, []*tensor.Tensor{x}, top)
+	uniform := l.Loss
+	x.Data[0] = 5
+	l.Forward(ctx, []*tensor.Tensor{x}, top)
+	if l.Loss >= uniform {
+		t.Fatal("confident correct logit must lower the loss")
+	}
+}
+
+func TestPoolCaffeOutputDims(t *testing.T) {
+	// AlexNet pool1: 55x55, kernel 3, stride 2 -> 27x27 (ceil mode).
+	ctx := testCtx()
+	l := NewPool("p", MaxPool, 3, 2, 0)
+	out, err := l.Setup(ctx, []tensor.Shape{{N: 1, C: 1, H: 55, W: 55}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 27 || out.W != 27 {
+		t.Fatalf("pool out = %v, want 27x27", out)
+	}
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	ctx := testCtx()
+	l := NewBatchNorm("bn")
+	s := tensor.Shape{N: 4, C: 2, H: 3, W: 3}
+	l.Setup(ctx, []tensor.Shape{s})
+	rng := rand.New(rand.NewSource(14))
+	x := tensor.NewShaped(s)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*4 + 10 // mean ~12, nonzero
+	}
+	y := tensor.NewShaped(s)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+		t.Fatal(err)
+	}
+	// Per-channel output mean ~0, variance ~1.
+	plane := s.H * s.W
+	for c := 0; c < s.C; c++ {
+		var mean, msq float64
+		for n := 0; n < s.N; n++ {
+			base := y.Index(n, c, 0, 0)
+			for i := 0; i < plane; i++ {
+				v := float64(y.Data[base+i])
+				mean += v
+				msq += v * v
+			}
+		}
+		m := float64(s.N * plane)
+		mean /= m
+		variance := msq/m - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean %g var %g", c, mean, variance)
+		}
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	p := &Param{Data: []float32{1}, Grad: []float32{1}}
+	s := NewSGD(0.1, 0.9, 0)
+	s.Step([]*Param{p})
+	if math.Abs(float64(p.Data[0]-0.9)) > 1e-6 {
+		t.Fatalf("after step 1: %v", p.Data[0])
+	}
+	// Velocity carries over: v = 0.9*0.1 + 0.1*1 = 0.19; w = 0.9-0.19.
+	s.Step([]*Param{p})
+	if math.Abs(float64(p.Data[0]-0.71)) > 1e-6 {
+		t.Fatalf("after step 2: %v", p.Data[0])
+	}
+	// Weight decay pulls towards zero.
+	sd := NewSGD(0.1, 0, 1)
+	pd := &Param{Data: []float32{2}, Grad: []float32{0}}
+	sd.Step([]*Param{pd})
+	if pd.Data[0] >= 2 {
+		t.Fatal("decay must shrink the weight")
+	}
+}
+
+// BatchNorm inference mode uses running statistics accumulated during
+// training.
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	ctx := testCtx()
+	l := NewBatchNorm("bn")
+	s := tensor.Shape{N: 4, C: 2, H: 3, W: 3}
+	if _, err := l.Setup(ctx, []tensor.Shape{s}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	x := tensor.NewShaped(s)
+	y := tensor.NewShaped(s)
+	// Several training steps accumulate running stats.
+	for i := 0; i < 30; i++ {
+		for j := range x.Data {
+			x.Data[j] = rng.Float32()*2 + 5
+		}
+		if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inference on a constant input: output must NOT be renormalized to
+	// zero mean (it uses the running stats, not batch stats).
+	ctx.Training = false
+	x.Fill(5)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y); err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range y.Data {
+		mean += float64(v)
+	}
+	mean /= float64(len(y.Data))
+	if math.Abs(mean) < 1e-3 {
+		t.Fatal("inference BN renormalized the batch (used batch stats)")
+	}
+	// And it must be deterministic.
+	y2 := tensor.NewShaped(s)
+	if err := l.Forward(ctx, []*tensor.Tensor{x}, y2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y.Data {
+		if y.Data[i] != y2.Data[i] {
+			t.Fatal("inference BN not deterministic")
+		}
+	}
+}
+
+// The timer also works over the real backend, attributing measured wall
+// time to layers.
+func TestNetTimeRealBackend(t *testing.T) {
+	h := cudnn.NewHandle(device.P100, cudnn.RealBackend)
+	ctx := NewContext(h, h, 1<<20)
+	net, loss := buildTinyNet(ctx, 2)
+	if err := net.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	loss.Labels = []int{0, 1}
+	rep, err := net.Time(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layer("conv1").Forward <= 0 {
+		t.Fatal("real-backend timing missing")
+	}
+}

@@ -1,0 +1,156 @@
+// Package fftpkg implements the fast Fourier transforms used by the
+// FFT-based convolution algorithms: an iterative radix-2 complex FFT and
+// 2-D transforms over row-major matrices. Transform lengths must be powers
+// of two; convolution callers zero-pad to the next supported size, exactly
+// as cuFFT-backed cuDNN algorithms do.
+package fftpkg
+
+import "math"
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n < 1 {
+		panic("fftpkg: NextPow2 of non-positive length")
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of x; len(x) must be a power
+// of two.
+func Forward(x []complex128) { transform(x, false) }
+
+// Inverse computes the in-place inverse DFT of x (including the 1/N
+// normalization); len(x) must be a power of two.
+func Inverse(x []complex128) { transform(x, true) }
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPow2(n) {
+		panic("fftpkg: transform length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Forward2D computes the in-place 2-D forward DFT of a rows x cols
+// row-major matrix; both dimensions must be powers of two.
+func Forward2D(x []complex128, rows, cols int) { transform2D(x, rows, cols, false) }
+
+// Inverse2D computes the in-place 2-D inverse DFT.
+func Inverse2D(x []complex128, rows, cols int) { transform2D(x, rows, cols, true) }
+
+func transform2D(x []complex128, rows, cols int, inverse bool) {
+	if len(x) != rows*cols {
+		panic("fftpkg: 2D transform size mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		transform(x[r*cols:(r+1)*cols], inverse)
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		transform(col, inverse)
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+}
+
+// RealForward2D embeds the real rows x cols matrix src (row stride
+// srcStride) into a zero-padded padRows x padCols complex buffer and
+// returns its 2-D forward DFT. The returned buffer is freshly allocated.
+func RealForward2D(src []float32, rows, cols, srcStride, padRows, padCols int) []complex128 {
+	if rows > padRows || cols > padCols {
+		panic("fftpkg: pad smaller than data")
+	}
+	out := make([]complex128, padRows*padCols)
+	EmbedReal2D(out, src, rows, cols, srcStride, padRows, padCols)
+	Forward2D(out, padRows, padCols)
+	return out
+}
+
+// EmbedReal2D zero-fills dst (padRows x padCols) and copies the real
+// rows x cols matrix src into its top-left corner.
+func EmbedReal2D(dst []complex128, src []float32, rows, cols, srcStride, padRows, padCols int) {
+	if len(dst) != padRows*padCols {
+		panic("fftpkg: EmbedReal2D dst size mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < rows; r++ {
+		row := src[r*srcStride : r*srcStride+cols]
+		for c, v := range row {
+			dst[r*padCols+c] = complex(float64(v), 0)
+		}
+	}
+}
+
+// MulConj computes dst += x * conj(y) elementwise; all slices must have
+// equal length. It is the spectral kernel of correlation (the DL
+// "convolution").
+func MulConj(dst, x, y []complex128) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("fftpkg: MulConj length mismatch")
+	}
+	for i := range dst {
+		yr, yi := real(y[i]), imag(y[i])
+		dst[i] += x[i] * complex(yr, -yi)
+	}
+}
+
+// Mul computes dst += x * y elementwise.
+func Mul(dst, x, y []complex128) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("fftpkg: Mul length mismatch")
+	}
+	for i := range dst {
+		dst[i] += x[i] * y[i]
+	}
+}

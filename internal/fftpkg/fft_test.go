@@ -1,0 +1,278 @@
+package fftpkg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive O(n^2) DFT reference.
+func dft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k*j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxCDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 31: 32, 32: 32, 33: 64, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPow2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NextPow2(0)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, 3, 6, -4} {
+		if IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := randComplex(rng, n)
+		want := dft(x, false)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if d := maxCDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: maxdiff %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randComplex(rng, 32)
+	want := dft(x, true)
+	got := append([]complex128(nil), x...)
+	Inverse(got)
+	if d := maxCDiff(got, want); d > 1e-9 {
+		t.Fatalf("maxdiff %g", d)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64, lg uint8) bool {
+		n := 1 << (lg % 8)
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		Forward(y)
+		Inverse(y)
+		return maxCDiff(x, y) < 1e-10*float64(n+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randComplex(rng, 128)
+	var e1 float64
+	for _, v := range x {
+		e1 += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Forward(x)
+	var e2 float64
+	for _, v := range x {
+		e2 += real(v)*real(v) + imag(v)*imag(v)
+	}
+	e2 /= 128
+	if math.Abs(e1-e2) > 1e-9*e1 {
+		t.Fatalf("Parseval: %g vs %g", e1, e2)
+	}
+}
+
+// Linearity: FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	x := randComplex(rng, n)
+	y := randComplex(rng, n)
+	a := complex(1.5, -0.5)
+	lhs := make([]complex128, n)
+	for i := range lhs {
+		lhs[i] = a*x[i] + y[i]
+	}
+	Forward(lhs)
+	Forward(x)
+	Forward(y)
+	for i := range x {
+		x[i] = a*x[i] + y[i]
+	}
+	if d := maxCDiff(lhs, x); d > 1e-9 {
+		t.Fatalf("linearity: maxdiff %g", d)
+	}
+}
+
+func TestPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Forward(make([]complex128, 3))
+}
+
+func TestForward2DMatchesSeparableDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows, cols := 4, 8
+	x := randComplex(rng, rows*cols)
+	want := append([]complex128(nil), x...)
+	// Reference: DFT rows then columns.
+	for r := 0; r < rows; r++ {
+		copy(want[r*cols:(r+1)*cols], dft(want[r*cols:(r+1)*cols], false))
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = want[r*cols+c]
+		}
+		col2 := dft(col, false)
+		for r := 0; r < rows; r++ {
+			want[r*cols+c] = col2[r]
+		}
+	}
+	Forward2D(x, rows, cols)
+	if d := maxCDiff(x, want); d > 1e-9 {
+		t.Fatalf("2D: maxdiff %g", d)
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows, cols := 8, 16
+	x := randComplex(rng, rows*cols)
+	y := append([]complex128(nil), x...)
+	Forward2D(y, rows, cols)
+	Inverse2D(y, rows, cols)
+	if d := maxCDiff(x, y); d > 1e-9 {
+		t.Fatalf("2D roundtrip: maxdiff %g", d)
+	}
+}
+
+func TestEmbedReal2D(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5, 6} // 2x3, stride 3
+	dst := make([]complex128, 4*4)
+	for i := range dst {
+		dst[i] = complex(9, 9) // must be cleared
+	}
+	EmbedReal2D(dst, src, 2, 3, 3, 4, 4)
+	if dst[0] != complex(1, 0) || dst[2] != complex(3, 0) || dst[4] != complex(4, 0) {
+		t.Fatalf("embed values wrong: %v", dst[:8])
+	}
+	if dst[3] != 0 || dst[15] != 0 {
+		t.Fatal("padding not zeroed")
+	}
+}
+
+// Spectral correlation equals direct correlation: the core identity the
+// FFT convolution algorithm relies on.
+func TestSpectralCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h, w := 5, 6
+	r, s := 3, 3
+	x := make([]float32, h*w)
+	k := make([]float32, r*s)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	for i := range k {
+		k[i] = rng.Float32()*2 - 1
+	}
+	oh, ow := h-r+1, w-s+1
+	// Direct valid correlation.
+	want := make([]float64, oh*ow)
+	for u := 0; u < oh; u++ {
+		for v := 0; v < ow; v++ {
+			var acc float64
+			for a := 0; a < r; a++ {
+				for b := 0; b < s; b++ {
+					acc += float64(x[(u+a)*w+v+b]) * float64(k[a*s+b])
+				}
+			}
+			want[u*ow+v] = acc
+		}
+	}
+	ph, pw := NextPow2(h), NextPow2(w)
+	X := RealForward2D(x, h, w, w, ph, pw)
+	K := RealForward2D(k, r, s, s, ph, pw)
+	prod := make([]complex128, ph*pw)
+	MulConj(prod, X, K)
+	Inverse2D(prod, ph, pw)
+	for u := 0; u < oh; u++ {
+		for v := 0; v < ow; v++ {
+			got := real(prod[u*pw+v])
+			if math.Abs(got-want[u*ow+v]) > 1e-5 {
+				t.Fatalf("corr[%d,%d] = %g, want %g", u, v, got, want[u*ow+v])
+			}
+		}
+	}
+}
+
+func TestMulAccumulates(t *testing.T) {
+	dst := []complex128{1}
+	Mul(dst, []complex128{2}, []complex128{complex(0, 3)})
+	if dst[0] != complex(1, 6) {
+		t.Fatalf("Mul = %v", dst[0])
+	}
+	dst2 := []complex128{complex(0, 0)}
+	MulConj(dst2, []complex128{complex(0, 1)}, []complex128{complex(0, 1)})
+	if dst2[0] != complex(1, 0) {
+		t.Fatalf("MulConj = %v, want (1+0i)", dst2[0])
+	}
+}

@@ -1,0 +1,317 @@
+// Package ilp implements an exact 0-1 integer linear program solver via
+// best-first branch & bound over LP relaxations (internal/lp). It stands
+// in for GLPK in the paper's Workspace Division optimizer, whose problem
+// (Eq. 1-4) is a multiple-choice knapsack: pick exactly one configuration
+// per kernel, minimize total time, subject to a total workspace budget.
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"ucudnn/internal/lp"
+)
+
+// Problem is a linear program in which the variables marked Binary must
+// take values in {0, 1}; the rest are continuous and nonnegative.
+type Problem struct {
+	LP     lp.Problem
+	Binary []bool
+}
+
+// Result reports the ILP outcome.
+type Result struct {
+	Status lp.Status
+	X      []float64
+	Obj    float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// maxNodes bounds the search; the paper's instances need only hundreds.
+const maxNodes = 500000
+
+type node struct {
+	bound float64
+	// fixed maps variable index -> 0/1 for decisions made on the path.
+	fixed map[int]float64
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	if len(p.Binary) != len(p.LP.C) {
+		return fmt.Errorf("ilp: Binary has %d entries, want %d", len(p.Binary), len(p.LP.C))
+	}
+	return nil
+}
+
+// impliedBounded reports, per variable, whether some constraint row
+// already implies x_j <= 1: an EQ or LE row with b <= 1, all coefficients
+// nonnegative, and coefficient >= 1 on x_j (e.g. a multiple-choice group
+// row sum(x) = 1). Such variables need no explicit upper-bound row in the
+// relaxation, which keeps the WD instances small.
+func (p *Problem) impliedBounded() []bool {
+	n := len(p.LP.C)
+	bounded := make([]bool, n)
+	for i, row := range p.LP.A {
+		if p.LP.B[i] > 1+intTol || p.LP.Rel[i] == lp.GE {
+			continue
+		}
+		ok := true
+		for _, v := range row {
+			if v < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j, v := range row {
+			if v >= 1-intTol {
+				bounded[j] = true
+			}
+		}
+	}
+	return bounded
+}
+
+// relax builds the LP relaxation of p under the node's fixings. Fixed
+// variables are substituted out (shrinking the LP), and explicit x <= 1
+// rows are added only for binary variables whose bound is not already
+// implied by a constraint. freeIdx maps relaxation variables back to
+// original indices.
+func (p *Problem) relax(fixed map[int]float64, bounded []bool) (q *lp.Problem, freeIdx []int) {
+	n := len(p.LP.C)
+	for j := 0; j < n; j++ {
+		if _, ok := fixed[j]; !ok {
+			freeIdx = append(freeIdx, j)
+		}
+	}
+	nf := len(freeIdx)
+	q = &lp.Problem{C: make([]float64, nf)}
+	for fj, j := range freeIdx {
+		q.C[fj] = p.LP.C[j]
+	}
+	for i, row := range p.LP.A {
+		b := p.LP.B[i]
+		newRow := make([]float64, nf)
+		for fj, j := range freeIdx {
+			newRow[fj] = row[j]
+		}
+		for j, v := range fixed {
+			b -= row[j] * v
+		}
+		q.A = append(q.A, newRow)
+		q.B = append(q.B, b)
+		q.Rel = append(q.Rel, p.LP.Rel[i])
+	}
+	for fj, j := range freeIdx {
+		if !p.Binary[j] || bounded[j] {
+			continue
+		}
+		row := make([]float64, nf)
+		row[fj] = 1
+		q.A = append(q.A, row)
+		q.B = append(q.B, 1)
+		q.Rel = append(q.Rel, lp.LE)
+	}
+	return q, freeIdx
+}
+
+// Solve finds an optimal 0-1 assignment (binary variables) by best-first
+// branch & bound. Continuous variables are optimized by the relaxations.
+func Solve(p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	bounded := p.impliedBounded()
+	n := len(p.LP.C)
+	best := Result{Status: lp.Infeasible, Obj: math.Inf(1)}
+	q := &nodeQueue{}
+	heap.Init(q)
+	heap.Push(q, &node{bound: math.Inf(-1), fixed: map[int]float64{}})
+	nodes := 0
+	for q.Len() > 0 {
+		nodes++
+		if nodes > maxNodes {
+			return Result{}, fmt.Errorf("ilp: node limit exceeded (%d)", maxNodes)
+		}
+		nd := heap.Pop(q).(*node)
+		if nd.bound >= best.Obj-intTol {
+			continue // cannot improve the incumbent
+		}
+		relProb, freeIdx := p.relax(nd.fixed, bounded)
+		if len(freeIdx) == 0 {
+			// Fully fixed: evaluate the assignment directly.
+			x := make([]float64, n)
+			obj := 0.0
+			for j, v := range nd.fixed {
+				x[j] = v
+				obj += p.LP.C[j] * v
+			}
+			if feasiblePoint(&p.LP, x) && obj < best.Obj {
+				best = Result{Status: lp.Optimal, X: x, Obj: obj}
+			}
+			continue
+		}
+		rel, err := lp.Solve(relProb)
+		if err != nil {
+			return Result{}, err
+		}
+		switch rel.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return Result{Status: lp.Unbounded}, nil
+		}
+		// Lift the relaxation solution back to original indices.
+		fullX := make([]float64, n)
+		for j, v := range nd.fixed {
+			fullX[j] = v
+		}
+		fixedCost := 0.0
+		for j, v := range nd.fixed {
+			fixedCost += p.LP.C[j] * v
+		}
+		objFull := rel.Obj + fixedCost
+		for fj, j := range freeIdx {
+			fullX[j] = rel.X[fj]
+		}
+		if objFull >= best.Obj-intTol {
+			continue
+		}
+		// Find the most fractional binary variable.
+		branch := -1
+		worst := intTol
+		for j, isBin := range p.Binary {
+			if !isBin {
+				continue
+			}
+			f := math.Abs(fullX[j] - math.Round(fullX[j]))
+			if f > worst {
+				worst = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := append([]float64{}, fullX...)
+			for j, isBin := range p.Binary {
+				if isBin {
+					x[j] = math.Round(x[j])
+				}
+			}
+			best = Result{Status: lp.Optimal, X: x, Obj: objFull}
+			continue
+		}
+		for _, v := range []float64{1, 0} {
+			child := &node{bound: objFull, fixed: make(map[int]float64, len(nd.fixed)+1)}
+			for k, fv := range nd.fixed {
+				child.fixed[k] = fv
+			}
+			child.fixed[branch] = v
+			heap.Push(q, child)
+		}
+	}
+	best.Nodes = nodes
+	return best, nil
+}
+
+// feasiblePoint reports whether x satisfies every constraint of q.
+func feasiblePoint(q *lp.Problem, x []float64) bool {
+	for i, row := range q.A {
+		dot := 0.0
+		for j := range row {
+			dot += row[j] * x[j]
+		}
+		switch q.Rel[i] {
+		case lp.LE:
+			if dot > q.B[i]+intTol {
+				return false
+			}
+		case lp.GE:
+			if dot < q.B[i]-intTol {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(dot-q.B[i]) > intTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SolveExhaustive enumerates every 0-1 assignment of the binary variables
+// (others must not exist) and returns the best feasible one. It is the
+// test oracle for Solve; exponential, so only for small instances.
+func SolveExhaustive(p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.LP.C)
+	for j := 0; j < n; j++ {
+		if !p.Binary[j] {
+			return Result{}, fmt.Errorf("ilp: exhaustive solver requires all-binary problems")
+		}
+	}
+	if n > 24 {
+		return Result{}, fmt.Errorf("ilp: exhaustive solver limited to 24 variables, got %d", n)
+	}
+	best := Result{Status: lp.Infeasible, Obj: math.Inf(1)}
+	x := make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				x[j] = 1
+				obj += p.LP.C[j]
+			} else {
+				x[j] = 0
+			}
+		}
+		feasible := true
+		for i, row := range p.LP.A {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * x[j]
+			}
+			switch p.LP.Rel[i] {
+			case lp.LE:
+				feasible = dot <= p.LP.B[i]+intTol
+			case lp.GE:
+				feasible = dot >= p.LP.B[i]-intTol
+			case lp.EQ:
+				feasible = math.Abs(dot-p.LP.B[i]) <= intTol
+			}
+			if !feasible {
+				break
+			}
+		}
+		if feasible && obj < best.Obj {
+			best = Result{Status: lp.Optimal, X: append([]float64{}, x...), Obj: obj}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,318 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ucudnn/internal/lp"
+)
+
+// knapsack builds a 0-1 knapsack as maximize value -> minimize -value.
+func knapsack(values, weights []float64, cap float64) *Problem {
+	n := len(values)
+	c := make([]float64, n)
+	for i, v := range values {
+		c[i] = -v
+	}
+	bin := make([]bool, n)
+	for i := range bin {
+		bin[i] = true
+	}
+	return &Problem{
+		LP: lp.Problem{
+			C:   c,
+			A:   [][]float64{weights},
+			B:   []float64{cap},
+			Rel: []lp.Relation{lp.LE},
+		},
+		Binary: bin,
+	}
+}
+
+func TestKnapsackKnown(t *testing.T) {
+	// Classic: values 60,100,120 weights 10,20,30 cap 50 -> 220 (items 2,3).
+	p := knapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != lp.Optimal || math.Abs(r.Obj-(-220)) > 1e-6 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+	if r.X[0] != 0 || r.X[1] != 1 || r.X[2] != 1 {
+		t.Fatalf("x = %v", r.X)
+	}
+}
+
+// mckp builds a multiple-choice knapsack (the WD structure): groups of
+// configurations, pick exactly one per group, minimize time, total
+// workspace <= budget.
+func mckp(times, ws [][]float64, budget float64) *Problem {
+	var c []float64
+	var wrow []float64
+	var groups [][]int
+	idx := 0
+	for g := range times {
+		var ids []int
+		for j := range times[g] {
+			c = append(c, times[g][j])
+			wrow = append(wrow, ws[g][j])
+			ids = append(ids, idx)
+			idx++
+		}
+		groups = append(groups, ids)
+	}
+	n := len(c)
+	p := &Problem{
+		LP: lp.Problem{
+			C:   c,
+			A:   [][]float64{wrow},
+			B:   []float64{budget},
+			Rel: []lp.Relation{lp.LE},
+		},
+		Binary: make([]bool, n),
+	}
+	for i := range p.Binary {
+		p.Binary[i] = true
+	}
+	for _, ids := range groups {
+		row := make([]float64, n)
+		for _, id := range ids {
+			row[id] = 1
+		}
+		p.LP.A = append(p.LP.A, row)
+		p.LP.B = append(p.LP.B, 1)
+		p.LP.Rel = append(p.LP.Rel, lp.EQ)
+	}
+	return p
+}
+
+func TestMCKPKnown(t *testing.T) {
+	// Two kernels; budget forces the slow config on one of them. Optimal:
+	// give the budget to the kernel that benefits more.
+	times := [][]float64{{10, 4}, {8, 5}}
+	ws := [][]float64{{0, 6}, {0, 6}}
+	p := mckp(times, ws, 6)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Option A: kernel0 fast (4) + kernel1 slow (8) = 12.
+	// Option B: kernel0 slow (10) + kernel1 fast (5) = 15. A wins.
+	if r.Status != lp.Optimal || math.Abs(r.Obj-12) > 1e-6 {
+		t.Fatalf("obj = %v, want 12 (x=%v)", r.Obj, r.X)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	// One group whose only option exceeds the budget.
+	p := mckp([][]float64{{5}}, [][]float64{{10}}, 3)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != lp.Infeasible {
+		t.Fatalf("status %v, want infeasible", r.Status)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := knapsack([]float64{1}, []float64{1}, 1)
+	p.Binary = nil
+	if _, err := Solve(p); err == nil {
+		t.Fatal("binary length mismatch must error")
+	}
+}
+
+func TestExhaustiveRejects(t *testing.T) {
+	p := knapsack(make([]float64, 25), make([]float64, 25), 1)
+	if _, err := SolveExhaustive(p); err == nil {
+		t.Fatal("exhaustive must reject >24 vars")
+	}
+	q := knapsack([]float64{1, 2}, []float64{1, 1}, 2)
+	q.Binary[1] = false
+	if _, err := SolveExhaustive(q); err == nil {
+		t.Fatal("exhaustive must reject continuous vars")
+	}
+}
+
+// Property: branch & bound matches exhaustive enumeration on random
+// multiple-choice knapsacks.
+func TestBnBMatchesExhaustiveMCKP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := 2 + rng.Intn(3)
+		times := make([][]float64, groups)
+		ws := make([][]float64, groups)
+		for g := range times {
+			opts := 2 + rng.Intn(3)
+			for o := 0; o < opts; o++ {
+				times[g] = append(times[g], 1+rng.Float64()*9)
+				ws[g] = append(ws[g], float64(rng.Intn(8)))
+			}
+		}
+		budget := float64(rng.Intn(12))
+		p := mckp(times, ws, budget)
+		if len(p.LP.C) > 24 {
+			return true
+		}
+		got, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		want, err := SolveExhaustive(p)
+		if err != nil {
+			return false
+		}
+		if got.Status != want.Status {
+			return false
+		}
+		if got.Status == lp.Optimal && math.Abs(got.Obj-want.Obj) > 1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: branch & bound matches exhaustive enumeration on random
+// knapsacks with GE and LE rows mixed.
+func TestBnBMatchesExhaustiveGeneral(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		m := 1 + rng.Intn(3)
+		p := &Problem{LP: lp.Problem{C: make([]float64, n)}, Binary: make([]bool, n)}
+		for j := range p.LP.C {
+			p.LP.C[j] = rng.Float64()*10 - 5
+			p.Binary[j] = true
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(5))
+			}
+			rel := lp.LE
+			b := float64(rng.Intn(10))
+			if rng.Intn(3) == 0 {
+				rel = lp.GE
+				b = float64(rng.Intn(4))
+			}
+			p.LP.A = append(p.LP.A, row)
+			p.LP.B = append(p.LP.B, b)
+			p.LP.Rel = append(p.LP.Rel, rel)
+		}
+		got, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		want, err := SolveExhaustive(p)
+		if err != nil {
+			return false
+		}
+		if got.Status != want.Status {
+			return false
+		}
+		return got.Status != lp.Optimal || math.Abs(got.Obj-want.Obj) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A WD-sized instance (hundreds of variables) must solve quickly and
+// respect its constraints: the paper reports 562 variables in 5.46 ms.
+func TestWDScaleInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kernels := 48 // ~ResNet-50's unique kernel count
+	var times, ws [][]float64
+	for k := 0; k < kernels; k++ {
+		opts := 8 + rng.Intn(5) // ~560 vars total
+		var ts, wss []float64
+		base := 1 + rng.Float64()*10
+		for o := 0; o < opts; o++ {
+			// Pareto-like: more workspace, less time.
+			w := float64(o) * (1 + rng.Float64()) * 10
+			ts = append(ts, base/(1+0.2*float64(o)))
+			wss = append(wss, w)
+		}
+		times = append(times, ts)
+		ws = append(ws, wss)
+	}
+	p := mckp(times, ws, 800)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != lp.Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	// Verify: one per group, budget respected.
+	total := 0.0
+	for j, v := range r.X {
+		if v != 0 && v != 1 {
+			t.Fatalf("x[%d] = %v not integral", j, v)
+		}
+		total += p.LP.A[0][j] * v
+	}
+	if total > 800+1e-6 {
+		t.Fatalf("budget violated: %v", total)
+	}
+	for g := 1; g < len(p.LP.A); g++ {
+		sum := 0.0
+		for j, coef := range p.LP.A[g] {
+			sum += coef * r.X[j]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("group %d sum %v != 1", g, sum)
+		}
+	}
+	t.Logf("WD-scale: %d vars, %d nodes", len(p.LP.C), r.Nodes)
+}
+
+func TestFeasiblePointDirect(t *testing.T) {
+	q := &lp.Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		B:   []float64{2, 1, 1},
+		Rel: []lp.Relation{lp.LE, lp.GE, lp.EQ},
+	}
+	if !feasiblePoint(q, []float64{1, 1}) {
+		t.Fatal("feasible point rejected")
+	}
+	if feasiblePoint(q, []float64{2, 1}) {
+		t.Fatal("LE violation accepted")
+	}
+	if feasiblePoint(q, []float64{0.5, 1}) {
+		t.Fatal("GE violation accepted")
+	}
+	if feasiblePoint(q, []float64{1, 0.5}) {
+		t.Fatal("EQ violation accepted")
+	}
+}
+
+// A problem where branching fixes every variable exercises the fully-
+// fixed node path.
+func TestFullyFixedNodePath(t *testing.T) {
+	// Maximize x+y with x+y <= 1 and binary vars: optimum picks one.
+	p := &Problem{
+		LP: lp.Problem{
+			C:   []float64{-1, -1},
+			A:   [][]float64{{1, 1}},
+			B:   []float64{1},
+			Rel: []lp.Relation{lp.LE},
+		},
+		Binary: []bool{true, true},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != lp.Optimal || r.Obj != -1 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+}

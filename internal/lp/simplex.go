@@ -1,0 +1,332 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    cᵀx
+//	subject to  Aᵢx (<=|=|>=) bᵢ,   x >= 0.
+//
+// It is the LP engine underneath the 0-1 ILP solver (internal/ilp) that
+// replaces GLPK in the paper's Workspace Division optimizer. Bland's rule
+// guarantees termination; the implementation favours clarity and
+// robustness over speed, which is ample for the paper's problem sizes
+// (hundreds of variables, tens of constraints).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+const (
+	// LE is Aᵢx <= bᵢ.
+	LE Relation = iota
+	// GE is Aᵢx >= bᵢ.
+	GE
+	// EQ is Aᵢx = bᵢ.
+	EQ
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a linear program over n nonnegative variables.
+type Problem struct {
+	C   []float64   // length n: objective (minimized)
+	A   [][]float64 // m rows, each length n
+	B   []float64   // length m
+	Rel []Relation  // length m
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return fmt.Errorf("lp: inconsistent constraint counts: A=%d B=%d Rel=%d", len(p.A), len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve runs the two-phase simplex method.
+func Solve(p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Build the tableau: columns are [x (n)] [slack/surplus (m, some unused)]
+	// [artificial (m, some unused)] [rhs].
+	nSlack, nArt := 0, 0
+	slackCol := make([]int, m)
+	artCol := make([]int, m)
+	for i := range p.A {
+		switch p.Rel[i] {
+		case LE, GE:
+			slackCol[i] = nSlack
+			nSlack++
+		}
+		b := p.B[i]
+		rel := p.Rel[i]
+		if b < 0 {
+			// Row will be negated; LE becomes GE and vice versa.
+			if rel == LE {
+				rel = GE
+			} else if rel == GE {
+				rel = LE
+			}
+		}
+		// After sign normalization a GE or EQ row needs an artificial; a LE
+		// row's slack can start basic.
+		if rel != LE {
+			artCol[i] = nArt
+			nArt++
+		} else {
+			artCol[i] = -1
+		}
+	}
+	cols := n + nSlack + nArt + 1
+	rhs := cols - 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols)
+		sign := 1.0
+		b := p.B[i]
+		rel := p.Rel[i]
+		if b < 0 {
+			sign = -1
+			b = -b
+			if rel == LE {
+				rel = GE
+			} else if rel == GE {
+				rel = LE
+			}
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * p.A[i][j]
+		}
+		switch p.Rel[i] {
+		case LE:
+			t[i][n+slackCol[i]] = sign * 1
+		case GE:
+			t[i][n+slackCol[i]] = sign * -1
+		}
+		t[i][rhs] = b
+		if rel == LE {
+			// The (positive) slack is basic.
+			basis[i] = n + slackCol[i]
+		} else {
+			t[i][n+nSlack+artCol[i]] = 1
+			basis[i] = n + nSlack + artCol[i]
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, cols)
+		for j := n + nSlack; j < n+nSlack+nArt; j++ {
+			obj[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				// Reduced cost row: subtract basic artificial rows.
+				for j := 0; j < cols; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		// Artificials start basic and may only leave: entering columns are
+		// limited to structural and slack variables.
+		if st := iterate(t, basis, obj, n+nSlack); st == Unbounded {
+			// Phase 1 objective is bounded below by 0; cannot happen.
+			return Result{}, fmt.Errorf("lp: internal error: phase 1 unbounded")
+		}
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				sum += t[i][rhs]
+			}
+		}
+		if sum > 1e-7 {
+			return Result{Status: Infeasible}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; the artificial stays at zero. Harmless.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		obj[j] = p.C[j]
+	}
+	// Express the objective in terms of the current basis.
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		cb := 0.0
+		if bj < n {
+			cb = p.C[bj]
+		}
+		if cb != 0 {
+			for j := 0; j < cols; j++ {
+				obj[j] -= cb * t[i][j]
+			}
+		}
+	}
+	// Forbid artificial columns from re-entering.
+	if st := iterate(t, basis, obj, n+nSlack); st == Unbounded {
+		return Result{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][rhs]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.C[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Obj: objVal}, nil
+}
+
+// blandAfter is the pivot count after which iterate abandons Dantzig
+// pricing for Bland's rule, guaranteeing termination on degenerate cycles.
+const blandAfter = 2000
+
+// iterate runs primal simplex pivots on tableau t with the given reduced-
+// cost row, allowing entering columns < limit. Pricing is Dantzig (most
+// negative reduced cost) for speed, falling back to Bland's rule
+// (lowest-index) after blandAfter pivots to guarantee termination.
+func iterate(t [][]float64, basis []int, obj []float64, limit int) Status {
+	m := len(t)
+	if m == 0 {
+		return Optimal
+	}
+	cols := len(t[0])
+	rhs := cols - 1
+	for iter := 0; ; iter++ {
+		enter := -1
+		if iter < blandAfter {
+			most := -eps
+			for j := 0; j < limit; j++ {
+				if obj[j] < most {
+					most = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][rhs] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update the reduced-cost row.
+		f := obj[enter]
+		if f != 0 {
+			for j := 0; j < cols; j++ {
+				obj[j] -= f * t[leave][j]
+			}
+		}
+	}
+}
+
+// pivot makes column j basic in row i.
+func pivot(t [][]float64, basis []int, i, j int) {
+	cols := len(t[0])
+	pv := t[i][j]
+	for k := 0; k < cols; k++ {
+		t[i][k] /= pv
+	}
+	t[i][j] = 1 // exact
+	for r := range t {
+		if r == i {
+			continue
+		}
+		f := t[r][j]
+		if f == 0 {
+			continue
+		}
+		for k := 0; k < cols; k++ {
+			t[r][k] -= f * t[i][k]
+		}
+		t[r][j] = 0 // exact
+	}
+	basis[i] = j
+}

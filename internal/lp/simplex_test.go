@@ -1,0 +1,237 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Result {
+	t.Helper()
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestKnownOptimum(t *testing.T) {
+	// minimize -x - 2y s.t. x + y <= 4, x <= 2, y <= 3  -> x=1? Check:
+	// best is y=3, x=1 -> obj = -7.
+	p := &Problem{
+		C:   []float64{-1, -2},
+		A:   [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		B:   []float64{4, 2, 3},
+		Rel: []Relation{LE, LE, LE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	if math.Abs(r.Obj-(-7)) > 1e-9 {
+		t.Fatalf("obj = %v, want -7", r.Obj)
+	}
+	if math.Abs(r.X[0]-1) > 1e-9 || math.Abs(r.X[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", r.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// minimize x + y s.t. x + y = 2, x - y = 0 -> x=y=1, obj 2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, -1}},
+		B:   []float64{2, 0},
+		Rel: []Relation{EQ, EQ},
+	}
+	r := solveOK(t, p)
+	if r.Status != Optimal || math.Abs(r.Obj-2) > 1e-9 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+	if math.Abs(r.X[0]-1) > 1e-9 || math.Abs(r.X[1]-1) > 1e-9 {
+		t.Fatalf("x = %v", r.X)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 4, x >= 1 -> x=4? obj: put everything
+	// into x: x=4, y=0 -> 8. (2 < 3 per unit).
+	p := &Problem{
+		C:   []float64{2, 3},
+		A:   [][]float64{{1, 1}, {1, 0}},
+		B:   []float64{4, 1},
+		Rel: []Relation{GE, GE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Optimal || math.Abs(r.Obj-8) > 1e-9 {
+		t.Fatalf("status %v obj %v x %v", r.Status, r.Obj, r.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		B:   []float64{1, 3},
+		Rel: []Relation{LE, GE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{-1}},
+		B:   []float64{1},
+		Rel: []Relation{LE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", r.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x >= 2 written as -x <= -2; minimize x -> 2.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{-2},
+		Rel: []Relation{LE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Optimal || math.Abs(r.Obj-2) > 1e-9 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Degenerate vertex at origin; Bland's rule must terminate.
+	p := &Problem{
+		C:   []float64{-1, -1, -1},
+		A:   [][]float64{{1, 1, 0}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1}},
+		B:   []float64{1, 1, 1, 1.5},
+		Rel: []Relation{LE, LE, LE, LE},
+	}
+	r := solveOK(t, p)
+	if r.Status != Optimal || math.Abs(r.Obj-(-1.5)) > 1e-9 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("empty problem must error")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Rel: []Relation{LE}}); err == nil {
+		t.Fatal("ragged row must error")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Rel: []Relation{LE}}); err == nil {
+		t.Fatal("mismatched B must error")
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	// minimize x with x >= 0 -> 0.
+	p := &Problem{C: []float64{1, 2}}
+	r := solveOK(t, p)
+	if r.Status != Optimal || r.Obj != 0 {
+		t.Fatalf("status %v obj %v", r.Status, r.Obj)
+	}
+}
+
+// Property: the returned solution is feasible and no random feasible point
+// beats it.
+func TestQuickOptimalityOnRandomLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() // nonnegative rows with positive rhs keep it bounded-feasible
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, 1+rng.Float64()*3)
+			p.Rel = append(p.Rel, LE)
+		}
+		// Ensure boundedness: add sum(x) <= 10.
+		all := make([]float64, n)
+		for j := range all {
+			all[j] = 1
+		}
+		p.A = append(p.A, all)
+		p.B = append(p.B, 10)
+		p.Rel = append(p.Rel, LE)
+
+		r, err := Solve(p)
+		if err != nil || r.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for i, row := range p.A {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * r.X[j]
+			}
+			if dot > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		for _, v := range r.X {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		// No sampled feasible point beats the optimum.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 3
+			}
+			ok := true
+			for i, row := range p.A {
+				dot := 0.0
+				for j := range row {
+					dot += row[j] * x[j]
+				}
+				if dot > p.B[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj < r.Obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status string")
+	}
+}

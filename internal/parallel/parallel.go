@@ -1,0 +1,88 @@
+// Package parallel models synchronous data-parallel training across
+// several identical GPUs with ring all-reduce gradient communication.
+//
+// The paper's introduction motivates µ-cuDNN with exactly this setting:
+// data-parallel frameworks favour large per-accelerator batches because
+// they improve utilization and hide gradient communication behind
+// computation — which is why the per-GPU workspace pressure µ-cuDNN
+// relieves matters at cluster scale. This package quantifies that link:
+// per-GPU iteration times (from the dnn timer) compose with a standard
+// ring-all-reduce cost model into cluster throughput.
+package parallel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster describes a homogeneous multi-GPU configuration.
+type Cluster struct {
+	// GPUs is the number of workers.
+	GPUs int
+	// LinkBW is the per-link bandwidth in bytes/s (e.g. NVLink ~25 GB/s
+	// per direction on P100-SXM2 systems).
+	LinkBW float64
+	// LinkLatency is the per-hop message latency.
+	LinkLatency time.Duration
+}
+
+// Validate checks the configuration.
+func (c Cluster) Validate() error {
+	if c.GPUs < 1 {
+		return fmt.Errorf("parallel: need at least one GPU, got %d", c.GPUs)
+	}
+	if c.GPUs > 1 && c.LinkBW <= 0 {
+		return fmt.Errorf("parallel: multi-GPU cluster needs positive link bandwidth")
+	}
+	return nil
+}
+
+// AllReduceTime models a bandwidth-optimal ring all-reduce of the given
+// gradient bytes: each worker sends 2*(p-1)/p of the data across 2*(p-1)
+// latency-bound steps.
+func (c Cluster) AllReduceTime(bytes int64) time.Duration {
+	if c.GPUs <= 1 || bytes <= 0 {
+		return 0
+	}
+	p := float64(c.GPUs)
+	transfer := 2 * (p - 1) / p * float64(bytes) / c.LinkBW
+	steps := time.Duration(2*(c.GPUs-1)) * c.LinkLatency
+	return time.Duration(transfer*float64(time.Second)) + steps
+}
+
+// IterationTime composes one synchronous data-parallel iteration from the
+// per-GPU forward and backward times and the gradient volume. With
+// overlap, communication hides behind the backward pass (gradients of
+// layer L are ready before layer L-1's backward finishes), so the
+// backward phase costs max(backward, allreduce); without overlap the
+// phases serialize.
+func (c Cluster) IterationTime(fwd, bwd time.Duration, gradBytes int64, overlap bool) time.Duration {
+	ar := c.AllReduceTime(gradBytes)
+	if overlap {
+		if ar > bwd {
+			return fwd + ar
+		}
+		return fwd + bwd
+	}
+	return fwd + bwd + ar
+}
+
+// Throughput converts a per-iteration time and per-GPU batch into global
+// samples/second.
+func (c Cluster) Throughput(perGPUBatch int, iter time.Duration) float64 {
+	if iter <= 0 {
+		return 0
+	}
+	return float64(c.GPUs*perGPUBatch) / iter.Seconds()
+}
+
+// Efficiency is the weak-scaling efficiency relative to one GPU running
+// the same per-GPU batch with no communication.
+func (c Cluster) Efficiency(fwd, bwd time.Duration, gradBytes int64, overlap bool) float64 {
+	single := fwd + bwd
+	iter := c.IterationTime(fwd, bwd, gradBytes, overlap)
+	if iter <= 0 {
+		return 0
+	}
+	return single.Seconds() / iter.Seconds()
+}

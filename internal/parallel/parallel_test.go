@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func cl(gpus int) Cluster {
+	return Cluster{GPUs: gpus, LinkBW: 25e9, LinkLatency: 2 * time.Microsecond}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cl(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Cluster{GPUs: 0}).Validate(); err == nil {
+		t.Fatal("zero GPUs must fail")
+	}
+	if err := (Cluster{GPUs: 2}).Validate(); err == nil {
+		t.Fatal("multi-GPU without bandwidth must fail")
+	}
+	if err := (Cluster{GPUs: 1}).Validate(); err != nil {
+		t.Fatal("single GPU needs no link")
+	}
+}
+
+func TestAllReduceProperties(t *testing.T) {
+	// Single GPU or empty gradient: free.
+	if cl(1).AllReduceTime(1<<30) != 0 || cl(4).AllReduceTime(0) != 0 {
+		t.Fatal("degenerate all-reduce must be zero")
+	}
+	// Time grows with gradient size.
+	if cl(4).AllReduceTime(1<<30) <= cl(4).AllReduceTime(1<<20) {
+		t.Fatal("all-reduce not monotone in bytes")
+	}
+	// The transfer term approaches 2*bytes/BW as p grows: p=8 moves more
+	// total data than p=2.
+	if cl(8).AllReduceTime(1<<30) <= cl(2).AllReduceTime(1<<30) {
+		t.Fatal("ring cost should grow with worker count")
+	}
+	// But stays below the naive bound 2*bytes/BW + latency.
+	bytes := int64(1 << 30)
+	bound := time.Duration(2*float64(bytes)/25e9*float64(time.Second)) + 64*time.Microsecond
+	if got := cl(16).AllReduceTime(bytes); got > bound {
+		t.Fatalf("ring cost %v exceeds naive bound %v", got, bound)
+	}
+}
+
+func TestIterationTimeOverlap(t *testing.T) {
+	c := cl(4)
+	fwd, bwd := 10*time.Millisecond, 20*time.Millisecond
+	grad := int64(244 << 20) // ~61M params
+	ar := c.AllReduceTime(grad)
+	serial := c.IterationTime(fwd, bwd, grad, false)
+	overlapped := c.IterationTime(fwd, bwd, grad, true)
+	if serial != fwd+bwd+ar {
+		t.Fatalf("serial = %v, want %v", serial, fwd+bwd+ar)
+	}
+	if overlapped >= serial {
+		t.Fatal("overlap must help when both phases are nonzero")
+	}
+	// When communication dominates, overlap is bounded by it.
+	slow := Cluster{GPUs: 4, LinkBW: 1e9}
+	if got := slow.IterationTime(fwd, bwd, grad, true); got != fwd+slow.AllReduceTime(grad) {
+		t.Fatalf("comm-bound overlap = %v", got)
+	}
+}
+
+func TestThroughputAndEfficiency(t *testing.T) {
+	c := cl(4)
+	iter := 100 * time.Millisecond
+	if got := c.Throughput(256, iter); got != float64(4*256)/0.1 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if c.Throughput(256, 0) != 0 {
+		t.Fatal("zero iter time")
+	}
+	// Efficiency is 1 on a single GPU and <= 1 otherwise.
+	if e := cl(1).Efficiency(time.Millisecond, time.Millisecond, 1<<30, true); e != 1 {
+		t.Fatalf("single-GPU efficiency = %v", e)
+	}
+	f := func(gpus8 uint8, mb uint8) bool {
+		g := int(gpus8%8) + 1
+		grad := int64(mb)<<20 + 1
+		e := cl(g).Efficiency(5*time.Millisecond, 10*time.Millisecond, grad, true)
+		return e > 0 && e <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Faster per-GPU iterations (µ-cuDNN's contribution) translate into
+// higher cluster throughput at every scale — the paper's motivating
+// chain of reasoning.
+func TestPerGPUSpeedupCarriesToCluster(t *testing.T) {
+	grad := int64(244 << 20)
+	for _, g := range []int{1, 2, 4, 8} {
+		c := cl(g)
+		base := c.IterationTime(60*time.Millisecond, 130*time.Millisecond, grad, true)
+		opt := c.IterationTime(40*time.Millisecond, 85*time.Millisecond, grad, true)
+		if c.Throughput(256, opt) <= c.Throughput(256, base) {
+			t.Fatalf("gpus=%d: speedup did not carry through", g)
+		}
+	}
+}

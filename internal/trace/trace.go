@@ -1,0 +1,105 @@
+// Package trace records the simulated kernel timeline and exports it in
+// the Chrome trace-event format (chrome://tracing, Perfetto). Loading a
+// trace of a µ-cuDNN run visualizes the paper's Fig. 3: one convolution
+// call expanded into a sequence of per-micro-batch kernels, each labeled
+// with its algorithm and micro-batch size.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span on the simulated device timeline.
+type Event struct {
+	// Name labels the span (e.g. "Forward FFT@32 64x27x27").
+	Name string
+	// Cat groups spans ("conv", "layer", ...).
+	Cat string
+	// Start is the simulated-clock start time.
+	Start time.Duration
+	// Dur is the span length.
+	Dur time.Duration
+	// Track is the lane the span renders in (0 = device stream).
+	Track int
+}
+
+// Recorder accumulates events; it is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends one event.
+func (r *Recorder) Add(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a snapshot sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Event{}, r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// chromeEvent is the trace-event JSON schema ("X" complete events).
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`  // microseconds
+	Dur  int64  `json:"dur"` // microseconds
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChrome emits the events as a Chrome trace-event JSON array.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	evs := r.Events()
+	out := make([]chromeEvent, len(evs))
+	for i, e := range evs {
+		out[i] = chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   "X",
+			TS:   e.Start.Microseconds(),
+			Dur:  e.Dur.Microseconds(),
+			PID:  1,
+			TID:  e.Track + 1,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders a one-line-per-event text timeline for terminals.
+func (r *Recorder) Summary(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "%12v +%-10v [%s] %s\n", e.Start, e.Dur, e.Cat, e.Name)
+	}
+}

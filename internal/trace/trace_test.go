@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndEventsSorted(t *testing.T) {
+	r := New()
+	r.Add(Event{Name: "b", Start: 10 * time.Microsecond, Dur: time.Microsecond})
+	r.Add(Event{Name: "a", Start: 2 * time.Microsecond, Dur: time.Microsecond})
+	r.Add(Event{Name: "c", Start: 20 * time.Microsecond, Dur: time.Microsecond})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Name != "a" || evs[1].Name != "b" || evs[2].Name != "c" {
+		t.Fatalf("events not sorted: %v", evs)
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	r := New()
+	r.Add(Event{Name: "Forward FFT@32", Cat: "conv", Start: 1500 * time.Nanosecond, Dur: 3 * time.Microsecond, Track: 0})
+	r.Add(Event{Name: "relu", Cat: "layer", Start: 5 * time.Microsecond, Dur: time.Microsecond, Track: 1})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("events = %d", len(out))
+	}
+	first := out[0]
+	if first["name"] != "Forward FFT@32" || first["ph"] != "X" || first["cat"] != "conv" {
+		t.Fatalf("bad chrome event: %v", first)
+	}
+	if first["ts"].(float64) != 1 { // 1500ns -> 1us truncated
+		t.Fatalf("ts = %v", first["ts"])
+	}
+	if out[1]["tid"].(float64) != 2 {
+		t.Fatalf("tid = %v", out[1]["tid"])
+	}
+}
+
+func TestSummaryAndReset(t *testing.T) {
+	r := New()
+	r.Add(Event{Name: "k1", Cat: "conv", Start: 0, Dur: time.Millisecond})
+	var sb strings.Builder
+	r.Summary(&sb)
+	if !strings.Contains(sb.String(), "k1") || !strings.Contains(sb.String(), "[conv]") {
+		t.Fatalf("summary: %q", sb.String())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Add(Event{Name: "e", Start: time.Duration(i)})
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 32 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestEmptyWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty trace = %q", buf.String())
+	}
+}
