@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test bench check race fmt
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE
+
+# race runs the concurrency-sensitive packages (metrics registry, core
+# handle, trace recorder) under the race detector.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/trace/...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# check is the pre-commit gate: tier-1 build+test plus vet, formatting,
+# and the race pass.
+check: build
+	$(GO) vet ./...
+	@$(MAKE) --no-print-directory fmt
+	$(GO) test ./...
+	@$(MAKE) --no-print-directory race

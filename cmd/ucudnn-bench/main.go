@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ucudnn-bench -exp fig10 [-device p100] [-batch 256] [-iters 3] [-csv out.csv]
-//	ucudnn-bench -exp all
+//	ucudnn-bench -exp all -metrics metrics.prom -trace trace.json
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table1
 // opttime summary.
@@ -18,6 +18,8 @@ import (
 
 	"ucudnn/internal/bench"
 	"ucudnn/internal/device"
+	"ucudnn/internal/obs"
+	"ucudnn/internal/trace"
 )
 
 func main() {
@@ -26,6 +28,8 @@ func main() {
 	batch := flag.Int("batch", 0, "override mini-batch size (0 = experiment default)")
 	iters := flag.Int("iters", 3, "timed iterations")
 	csvPath := flag.String("csv", "", "also write CSV rows to this file")
+	metricsPath := flag.String("metrics", "", "write cumulative µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of every timed run")
 	flag.Parse()
 
 	d, err := device.ByName(*dev)
@@ -43,6 +47,12 @@ func main() {
 		defer f.Close()
 		cfg.CSV = f
 	}
+	if *metricsPath != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		cfg.Trace = trace.New()
+	}
 
 	names := []string{*exp}
 	if *exp == "all" {
@@ -51,6 +61,24 @@ func main() {
 	for _, name := range names {
 		if err := bench.Run(name, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Metrics != nil {
+		if err := cfg.Metrics.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := cfg.Trace.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}

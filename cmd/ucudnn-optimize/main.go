@@ -2,42 +2,78 @@
 // benchmarks a convolution kernel's algorithms (populating the file
 // benchmark database for later runs, §III-D), prints WR plans across
 // workspace limits, and dumps the desirable-configuration Pareto front.
+// With -net it instead optimizes a whole zoo network under Workspace
+// Division, reporting the §IV-B optimization-cost numbers (DP states,
+// ILP variables and branch-and-bound nodes, solve wall-clock).
 //
 // Usage:
 //
 //	ucudnn-optimize -shape 256x64x27x27 -filter 192x5x5 -pad 2 -ws 64
 //	ucudnn-optimize -shape 32x128x28x28 -filter 128x3x3 -pad 1 -op backward-filter -policy all -db bench.db
+//	ucudnn-optimize -net alexnet -batch 256 -total 128 -metrics - -trace plan.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ucudnn/internal/conv"
 	"ucudnn/internal/core"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
+	"ucudnn/internal/dnn"
+	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
+	"ucudnn/internal/zoo"
 )
 
+// runOpts mirrors the command-line flags.
+type runOpts struct {
+	Shape     string
+	Filter    string
+	Pad       int
+	Stride    int
+	Op        string
+	Device    string
+	Policy    string
+	WSMiB     int64
+	DB        string
+	Workers   int
+	ShowFront bool
+	Net       string
+	Batch     int
+	TotalMiB  int64
+	Metrics   string
+	Trace     string
+}
+
 func main() {
-	shape := flag.String("shape", "256x64x27x27", "input NxCxHxW")
-	filter := flag.String("filter", "192x5x5", "filter KxRxS")
-	pad := flag.Int("pad", 2, "padding")
-	stride := flag.Int("stride", 1, "stride")
-	opName := flag.String("op", "forward", "operation: forward, backward-data, backward-filter")
-	dev := flag.String("device", "p100", "device: k80, p100, v100")
-	policy := flag.String("policy", "powerOfTwo", "batch-size policy")
-	wsMiB := flag.Int64("ws", 64, "workspace limit (MiB)")
-	dbPath := flag.String("db", "", "benchmark database file to populate")
-	workers := flag.Int("workers", 1, "parallel benchmark workers")
-	showFront := flag.Bool("front", true, "print the desirable-configuration Pareto front")
+	var o runOpts
+	flag.StringVar(&o.Shape, "shape", "256x64x27x27", "input NxCxHxW")
+	flag.StringVar(&o.Filter, "filter", "192x5x5", "filter KxRxS")
+	flag.IntVar(&o.Pad, "pad", 2, "padding")
+	flag.IntVar(&o.Stride, "stride", 1, "stride")
+	flag.StringVar(&o.Op, "op", "forward", "operation: forward, backward-data, backward-filter")
+	flag.StringVar(&o.Device, "device", "p100", "device: k80, p100, v100")
+	flag.StringVar(&o.Policy, "policy", "powerOfTwo", "batch-size policy")
+	flag.Int64Var(&o.WSMiB, "ws", 64, "workspace limit (MiB)")
+	flag.StringVar(&o.DB, "db", "", "benchmark database file to populate")
+	flag.IntVar(&o.Workers, "workers", 1, "parallel benchmark workers")
+	flag.BoolVar(&o.ShowFront, "front", true, "print the desirable-configuration Pareto front")
+	flag.StringVar(&o.Net, "net", "", "optimize a whole network under WD instead of one kernel (alexnet, resnet18, ...)")
+	flag.IntVar(&o.Batch, "batch", 256, "mini-batch size for -net mode")
+	flag.Int64Var(&o.TotalMiB, "total", 0, "WD total workspace (MiB; required for -net)")
+	flag.StringVar(&o.Metrics, "metrics", "", "write optimizer metrics at exit (\"-\" for stdout, .prom for Prometheus)")
+	flag.StringVar(&o.Trace, "trace", "", "write the chosen plans as a Chrome-trace micro-batch timeline (Fig. 3)")
 	flag.Parse()
 
-	if err := run(*shape, *filter, *pad, *stride, *opName, *dev, *policy, *wsMiB, *dbPath, *workers, *showFront); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -59,17 +95,26 @@ func parseDims(s string, n int) ([]int, error) {
 	return out, nil
 }
 
-func run(shape, filter string, pad, stride int, opName, dev, policy string, wsMiB int64, dbPath string, workers int, showFront bool) error {
-	in, err := parseDims(shape, 4)
+func run(o runOpts) error {
+	if o.Net != "" {
+		return runNet(o)
+	}
+	return runKernel(o)
+}
+
+// runKernel is the original single-kernel mode: benchmark, WR sweep,
+// Pareto front.
+func runKernel(o runOpts) error {
+	in, err := parseDims(o.Shape, 4)
 	if err != nil {
 		return err
 	}
-	fl, err := parseDims(filter, 3)
+	fl, err := parseDims(o.Filter, 3)
 	if err != nil {
 		return err
 	}
 	var op conv.Op
-	switch opName {
+	switch o.Op {
 	case "forward":
 		op = conv.Forward
 	case "backward-data":
@@ -77,31 +122,36 @@ func run(shape, filter string, pad, stride int, opName, dev, policy string, wsMi
 	case "backward-filter":
 		op = conv.BackwardFilter
 	default:
-		return fmt.Errorf("unknown op %q", opName)
+		return fmt.Errorf("unknown op %q", o.Op)
 	}
-	d, err := device.ByName(dev)
+	d, err := device.ByName(o.Device)
 	if err != nil {
 		return err
 	}
-	pol, err := core.ParsePolicy(policy)
+	pol, err := core.ParsePolicy(o.Policy)
 	if err != nil {
 		return err
 	}
 	cs := tensor.ConvShape{
 		In:     tensor.Shape{N: in[0], C: in[1], H: in[2], W: in[3]},
 		Filt:   tensor.Filter{K: fl[0], C: in[1], R: fl[1], S: fl[2]},
-		Params: tensor.ConvParams{PadH: pad, PadW: pad, StrideH: stride, StrideW: stride},
+		Params: tensor.ConvParams{PadH: o.Pad, PadW: o.Pad, StrideH: o.Stride, StrideW: o.Stride},
 	}
 	if !cs.Valid() {
 		return fmt.Errorf("invalid convolution %v", cs)
 	}
 	h := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
-	cache, err := core.NewCache(dbPath)
+	cache, err := core.NewCache(o.DB)
 	if err != nil {
 		return err
 	}
 	defer cache.Close()
-	b := core.NewBencher(h, cache, workers)
+	b := core.NewBencher(h, cache, o.Workers)
+	var reg *obs.Registry
+	if o.Metrics != "" {
+		reg = obs.NewRegistry()
+		b.SetMetrics(reg)
+	}
 	k := core.Kernel{Op: op, Shape: cs}
 
 	fmt.Printf("kernel: %v on %s\n\n", k, d.Name)
@@ -110,8 +160,9 @@ func run(shape, filter string, pad, stride int, opName, dev, policy string, wsMi
 		fmt.Printf("  %-22s %10v  ws %8.1f MiB\n", p.Algo, p.Time, float64(p.Memory)/(1<<20))
 	}
 
+	var tracePlan *core.Plan
 	fmt.Printf("\nWR plans (%s policy):\n", pol)
-	for _, lim := range []int64{8, wsMiB, 512} {
+	for _, lim := range []int64{8, o.WSMiB, 512} {
 		plan, err := core.OptimizeWR(b, k, lim<<20, pol)
 		if err != nil {
 			fmt.Printf("  %4d MiB: %v\n", lim, err)
@@ -119,20 +170,147 @@ func run(shape, filter string, pad, stride int, opName, dev, policy string, wsMi
 		}
 		fmt.Printf("  %4d MiB: %10v  ws %8.1f MiB  %v\n",
 			lim, plan.Time, float64(plan.Workspace)/(1<<20), plan.Config)
+		if lim == o.WSMiB {
+			tracePlan = &plan
+		}
 	}
 
-	if showFront {
-		front, err := core.DesirableSet(b, k, wsMiB<<20, pol)
+	if o.ShowFront {
+		front, err := core.DesirableSet(b, k, o.WSMiB<<20, pol)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ndesirable configurations at %d MiB (%d points):\n", wsMiB, len(front))
+		fmt.Printf("\ndesirable configurations at %d MiB (%d points):\n", o.WSMiB, len(front))
 		for _, sc := range front {
 			fmt.Printf("  %10v  ws %8.1f MiB  %v\n", sc.Time, float64(sc.Workspace)/(1<<20), sc.Config)
 		}
 	}
-	if dbPath != "" {
-		fmt.Printf("\nbenchmark database %s now holds %d entries\n", dbPath, cache.Len())
+	if o.DB != "" {
+		fmt.Printf("\nbenchmark database %s now holds %d entries\n", o.DB, cache.Len())
 	}
+	if o.Trace != "" {
+		var plans []core.Plan
+		if tracePlan != nil {
+			plans = []core.Plan{*tracePlan}
+		}
+		if err := writePlanTrace(o.Trace, b, plans); err != nil {
+			return err
+		}
+	}
+	return reg.WriteFile(o.Metrics)
+}
+
+// runNet optimizes all convolution kernels of a zoo network jointly under
+// the WD total-workspace budget, printing the paper's §IV-B cost metrics.
+func runNet(o runOpts) error {
+	if o.TotalMiB <= 0 {
+		return fmt.Errorf("-net requires -total")
+	}
+	d, err := device.ByName(o.Device)
+	if err != nil {
+		return err
+	}
+	pol, err := core.ParsePolicy(o.Policy)
+	if err != nil {
+		return err
+	}
+	inner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+	inner.Mem().Cap = 0
+	uc, err := core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
+		core.WithCachePath(o.DB), core.WithWorkers(o.Workers), core.WithMetricsPath(o.Metrics))
+	if err != nil {
+		return err
+	}
+	ctx := dnn.NewContext(uc, inner, core.DefaultWorkspaceLimit)
+	ctx.SkipCompute = true
+	var net *dnn.Net
+	switch o.Net {
+	case "alexnet":
+		net, _ = zoo.AlexNet(ctx, o.Batch, 1000)
+	case "caffe-alexnet":
+		net, _ = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
+	case "resnet18":
+		net, _ = zoo.ResNet18(ctx, o.Batch, 1000)
+	case "resnet50":
+		net, _ = zoo.ResNet50(ctx, o.Batch, 1000)
+	case "densenet40":
+		net, _ = zoo.DenseNet40(ctx, o.Batch, 40, 10)
+	case "inception":
+		net = zoo.InceptionModule(ctx, o.Batch)
+	default:
+		return fmt.Errorf("unknown network %q", o.Net)
+	}
+	// Setup registers every convolution kernel through the virtual-algorithm
+	// Get* calls; finalization then runs the desirable-set DPs and the ILP.
+	if err := net.Setup(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := uc.FinalizeRegistration(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	s := uc.WDStats()
+	if s == nil {
+		return fmt.Errorf("WD produced no result for %q", o.Net)
+	}
+	fmt.Printf("%s on %s, N=%d, WD total %d MiB, %s policy\n\n", o.Net, d.Name, o.Batch, o.TotalMiB, pol)
+	fmt.Printf("optimization wall-clock:  %v\n", wall)
+	fmt.Printf("ILP variables:            %d\n", s.ILPVars)
+	fmt.Printf("branch-and-bound nodes:   %d\n", s.ILPNodes)
+	fmt.Printf("simplex iterations:       %d\n", s.SimplexIters)
+	fmt.Printf("ILP solve time:           %v\n", s.SolveTime)
+	fmt.Printf("assigned workspace:       %.1f MiB\n", float64(s.TotalWorkspace)/(1<<20))
+	fmt.Printf("predicted iteration conv: %v\n", s.TotalTime)
+
+	plans := uc.Plans()
+	sort.Slice(plans, func(i, j int) bool { return plans[i].Kernel.String() < plans[j].Kernel.String() })
+	fmt.Printf("\nplans (%d unique kernels):\n", len(plans))
+	for _, p := range plans {
+		fmt.Printf("  %v\n", p)
+	}
+
+	if o.Trace != "" {
+		b := core.NewBencher(inner, uc.Cache(), 1)
+		if err := writePlanTrace(o.Trace, b, plans); err != nil {
+			return err
+		}
+	}
+	return uc.Flush()
+}
+
+// writePlanTrace synthesizes the paper's Fig. 3 view of the chosen plans:
+// each kernel's micro-batches laid end to end on one timeline, named
+// algo@batch, with per-micro durations looked up in the benchmark cache.
+func writePlanTrace(path string, b *core.Bencher, plans []core.Plan) error {
+	rec := trace.New()
+	var cursor time.Duration
+	for _, p := range plans {
+		for _, mc := range p.Config {
+			dur := p.Time / time.Duration(len(p.Config))
+			for _, perf := range b.Perfs(core.Kernel{Op: p.Kernel.Op, Shape: p.Kernel.Shape.WithN(mc.BatchSize)}) {
+				if perf.Algo == mc.Algo {
+					dur = perf.Time
+					break
+				}
+			}
+			rec.Add(trace.Event{
+				Name:  fmt.Sprintf("%s %v", p.Kernel.Op, mc),
+				Cat:   p.Kernel.Op.String(),
+				Start: cursor,
+				Dur:   dur,
+			})
+			cursor += dur
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteChrome(f); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d micro-batch spans to %s (open in chrome://tracing)\n", rec.Len(), path)
 	return nil
 }

@@ -7,6 +7,7 @@
 //
 //	ucudnn-time -net alexnet -batch 256 -device p100 -mode wr -policy powerOfTwo -ws 64
 //	ucudnn-time -net resnet50 -batch 32 -mode wd -total 2544
+//	ucudnn-time -net alexnet -mode wr -trace out.json -metrics -
 package main
 
 import (
@@ -23,31 +24,48 @@ import (
 	"ucudnn/internal/zoo"
 )
 
+// runOpts mirrors the command-line flags.
+type runOpts struct {
+	Net      string
+	Batch    int
+	Device   string
+	Mode     string
+	Policy   string
+	WSMiB    int64
+	TotalMiB int64
+	Iters    int
+	DB       string
+	Trace    string
+	Metrics  string
+}
+
 func main() {
-	netName := flag.String("net", "alexnet", "network: alexnet, resnet18, resnet50, densenet40, inception")
-	batch := flag.Int("batch", 256, "mini-batch size")
-	dev := flag.String("device", "p100", "device: k80, p100, v100")
-	mode := flag.String("mode", "wr", "mode: cudnn, wr, wd")
-	policy := flag.String("policy", "powerOfTwo", "batch-size policy: undivided, powerOfTwo, all")
-	wsMiB := flag.Int64("ws", 64, "per-kernel workspace limit (MiB)")
-	totalMiB := flag.Int64("total", 0, "WD total workspace (MiB; required for -mode wd)")
-	iters := flag.Int("iters", 3, "timed iterations")
-	dbPath := flag.String("db", "", "benchmark database file (optional)")
-	tracePath := flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
+	var o runOpts
+	flag.StringVar(&o.Net, "net", "alexnet", "network: alexnet, resnet18, resnet50, densenet40, inception")
+	flag.IntVar(&o.Batch, "batch", 256, "mini-batch size")
+	flag.StringVar(&o.Device, "device", "p100", "device: k80, p100, v100")
+	flag.StringVar(&o.Mode, "mode", "wr", "mode: cudnn, wr, wd")
+	flag.StringVar(&o.Policy, "policy", "powerOfTwo", "batch-size policy: undivided, powerOfTwo, all")
+	flag.Int64Var(&o.WSMiB, "ws", 64, "per-kernel workspace limit (MiB)")
+	flag.Int64Var(&o.TotalMiB, "total", 0, "WD total workspace (MiB; required for -mode wd)")
+	flag.IntVar(&o.Iters, "iters", 3, "timed iterations")
+	flag.StringVar(&o.DB, "db", "", "benchmark database file (optional)")
+	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
+	flag.StringVar(&o.Metrics, "metrics", "", "write µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus; wr/wd modes)")
 	flag.Parse()
 
-	if err := run(*netName, *batch, *dev, *mode, *policy, *wsMiB, *totalMiB, *iters, *dbPath, *tracePath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, batch int, dev, mode, policy string, wsMiB, totalMiB int64, iters int, dbPath, tracePath string) error {
-	d, err := device.ByName(dev)
+func run(o runOpts) error {
+	d, err := device.ByName(o.Device)
 	if err != nil {
 		return err
 	}
-	pol, err := core.ParsePolicy(policy)
+	pol, err := core.ParsePolicy(o.Policy)
 	if err != nil {
 		return err
 	}
@@ -55,60 +73,72 @@ func run(netName string, batch int, dev, mode, policy string, wsMiB, totalMiB in
 	inner.Mem().Cap = 0
 	var convH dnn.ConvHandle = inner
 	var uc *core.Handle
-	switch mode {
+	switch o.Mode {
 	case "cudnn":
 	case "wr":
-		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWorkspaceLimit(wsMiB<<20), core.WithCachePath(dbPath))
+		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWorkspaceLimit(o.WSMiB<<20),
+			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics))
 		if err != nil {
 			return err
 		}
 		convH = uc
 	case "wd":
-		if totalMiB <= 0 {
+		if o.TotalMiB <= 0 {
 			return fmt.Errorf("-mode wd requires -total")
 		}
-		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWD(totalMiB<<20), core.WithCachePath(dbPath))
+		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
+			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics))
 		if err != nil {
 			return err
 		}
 		convH = uc
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", o.Mode)
+	}
+	if o.Metrics != "" && uc == nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-time: -metrics needs -mode wr or wd; ignoring")
 	}
 
-	ctx := dnn.NewContext(convH, inner, wsMiB<<20)
+	ctx := dnn.NewContext(convH, inner, o.WSMiB<<20)
 	ctx.SkipCompute = true
 	var net *dnn.Net
-	switch netName {
+	switch o.Net {
 	case "alexnet":
-		net, _ = zoo.AlexNet(ctx, batch, 1000)
+		net, _ = zoo.AlexNet(ctx, o.Batch, 1000)
 	case "caffe-alexnet":
-		net, _ = zoo.CaffeAlexNet(ctx, batch, 1000)
+		net, _ = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
 	case "resnet18":
-		net, _ = zoo.ResNet18(ctx, batch, 1000)
+		net, _ = zoo.ResNet18(ctx, o.Batch, 1000)
 	case "resnet50":
-		net, _ = zoo.ResNet50(ctx, batch, 1000)
+		net, _ = zoo.ResNet50(ctx, o.Batch, 1000)
 	case "densenet40":
-		net, _ = zoo.DenseNet40(ctx, batch, 40, 10)
+		net, _ = zoo.DenseNet40(ctx, o.Batch, 40, 10)
 	case "inception":
-		net = zoo.InceptionModule(ctx, batch)
+		net = zoo.InceptionModule(ctx, o.Batch)
 	default:
-		return fmt.Errorf("unknown network %q", netName)
+		return fmt.Errorf("unknown network %q", o.Net)
 	}
 
-	rep, err := net.Time(iters)
+	rep, err := net.Time(o.Iters)
 	if err != nil {
 		return err
 	}
-	if tracePath != "" {
-		// Record one clean traced iteration after the timed ones.
+	if o.Trace != "" {
+		// Record one clean traced iteration after the timed ones (plans are
+		// already decided, so no warm-up runs): kernel spans on track 0
+		// (cudnn handle), layer spans on track 1 (Net).
 		rec := trace.New()
 		inner.SetTrace(rec)
-		if _, err := net.Time(1); err != nil {
+		ctx.Trace = rec
+		if err := net.Forward(); err != nil {
+			return err
+		}
+		if err := net.Backward(); err != nil {
 			return err
 		}
 		inner.SetTrace(nil)
-		f, err := os.Create(tracePath)
+		ctx.Trace = nil
+		f, err := os.Create(o.Trace)
 		if err != nil {
 			return err
 		}
@@ -116,10 +146,10 @@ func run(netName string, batch int, dev, mode, policy string, wsMiB, totalMiB in
 		if err := rec.WriteChrome(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing)\n", rec.Len(), tracePath)
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing)\n", rec.Len(), o.Trace)
 	}
 	fmt.Printf("%s on %s, N=%d, mode=%s policy=%s (%d iterations)\n\n",
-		netName, d.Name, batch, mode, pol, iters)
+		o.Net, d.Name, o.Batch, o.Mode, pol, o.Iters)
 	rep.Print(os.Stdout)
 	fmt.Printf("\nconvolutions: %v (%.1f%% of iteration)\n",
 		rep.SumMatching(zoo.IsConvLayer),
@@ -129,6 +159,9 @@ func run(netName string, batch int, dev, mode, policy string, wsMiB, totalMiB in
 		if s := uc.WDStats(); s != nil {
 			fmt.Printf("WD: %d ILP vars, %d nodes, solved in %v, %s MiB assigned\n",
 				s.ILPVars, s.ILPNodes, s.SolveTime, fmtMiB(s.TotalWorkspace))
+		}
+		if err := uc.Flush(); err != nil {
+			return err
 		}
 	}
 	_ = tensor.Shape{}

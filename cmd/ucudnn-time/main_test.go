@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+func opts(net string, batch int, dev, mode, policy string, ws, total int64, iters int, db, tracePath string) runOpts {
+	return runOpts{Net: net, Batch: batch, Device: dev, Mode: mode, Policy: policy,
+		WSMiB: ws, TotalMiB: total, Iters: iters, DB: db, Trace: tracePath}
+}
 
 func TestRunModes(t *testing.T) {
 	dir := t.TempDir()
@@ -14,12 +20,12 @@ func TestRunModes(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"cudnn", func() error { return run("inception", 16, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", "") }},
-		{"wr", func() error { return run("inception", 16, "p100", "wr", "powerOfTwo", 8, 0, 1, "", "") }},
-		{"wd", func() error { return run("inception", 16, "p100", "wd", "powerOfTwo", 8, 64, 1, "", "") }},
-		{"trace", func() error { return run("inception", 16, "k80", "wr", "undivided", 8, 0, 1, "", tracePath) }},
+		{"cudnn", func() error { return run(opts("inception", 16, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", "")) }},
+		{"wr", func() error { return run(opts("inception", 16, "p100", "wr", "powerOfTwo", 8, 0, 1, "", "")) }},
+		{"wd", func() error { return run(opts("inception", 16, "p100", "wd", "powerOfTwo", 8, 64, 1, "", "")) }},
+		{"trace", func() error { return run(opts("inception", 16, "k80", "wr", "undivided", 8, 0, 1, "", tracePath)) }},
 		{"db", func() error {
-			return run("inception", 16, "v100", "wr", "all", 8, 0, 1, filepath.Join(dir, "db.jsonl"), "")
+			return run(opts("inception", 16, "v100", "wr", "all", 8, 0, 1, filepath.Join(dir, "db.jsonl"), ""))
 		}},
 	}
 	for _, c := range cases {
@@ -36,27 +42,85 @@ func TestRunModes(t *testing.T) {
 	}
 }
 
+// TestRunTraceHasLayerSpans checks the acceptance criterion for
+// `ucudnn-time -trace`: the Chrome trace holds exactly one span per
+// layer per direction (the layer rows of the paper's Fig. 3) alongside
+// the kernel spans.
+func TestRunTraceHasLayerSpans(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(opts("inception", 16, "p100", "wr", "powerOfTwo", 8, 0, 1, "", tracePath)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Cat  string `json:"cat"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[[2]string]int{}
+	kernels := 0
+	for _, e := range events {
+		switch e.Cat {
+		case "forward", "backward":
+			spans[[2]string{e.Cat, e.Name}]++
+		default:
+			kernels++
+		}
+	}
+	if len(spans) == 0 || kernels == 0 {
+		t.Fatalf("trace lacks layer or kernel spans: %d layer series, %d kernel events", len(spans), kernels)
+	}
+	for k, n := range spans {
+		if n != 1 {
+			t.Fatalf("%v spans = %d, want exactly 1", k, n)
+		}
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	dir := t.TempDir()
+	for _, path := range []string{filepath.Join(dir, "m.txt"), filepath.Join(dir, "m.prom")} {
+		o := opts("inception", 16, "p100", "wr", "powerOfTwo", 8, 0, 1, "", "")
+		o.Metrics = path
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "ucudnn_opt_wr_seconds") {
+			t.Fatalf("%s: no WR optimizer metrics in output", path)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 8, "p100", "wr", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+	if err := run(opts("bogus", 8, "p100", "wr", "powerOfTwo", 8, 0, 1, "", "")); err == nil {
 		t.Fatal("bogus net must error")
 	}
-	if err := run("inception", 8, "bogus", "wr", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+	if err := run(opts("inception", 8, "bogus", "wr", "powerOfTwo", 8, 0, 1, "", "")); err == nil {
 		t.Fatal("bogus device must error")
 	}
-	if err := run("inception", 8, "p100", "bogus", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+	if err := run(opts("inception", 8, "p100", "bogus", "powerOfTwo", 8, 0, 1, "", "")); err == nil {
 		t.Fatal("bogus mode must error")
 	}
-	if err := run("inception", 8, "p100", "wr", "bogus", 8, 0, 1, "", ""); err == nil {
+	if err := run(opts("inception", 8, "p100", "wr", "bogus", 8, 0, 1, "", "")); err == nil {
 		t.Fatal("bogus policy must error")
 	}
-	if err := run("inception", 8, "p100", "wd", "powerOfTwo", 8, 0, 1, "", ""); err == nil {
+	if err := run(opts("inception", 8, "p100", "wd", "powerOfTwo", 8, 0, 1, "", "")); err == nil {
 		t.Fatal("wd without total must error")
 	}
 }
 
 func TestAllNetworksBuild(t *testing.T) {
 	for _, n := range []string{"alexnet", "caffe-alexnet", "resnet18", "densenet40"} {
-		if err := run(n, 4, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", ""); err != nil {
+		if err := run(opts(n, 4, "p100", "cudnn", "powerOfTwo", 8, 0, 1, "", "")); err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
 	}

@@ -5,6 +5,12 @@
 // This demonstrates the paper's claim that micro-batching decouples
 // hardware efficiency from statistical efficiency: the training dynamics
 // are unchanged.
+//
+// At exit the µ-cuDNN run exports its observability outputs: a metrics
+// summary (training_metrics.txt; metrics_sample.txt is a checked-in
+// snapshot) and a Chrome trace of the training timeline
+// (training_trace.json, viewable in chrome://tracing or Perfetto). Both
+// paths can be overridden with UCUDNN_METRICS and UCUDNN_TRACE.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
 	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
 )
 
 const (
@@ -57,9 +64,10 @@ func makeBatch(rng *rand.Rand, in *tensor.Tensor, labels []int) {
 	}
 }
 
-func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle) []float32 {
+func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle, rec *trace.Recorder) []float32 {
 	ctx := dnn.NewContext(convH, inner, 1<<20)
 	ctx.RNG = rand.New(rand.NewSource(42))
+	ctx.Trace = rec
 	net, loss := buildNet(ctx)
 	if err := net.Setup(); err != nil {
 		log.Fatal(err)
@@ -87,14 +95,19 @@ func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle) []float32 {
 
 func main() {
 	plain := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
-	base := train("cuDNN", plain, plain)
+	base := train("cuDNN", plain, plain, nil)
 
 	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
-	uc, err := core.New(inner, core.WithPolicy(core.PolicyPowerOfTwo), core.WithWorkspaceLimit(1<<20))
+	uc, err := core.New(inner,
+		core.WithPolicy(core.PolicyPowerOfTwo),
+		core.WithWorkspaceLimit(1<<20),
+		core.WithMetricsPath("training_metrics.txt"),
+		core.WithTracePath("training_trace.json"),
+		core.FromEnv())
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := train("µ-cuDNN", uc, inner)
+	opt := train("µ-cuDNN", uc, inner, uc.TraceRecorder())
 
 	var maxDiff float64
 	for i := range base {
@@ -111,4 +124,10 @@ func main() {
 	for _, p := range uc.Plans() {
 		fmt.Printf("  %v\n", p)
 	}
+
+	if err := uc.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	o := uc.Options()
+	fmt.Printf("\nwrote metrics to %s and trace to %s\n", o.MetricsPath, o.TracePath)
 }

@@ -59,7 +59,7 @@ func Ablation(cfg Config) error {
 	// the stem).
 	inner := newModelHandle(cfg)
 	inner.Mem().Cap = 0
-	net, err := buildNetwork("resnet50", inner, inner, 8*MiB, 32)
+	net, err := buildNetwork("resnet50", inner, inner, 8*MiB, 32, nil)
 	if err != nil {
 		return err
 	}

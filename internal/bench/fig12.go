@@ -35,7 +35,7 @@ func collectLayerMem(cfg Config, network string, mode string, limit int64, batch
 		}
 		convH = uc
 	}
-	net, err := buildNetwork(network, convH, inner, limit, batch)
+	net, err := buildNetwork(network, convH, inner, limit, batch, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,9 @@ import (
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
+	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
 	"ucudnn/internal/zoo"
 )
 
@@ -35,6 +37,12 @@ type Config struct {
 	Out io.Writer
 	// CSV optionally receives machine-readable rows.
 	CSV io.Writer
+	// Metrics, when non-nil, accumulates µ-cuDNN observability metrics
+	// across every handle the experiments create.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives kernel spans (track 0) and layer spans
+	// (track 1) from every timed network run.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -95,9 +103,10 @@ func newModelHandle(cfg Config) *cudnn.Handle {
 
 // buildNetwork constructs a zoo network over the given conv handle in
 // timing-only mode.
-func buildNetwork(name string, convH dnn.ConvHandle, inner *cudnn.Handle, wsLimit int64, batch int) (*dnn.Net, error) {
+func buildNetwork(name string, convH dnn.ConvHandle, inner *cudnn.Handle, wsLimit int64, batch int, rec *trace.Recorder) (*dnn.Net, error) {
 	ctx := dnn.NewContext(convH, inner, wsLimit)
 	ctx.SkipCompute = true
+	ctx.Trace = rec
 	switch name {
 	case "alexnet":
 		n, _ := zoo.AlexNet(ctx, batch, 1000)
@@ -130,6 +139,9 @@ func netRun(cfg Config, name string, mode string, policy core.Policy, limit int6
 	// memory cap so large-batch/large-workspace corners still produce a
 	// timing row (the memory experiments keep exact accounting).
 	inner.Mem().Cap = 0
+	if cfg.Trace != nil {
+		inner.SetTrace(cfg.Trace)
+	}
 	var convH dnn.ConvHandle = inner
 	var uc *core.Handle
 	var err error
@@ -137,13 +149,13 @@ func netRun(cfg Config, name string, mode string, policy core.Policy, limit int6
 	switch mode {
 	case "cudnn":
 	case "wr":
-		uc, err = core.New(inner, core.WithPolicy(policy), core.WithWorkspaceLimit(limit))
+		uc, err = core.New(inner, core.WithPolicy(policy), core.WithWorkspaceLimit(limit), core.WithMetrics(cfg.Metrics))
 		if err != nil {
 			return nil, nil, err
 		}
 		convH = uc
 	case "wd":
-		uc, err = core.New(inner, core.WithPolicy(policy), core.WithWD(limit))
+		uc, err = core.New(inner, core.WithPolicy(policy), core.WithWD(limit), core.WithMetrics(cfg.Metrics))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -152,7 +164,7 @@ func netRun(cfg Config, name string, mode string, policy core.Policy, limit int6
 	default:
 		return nil, nil, fmt.Errorf("bench: unknown mode %q", mode)
 	}
-	net, err := buildNetwork(name, convH, inner, wsLimit, batch)
+	net, err := buildNetwork(name, convH, inner, wsLimit, batch, cfg.Trace)
 	if err != nil {
 		return nil, nil, err
 	}

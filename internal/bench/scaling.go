@@ -44,7 +44,7 @@ func Scaling(cfg Config) error {
 			// Gradient volume = parameter bytes (~61M floats for AlexNet).
 			inner := newModelHandle(cfg)
 			inner.Mem().Cap = 0
-			net, err := buildNetwork("alexnet", inner, inner, 64*MiB, batch)
+			net, err := buildNetwork("alexnet", inner, inner, 64*MiB, batch, nil)
 			if err != nil {
 				return err
 			}

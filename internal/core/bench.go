@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/obs"
 )
 
 // Bencher measures (or, with the model backend, predicts) per-algorithm
@@ -14,6 +15,7 @@ type Bencher struct {
 	h       *cudnn.Handle
 	cache   *Cache
 	workers int
+	m       *metricSet
 }
 
 // NewBencher builds a bencher over the given cuDNN handle. workers <= 1
@@ -25,7 +27,15 @@ func NewBencher(h *cudnn.Handle, cache *Cache, workers int) *Bencher {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Bencher{h: h, cache: cache, workers: workers}
+	return &Bencher{h: h, cache: cache, workers: workers, m: newMetricSet(nil)}
+}
+
+// SetMetrics mirrors the bencher's (and its cache's) activity, plus the
+// optimizer runs driven through it, into registry r. Pass before
+// optimizing; a nil r restores the no-op default.
+func (b *Bencher) SetMetrics(r *obs.Registry) {
+	b.m = newMetricSet(r)
+	b.cache.instrument(b.m)
 }
 
 // Perfs returns the per-algorithm results for kernel k, fastest first,
@@ -36,6 +46,7 @@ func (b *Bencher) Perfs(k Kernel) []cudnn.AlgoPerf {
 		return p
 	}
 	p := b.h.AlgoPerfs(k.Op, k.Shape)
+	b.m.benchKernels.Inc()
 	_ = b.cache.Put(key, p)
 	return p
 }
@@ -70,6 +81,7 @@ func (b *Bencher) PerfsForSizes(k Kernel, sizes []int) map[int][]cudnn.AlgoPerf 
 			for n := range ch {
 				mk := Kernel{Op: k.Op, Shape: k.Shape.WithN(n)}
 				p := b.h.AlgoPerfs(mk.Op, mk.Shape)
+				b.m.benchKernels.Inc()
 				key := CacheKey(b.h.Device().Name, b.h.Backend(), mk.Op, mk.Shape)
 				mu.Lock()
 				_ = b.cache.Put(key, p)

@@ -18,16 +18,50 @@ import (
 // offline benchmarking and sharing results across a homogeneous cluster
 // via a network filesystem.
 type Cache struct {
-	mu   sync.Mutex
-	mem  map[string][]cudnn.AlgoPerf
-	path string
-	file *os.File
+	mu    sync.Mutex
+	mem   map[string][]cudnn.AlgoPerf
+	path  string
+	file  *os.File
+	stats CacheStats
+	m     *metricSet
+}
+
+// CacheStats is a snapshot of the cache's accounting: lookup outcomes,
+// file-database traffic, and current size.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// FileLoads counts records loaded from the file database at open;
+	// FileStores counts records appended to it by Put.
+	FileLoads, FileStores int64
+	// Entries is the current number of in-memory entries.
+	Entries int
+}
+
+// Stats returns a snapshot of the cache's accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.mem)
+	return s
+}
+
+// instrument mirrors the cache's accounting into ms (live counters for
+// the observability layer). Loads that happened before instrumentation
+// (the eager file read in NewCache) are replayed as one Add.
+func (c *Cache) instrument(ms *metricSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = ms
+	ms.cacheFileLoads.Add(c.stats.FileLoads)
+	ms.cacheEntries.Set(float64(len(c.mem)))
 }
 
 // NewCache creates a cache; path may be empty for memory-only operation.
 // An existing database file is loaded eagerly.
 func NewCache(path string) (*Cache, error) {
-	c := &Cache{mem: map[string][]cudnn.AlgoPerf{}, path: path}
+	c := &Cache{mem: map[string][]cudnn.AlgoPerf{}, path: path, m: newMetricSet(nil)}
 	if path == "" {
 		return c, nil
 	}
@@ -49,6 +83,7 @@ func NewCache(path string) (*Cache, error) {
 			break
 		}
 		c.mem[rec.Key] = rec.toPerfs()
+		c.stats.FileLoads++
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
@@ -112,6 +147,13 @@ func (c *Cache) Get(key string) ([]cudnn.AlgoPerf, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.mem[key]
+	if ok {
+		c.stats.Hits++
+		c.m.cacheHits.Inc()
+	} else {
+		c.stats.Misses++
+		c.m.cacheMisses.Inc()
+	}
 	return p, ok
 }
 
@@ -120,6 +162,7 @@ func (c *Cache) Put(key string, perfs []cudnn.AlgoPerf) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mem[key] = perfs
+	c.m.cacheEntries.Set(float64(len(c.mem)))
 	if c.file == nil {
 		return nil
 	}
@@ -135,5 +178,7 @@ func (c *Cache) Put(key string, perfs []cudnn.AlgoPerf) error {
 	if _, err := c.file.Write(data); err != nil {
 		return fmt.Errorf("core: writing benchmark db: %w", err)
 	}
+	c.stats.FileStores++
+	c.m.cacheFileStores.Inc()
 	return nil
 }

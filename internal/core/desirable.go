@@ -52,6 +52,8 @@ func paretoPrune(entries []ScoredConfig) []ScoredConfig {
 // The WR optimum is always an element of the result (the paper's
 // consistency property), which the tests assert.
 func DesirableSet(b *Bencher, k Kernel, wsLimit int64, policy Policy) ([]ScoredConfig, error) {
+	optStart := time.Now()
+	defer b.m.desirableSeconds.ObserveSince(optStart)
 	n := k.Shape.In.N
 	sizes := policy.CandidateSizes(n)
 	perfs := b.PerfsForSizes(k, sizes)
@@ -75,6 +77,7 @@ func DesirableSet(b *Bencher, k Kernel, wsLimit int64, policy Policy) ([]ScoredC
 
 	// Coin-change style enumeration: processing candidate sizes in a fixed
 	// outer order generates each multiset of micro-batches exactly once.
+	states := int64(0)
 	fronts := make([][]ScoredConfig, n+1)
 	fronts[0] = []ScoredConfig{{Config: Config{}, Time: 0, Workspace: 0}}
 	for _, m := range sizes {
@@ -94,6 +97,7 @@ func DesirableSet(b *Bencher, k Kernel, wsLimit int64, policy Policy) ([]ScoredC
 			cands := make([]ScoredConfig, len(fronts[i]), len(fronts[i])+len(prev)*len(opts))
 			copy(cands, fronts[i])
 			backing := make([]lazy, len(fronts[i]), cap(cands))
+			states += int64(len(prev)) * int64(len(opts))
 			for pi := range prev {
 				for oi := range opts {
 					// Workspace is shared across the kernel's sequential
@@ -145,8 +149,10 @@ func DesirableSet(b *Bencher, k Kernel, wsLimit int64, policy Policy) ([]ScoredC
 			fronts[i] = next
 		}
 	}
+	b.m.desirableStates.Add(states)
 	if len(fronts[n]) == 0 {
 		return nil, fmt.Errorf("core: no configuration of %v fits %d bytes under %v", k, wsLimit, policy)
 	}
+	b.m.desirableFront.Observe(float64(len(fronts[n])))
 	return fronts[n], nil
 }

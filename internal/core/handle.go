@@ -9,7 +9,9 @@ import (
 
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
 )
 
 // VirtualAlgo is the algorithm identifier µ-cuDNN hands back from the
@@ -59,6 +61,17 @@ type Options struct {
 	Workers int
 	// CachePath optionally points at the file benchmark database.
 	CachePath string
+	// Metrics, when non-nil, receives the handle's observability metrics
+	// (algorithm selections, cache traffic, optimizer costs). Nil disables
+	// collection at no cost beyond a nil check per event.
+	Metrics *obs.Registry
+	// MetricsPath is where Flush exports the metrics ("-" for stdout,
+	// ".prom" suffix for Prometheus text exposition, summary table
+	// otherwise). Setting it without Metrics creates a private registry.
+	MetricsPath string
+	// TracePath, when set, attaches a timeline recorder to the wrapped
+	// handle; Flush exports it as Chrome trace-event JSON.
+	TracePath string
 }
 
 // Option mutates Options.
@@ -86,10 +99,24 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 // WithCachePath sets the benchmark database file.
 func WithCachePath(path string) Option { return func(o *Options) { o.CachePath = path } }
 
+// WithMetrics points the handle's instrumentation at registry r.
+func WithMetrics(r *obs.Registry) Option { return func(o *Options) { o.Metrics = r } }
+
+// WithMetricsPath sets where Flush exports metrics, creating a private
+// registry if none was supplied.
+func WithMetricsPath(path string) Option { return func(o *Options) { o.MetricsPath = path } }
+
+// WithTracePath enables timeline recording and sets where Flush exports
+// the Chrome trace.
+func WithTracePath(path string) Option { return func(o *Options) { o.TracePath = path } }
+
 // FromEnv applies the paper's environment-variable configuration:
 // UCUDNN_BATCH_SIZE_POLICY, UCUDNN_WORKSPACE_LIMIT (bytes),
 // UCUDNN_TOTAL_WORKSPACE_SIZE (bytes; enables WD),
-// UCUDNN_BENCHMARK_DB_PATH and UCUDNN_WORKERS.
+// UCUDNN_BENCHMARK_DB_PATH and UCUDNN_WORKERS — plus the observability
+// outputs UCUDNN_METRICS and UCUDNN_TRACE (file paths exported by Flush;
+// "-" writes the metrics summary to stdout), so the Caffe-style
+// "swap the handle type" integration stays transparent.
 func FromEnv() Option {
 	return func(o *Options) {
 		if v := os.Getenv("UCUDNN_BATCH_SIZE_POLICY"); v != "" {
@@ -116,6 +143,12 @@ func FromEnv() Option {
 				o.Workers = n
 			}
 		}
+		if v := os.Getenv("UCUDNN_METRICS"); v != "" {
+			o.MetricsPath = v
+		}
+		if v := os.Getenv("UCUDNN_TRACE"); v != "" {
+			o.TracePath = v
+		}
 	}
 }
 
@@ -132,6 +165,8 @@ type Handle struct {
 	opts    Options
 	cache   *Cache
 	bencher *Bencher
+	m       *metricSet
+	tracer  *trace.Recorder
 
 	mu         sync.Mutex
 	plans      map[string]*execPlan
@@ -169,19 +204,30 @@ func New(inner *cudnn.Handle, opts ...Option) (*Handle, error) {
 	if o.Mode == WD && o.TotalWorkspaceLimit <= 0 {
 		return nil, fmt.Errorf("core: WD mode requires a positive total workspace limit")
 	}
+	if o.Metrics == nil && o.MetricsPath != "" {
+		o.Metrics = obs.NewRegistry()
+	}
 	cache, err := NewCache(o.CachePath)
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{
+	bencher := NewBencher(inner, cache, o.Workers)
+	bencher.SetMetrics(o.Metrics)
+	h := &Handle{
 		inner:   inner,
 		opts:    o,
 		cache:   cache,
-		bencher: NewBencher(inner, cache, o.Workers),
+		bencher: bencher,
+		m:       bencher.m,
 		plans:   map[string]*execPlan{},
 		limits:  map[string]int64{},
 		regSet:  map[string]bool{},
-	}, nil
+	}
+	if o.TracePath != "" {
+		h.tracer = trace.New()
+		inner.SetTrace(h.tracer)
+	}
+	return h, nil
 }
 
 // Inner returns the wrapped cuDNN handle for non-convolution calls.
@@ -192,6 +238,36 @@ func (h *Handle) Options() Options { return h.opts }
 
 // Cache returns the benchmark cache.
 func (h *Handle) Cache() *Cache { return h.cache }
+
+// Metrics returns the handle's metrics registry (nil when observability
+// is disabled).
+func (h *Handle) Metrics() *obs.Registry { return h.opts.Metrics }
+
+// TraceRecorder returns the timeline recorder attached via TracePath
+// (nil when tracing is disabled). Attach it to a dnn.Context's Trace
+// field to add per-layer spans alongside the kernel spans.
+func (h *Handle) TraceRecorder() *trace.Recorder { return h.tracer }
+
+// Flush exports the configured observability outputs: metrics to
+// Options.MetricsPath and the timeline to Options.TracePath. Framework
+// integrations call it once at process exit (the examples do); paths
+// that are unset are skipped, so Flush is always safe to call.
+func (h *Handle) Flush() error {
+	if err := h.opts.Metrics.WriteFile(h.opts.MetricsPath); err != nil {
+		return err
+	}
+	if h.tracer != nil && h.opts.TracePath != "" {
+		f, err := os.Create(h.opts.TracePath)
+		if err != nil {
+			return fmt.Errorf("core: writing trace: %w", err)
+		}
+		defer f.Close()
+		if err := h.tracer.WriteChrome(f); err != nil {
+			return fmt.Errorf("core: writing trace: %w", err)
+		}
+	}
+	return nil
+}
 
 // OptimizationTime returns the cumulative time spent benchmarking kernels
 // and solving the DP/ILP (the paper's §IV-B optimization-cost metric).
@@ -263,6 +339,8 @@ func (h *Handle) finalizeLocked() error {
 		return err
 	}
 	h.wdResult = res
+	h.m.wsRequested.Add(h.opts.TotalWorkspaceLimit)
+	h.m.wsGranted.Add(res.TotalWorkspace)
 	// Identical kernels share one workspace segment; each unique segment
 	// is accounted against device memory.
 	for _, p := range res.Plans {
@@ -270,6 +348,7 @@ func (h *Handle) finalizeLocked() error {
 		if _, ok := h.plans[key]; ok {
 			continue
 		}
+		h.m.microbatchCount.Observe(float64(len(p.Config)))
 		if err := h.inner.Mem().Alloc(p.Workspace); err != nil {
 			return fmt.Errorf("core: allocating WD segment for %v: %w", p.Kernel, err)
 		}
@@ -305,6 +384,9 @@ func (h *Handle) ensurePlan(k Kernel) (*execPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.m.wsRequested.Add(limit)
+	h.m.wsGranted.Add(plan.Workspace)
+	h.m.microbatchCount.Observe(float64(len(plan.Config)))
 	if err := h.inner.Mem().Alloc(plan.Workspace); err != nil {
 		return nil, fmt.Errorf("core: allocating workspace for %v: %w", k, err)
 	}
@@ -325,6 +407,7 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 	ws := h.wsArena[:(ep.plan.Workspace+3)/4]
 	off := 0
 	for i, mc := range ep.plan.Config {
+		h.m.algoSelected(op, mc.Algo)
 		mcs := cs.WithN(mc.BatchSize)
 		mx, my := x, y
 		if x != nil {

@@ -23,6 +23,9 @@ type WDResult struct {
 	ILPVars int
 	// ILPNodes is the number of branch-and-bound nodes explored.
 	ILPNodes int
+	// SimplexIters is the number of simplex pivots spent across the
+	// search's LP relaxations.
+	SimplexIters int
 	// SolveTime is the wall time spent in the ILP solver alone.
 	SolveTime time.Duration
 }
@@ -42,6 +45,8 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 	if len(kernels) == 0 {
 		return nil, fmt.Errorf("core: no kernels to optimize")
 	}
+	optStart := time.Now()
+	defer b.m.wdSeconds.ObserveSince(optStart)
 	// Group identical kernels.
 	type group struct {
 		kernel Kernel
@@ -117,6 +122,10 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 	solveStart := time.Now()
 	res, err := ilp.Solve(prob)
 	solveTime := time.Since(solveStart)
+	b.m.ilpVariables.Set(float64(n))
+	b.m.wdSolveSeconds.ObserveDuration(solveTime)
+	b.m.ilpNodes.Add(int64(res.Nodes))
+	b.m.simplexIters.Add(int64(res.SimplexIters))
 	if err != nil {
 		return nil, fmt.Errorf("core: WD ILP: %w", err)
 	}
@@ -131,7 +140,7 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 			chosen[r.g] = r.g.front[r.cfg]
 		}
 	}
-	out := &WDResult{ILPVars: n, ILPNodes: res.Nodes, SolveTime: solveTime}
+	out := &WDResult{ILPVars: n, ILPNodes: res.Nodes, SimplexIters: res.SimplexIters, SolveTime: solveTime}
 	for _, g := range groups {
 		sc, ok := chosen[g]
 		if !ok {
@@ -140,6 +149,8 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 		out.TotalTime += time.Duration(g.count) * sc.Time
 		out.TotalWorkspace += sc.Workspace
 	}
+	b.m.wdWorkspace.Set(float64(out.TotalWorkspace))
+	b.m.wdPredicted.Set(out.TotalTime.Seconds())
 	for i := range kernels {
 		sc := chosen[groupOf[i]]
 		out.Plans = append(out.Plans, Plan{

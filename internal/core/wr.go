@@ -17,6 +17,8 @@ import (
 // the limit, and the candidate sizes m are chosen by the batch-size
 // policy.
 func OptimizeWR(b *Bencher, k Kernel, wsLimit int64, policy Policy) (Plan, error) {
+	optStart := time.Now()
+	defer b.m.wrSeconds.ObserveSince(optStart)
 	n := k.Shape.In.N
 	sizes := policy.CandidateSizes(n)
 	perfs := b.PerfsForSizes(k, sizes)
@@ -43,11 +45,13 @@ func OptimizeWR(b *Bencher, k Kernel, wsLimit int64, policy Policy) (Plan, error
 	for i := 1; i <= n; i++ {
 		bestT[i] = unreachable
 	}
+	states := int64(0)
 	for i := 1; i <= n; i++ {
 		for _, m := range sizes {
 			if m > i {
 				break // sizes ascend
 			}
+			states++
 			mc, ok := t1[m]
 			if !ok || !mc.ok || bestT[i-m] == unreachable {
 				continue
@@ -59,6 +63,7 @@ func OptimizeWR(b *Bencher, k Kernel, wsLimit int64, policy Policy) (Plan, error
 			}
 		}
 	}
+	b.m.wrDPStates.Add(states)
 	if bestT[n] == unreachable {
 		return Plan{}, fmt.Errorf("core: no algorithm for %v fits %d bytes at any %v micro-batch size", k, wsLimit, policy)
 	}

@@ -21,6 +21,7 @@ import (
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
 	"ucudnn/internal/tensor"
+	"ucudnn/internal/trace"
 )
 
 // ConvHandle is the convolution call surface shared by cuDNN and µ-cuDNN.
@@ -60,6 +61,12 @@ type Context struct {
 	// SkipCompute runs the network for timing/planning only (model-only
 	// backends), skipping CPU arithmetic in non-convolution layers.
 	SkipCompute bool
+	// Trace, when non-nil, receives one span per layer per direction on
+	// track 1 of the device timeline (kernel-level spans land on track 0
+	// via the cudnn handle's own recorder). Point both at the same
+	// recorder to get the paper's Fig. 3 view: layer rows above the
+	// micro-batched kernels that implement them.
+	Trace *trace.Recorder
 
 	label string
 
@@ -332,6 +339,7 @@ func (n *Net) forwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name()
 	defer func() { n.ctx.label = "" }()
+	defer n.layerSpan(li.layer.Name(), "forward")()
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	for j, b := range li.bottoms {
 		bot[j] = n.blobs[b].Data
@@ -340,6 +348,26 @@ func (n *Net) forwardLayer(i int) error {
 		return fmt.Errorf("dnn: forward %s: %w", li.layer.Name(), err)
 	}
 	return nil
+}
+
+// layerSpan opens a per-layer span on the context's trace recorder and
+// returns the closure that records it; the span covers the simulated-
+// clock interval the layer's kernels charged. A no-op when tracing is
+// off.
+func (n *Net) layerSpan(name, dir string) func() {
+	if n.ctx.Trace == nil {
+		return func() {}
+	}
+	start := n.ctx.Cudnn.Elapsed()
+	return func() {
+		n.ctx.Trace.Add(trace.Event{
+			Name:  name,
+			Cat:   dir,
+			Start: start,
+			Dur:   n.ctx.Cudnn.Elapsed() - start,
+			Track: 1,
+		})
+	}
 }
 
 // Backward runs the full backward pass; loss layers seed their own bottom
@@ -366,6 +394,7 @@ func (n *Net) backwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name() + "/bwd"
 	defer func() { n.ctx.label = "" }()
+	defer n.layerSpan(li.layer.Name(), "backward")()
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	dbot := make([]*tensor.Tensor, len(li.bottoms))
 	for j, b := range li.bottoms {

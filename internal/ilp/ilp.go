@@ -27,6 +27,9 @@ type Result struct {
 	Obj    float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// SimplexIters is the total number of simplex pivots spent across all
+	// LP relaxations solved during the search.
+	SimplexIters int
 }
 
 const intTol = 1e-6
@@ -151,7 +154,7 @@ func Solve(p *Problem) (Result, error) {
 	q := &nodeQueue{}
 	heap.Init(q)
 	heap.Push(q, &node{bound: math.Inf(-1), fixed: map[int]float64{}})
-	nodes := 0
+	nodes, simplexIters := 0, 0
 	for q.Len() > 0 {
 		nodes++
 		if nodes > maxNodes {
@@ -176,6 +179,7 @@ func Solve(p *Problem) (Result, error) {
 			continue
 		}
 		rel, err := lp.Solve(relProb)
+		simplexIters += rel.Iters
 		if err != nil {
 			return Result{}, err
 		}
@@ -183,7 +187,7 @@ func Solve(p *Problem) (Result, error) {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
-			return Result{Status: lp.Unbounded}, nil
+			return Result{Status: lp.Unbounded, Nodes: nodes, SimplexIters: simplexIters}, nil
 		}
 		// Lift the relaxation solution back to original indices.
 		fullX := make([]float64, n)
@@ -235,6 +239,7 @@ func Solve(p *Problem) (Result, error) {
 		}
 	}
 	best.Nodes = nodes
+	best.SimplexIters = simplexIters
 	return best, nil
 }
 

@@ -65,6 +65,9 @@ type Result struct {
 	Status Status
 	X      []float64
 	Obj    float64
+	// Iters is the total number of simplex pivots performed across both
+	// phases — the per-solve cost metric the observability layer reports.
+	Iters int
 }
 
 const eps = 1e-9
@@ -162,6 +165,7 @@ func Solve(p *Problem) (Result, error) {
 	}
 
 	// Phase 1: minimize the sum of artificials.
+	pivots := 0
 	if nArt > 0 {
 		obj := make([]float64, cols)
 		for j := n + nSlack; j < n+nSlack+nArt; j++ {
@@ -177,7 +181,9 @@ func Solve(p *Problem) (Result, error) {
 		}
 		// Artificials start basic and may only leave: entering columns are
 		// limited to structural and slack variables.
-		if st := iterate(t, basis, obj, n+nSlack); st == Unbounded {
+		st, its := iterate(t, basis, obj, n+nSlack)
+		pivots += its
+		if st == Unbounded {
 			// Phase 1 objective is bounded below by 0; cannot happen.
 			return Result{}, fmt.Errorf("lp: internal error: phase 1 unbounded")
 		}
@@ -188,7 +194,7 @@ func Solve(p *Problem) (Result, error) {
 			}
 		}
 		if sum > 1e-7 {
-			return Result{Status: Infeasible}, nil
+			return Result{Status: Infeasible, Iters: pivots}, nil
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i := 0; i < m; i++ {
@@ -229,8 +235,10 @@ func Solve(p *Problem) (Result, error) {
 		}
 	}
 	// Forbid artificial columns from re-entering.
-	if st := iterate(t, basis, obj, n+nSlack); st == Unbounded {
-		return Result{Status: Unbounded}, nil
+	st, its := iterate(t, basis, obj, n+nSlack)
+	pivots += its
+	if st == Unbounded {
+		return Result{Status: Unbounded, Iters: pivots}, nil
 	}
 
 	x := make([]float64, n)
@@ -243,7 +251,7 @@ func Solve(p *Problem) (Result, error) {
 	for j := 0; j < n; j++ {
 		objVal += p.C[j] * x[j]
 	}
-	return Result{Status: Optimal, X: x, Obj: objVal}, nil
+	return Result{Status: Optimal, X: x, Obj: objVal, Iters: pivots}, nil
 }
 
 // blandAfter is the pivot count after which iterate abandons Dantzig
@@ -251,13 +259,14 @@ func Solve(p *Problem) (Result, error) {
 const blandAfter = 2000
 
 // iterate runs primal simplex pivots on tableau t with the given reduced-
-// cost row, allowing entering columns < limit. Pricing is Dantzig (most
-// negative reduced cost) for speed, falling back to Bland's rule
-// (lowest-index) after blandAfter pivots to guarantee termination.
-func iterate(t [][]float64, basis []int, obj []float64, limit int) Status {
+// cost row, allowing entering columns < limit, and reports the status
+// plus the number of pivots performed. Pricing is Dantzig (most negative
+// reduced cost) for speed, falling back to Bland's rule (lowest-index)
+// after blandAfter pivots to guarantee termination.
+func iterate(t [][]float64, basis []int, obj []float64, limit int) (Status, int) {
 	m := len(t)
 	if m == 0 {
-		return Optimal
+		return Optimal, 0
 	}
 	cols := len(t[0])
 	rhs := cols - 1
@@ -280,7 +289,7 @@ func iterate(t [][]float64, basis []int, obj []float64, limit int) Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, iter
 		}
 		leave := -1
 		best := math.Inf(1)
@@ -294,7 +303,7 @@ func iterate(t [][]float64, basis []int, obj []float64, limit int) Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, iter
 		}
 		pivot(t, basis, leave, enter)
 		// Update the reduced-cost row.

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+	h := r.Histogram("h_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(50)
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got != 50.055 {
+		t.Fatalf("histogram sum = %v", got)
+	}
+}
+
+func TestRegistryReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("op", "fwd"))
+	b := r.Counter("x", L("op", "fwd"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("x", L("op", "bwd"))
+	if a == other {
+		t.Fatal("different labels must return distinct counters")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("hh", CountBuckets, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("hh", CountBuckets, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order must not create a new series")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// run under -race it verifies the lock-free paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c_total").Inc()
+				r.Counter("labeled_total", L("w", "shared")).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", CountBuckets).Observe(float64(i % 70))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Counter("labeled_total", L("w", "shared")).Value(); got != workers*per {
+		t.Fatalf("labeled counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h", CountBuckets).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+const goldenPrometheus = `# TYPE ucudnn_cache_hits_total counter
+ucudnn_cache_hits_total 7
+# TYPE ucudnn_ilp_variables gauge
+ucudnn_ilp_variables 562
+# TYPE ucudnn_opt_wr_seconds histogram
+ucudnn_opt_wr_seconds_bucket{le="0.01"} 1
+ucudnn_opt_wr_seconds_bucket{le="1"} 2
+ucudnn_opt_wr_seconds_bucket{le="+Inf"} 3
+ucudnn_opt_wr_seconds_sum 40.15
+ucudnn_opt_wr_seconds_count 3
+# TYPE ucudnn_selected_total counter
+ucudnn_selected_total{algo="fft",op="Forward"} 2
+ucudnn_selected_total{algo="gemm",op="Forward"} 1
+`
+
+const goldenSummary = `metric                                           value
+ucudnn_cache_hits_total                          7
+ucudnn_ilp_variables                             562
+ucudnn_opt_wr_seconds                            count=3 sum=40.15 mean=13.383333333333333
+ucudnn_selected_total{algo="fft",op="Forward"}   2
+ucudnn_selected_total{algo="gemm",op="Forward"}  1
+`
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ucudnn_cache_hits_total").Add(7)
+	r.Gauge("ucudnn_ilp_variables").Set(562)
+	h := r.Histogram("ucudnn_opt_wr_seconds", []float64{0.01, 1})
+	h.Observe(0.004)
+	h.Observe(0.146)
+	h.Observe(40)
+	r.Counter("ucudnn_selected_total", L("op", "Forward"), L("algo", "fft")).Add(2)
+	r.Counter("ucudnn_selected_total", L("op", "Forward"), L("algo", "gemm")).Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenPrometheus {
+		t.Fatalf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), goldenPrometheus)
+	}
+}
+
+func TestWriteSummaryGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenSummary {
+		t.Fatalf("summary mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), goldenSummary)
+	}
+}

@@ -51,12 +51,22 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Events returns a snapshot sorted by start time.
+// Events returns a snapshot sorted by (Start, Track, Name). The key is
+// total over concurrent recordings, so exports are byte-identical across
+// runs regardless of the order events arrived in.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := append([]Event{}, r.events...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

@@ -80,6 +80,42 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestEventsTotalOrder inserts events that tie on Start in two different
+// arrival orders and asserts the exported order (and bytes) match: the
+// sort key (Start, Track, Name) is total, so exports are deterministic
+// across runs even when concurrent recorders race on insertion order.
+func TestEventsTotalOrder(t *testing.T) {
+	tied := []Event{
+		{Name: "b", Cat: "conv", Start: 5 * time.Microsecond, Dur: time.Microsecond, Track: 1},
+		{Name: "a", Cat: "conv", Start: 5 * time.Microsecond, Dur: time.Microsecond, Track: 1},
+		{Name: "z", Cat: "layer", Start: 5 * time.Microsecond, Dur: time.Microsecond, Track: 0},
+		{Name: "c", Cat: "conv", Start: time.Microsecond, Dur: time.Microsecond, Track: 2},
+	}
+	fwd, rev := New(), New()
+	for _, ev := range tied {
+		fwd.Add(ev)
+	}
+	for i := len(tied) - 1; i >= 0; i-- {
+		rev.Add(tied[i])
+	}
+	want := []string{"c", "z", "a", "b"}
+	for i, ev := range fwd.Events() {
+		if ev.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want[i])
+		}
+	}
+	var bufFwd, bufRev bytes.Buffer
+	if err := fwd.WriteChrome(&bufFwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.WriteChrome(&bufRev); err != nil {
+		t.Fatal(err)
+	}
+	if bufFwd.String() != bufRev.String() {
+		t.Fatalf("export depends on insertion order:\n%s\nvs\n%s", bufFwd.String(), bufRev.String())
+	}
+}
+
 func TestEmptyWriteChrome(t *testing.T) {
 	var buf bytes.Buffer
 	if err := New().WriteChrome(&buf); err != nil {
