@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check race fmt
+.PHONY: build test bench bench-smoke check race fmt
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test: build
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE
+
+# bench-smoke is a short pass over the convolution kernel
+# micro-benchmarks (the BENCH_kernels.json baseline): enough iterations
+# to catch a kernel that stopped running or started allocating, fast
+# enough for the pre-commit gate.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkConvKernels$$|BenchmarkConvBackwardFilter' \
+		-benchtime=3x -benchmem ./internal/conv/
 
 # race runs the concurrency-sensitive packages (metrics registry, core
 # handle, trace recorder) under the race detector.
@@ -21,9 +29,10 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # check is the pre-commit gate: tier-1 build+test plus vet, formatting,
-# and the race pass.
+# the race pass, and the kernel benchmark smoke run.
 check: build
 	$(GO) vet ./...
 	@$(MAKE) --no-print-directory fmt
 	$(GO) test ./...
 	@$(MAKE) --no-print-directory race
+	@$(MAKE) --no-print-directory bench-smoke

@@ -5,6 +5,7 @@
 //
 //	ucudnn-bench -exp fig10 [-device p100] [-batch 256] [-iters 3] [-csv out.csv]
 //	ucudnn-bench -exp all -metrics metrics.prom -trace trace.json
+//	ucudnn-bench -exp fig10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table1
 // opttime summary.
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ucudnn/internal/bench"
@@ -30,12 +33,42 @@ func main() {
 	csvPath := flag.String("csv", "", "also write CSV rows to this file")
 	metricsPath := flag.String("metrics", "", "write cumulative µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of every timed run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run for go tool pprof")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit for go tool pprof")
 	flag.Parse()
 
 	d, err := device.ByName(*dev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 	cfg := bench.Config{Device: d, Batch: *batch, Iters: *iters, Out: os.Stdout}
 	if *csvPath != "" {

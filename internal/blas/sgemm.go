@@ -28,6 +28,17 @@ const parallelThreshold = 1 << 16
 // A is (m x k) after op, with leading dimension lda; B is (k x n) after
 // op, with leading dimension ldb; C is (m x n) with leading dimension ldc.
 func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	SgemmWorkers(0, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// SgemmWorkers is Sgemm with an explicit cap on the goroutines used:
+// workers <= 0 selects automatically (GOMAXPROCS, dropping to one thread
+// for small products), workers == 1 forces the serial path (callers that
+// already parallelize across GEMM invocations use this to avoid
+// oversubscription). Every element of C is accumulated in the same order
+// regardless of the worker count, so results are bit-identical across
+// all settings.
+func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if m == 0 || n == 0 {
 		return
 	}
@@ -37,9 +48,11 @@ func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int
 		return
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if int64(m)*int64(n)*int64(k) < parallelThreshold {
-		workers = 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if int64(m)*int64(n)*int64(k) < parallelThreshold {
+			workers = 1
+		}
 	}
 	if workers > m {
 		workers = m
@@ -172,11 +185,44 @@ func packAPanel(pack *[blockM * blockK]float32, transA bool, a []float32, lda in
 
 // microKernel accumulates packA (ib x kb) * packB (kb x jb) into
 // C[i0:i0+ib, j0:j0+jb]. The inner loop is over j so it vectorizes.
+//
+// Rows are processed in pairs so each loaded B element feeds two C rows,
+// halving B-panel bandwidth. Each C element still sees the exact k-pair
+// accumulation order of the single-row kernel, so results are unchanged
+// bit for bit.
 func microKernel(packA *[blockM * blockK]float32, packB *[blockK * blockN]float32, ib, jb, kb int, c []float32, ldc, i0, j0 int) {
-	for i := 0; i < ib; i++ {
+	i := 0
+	for ; i+1 < ib; i += 2 {
+		crow0 := c[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+jb]
+		crow1 := c[(i0+i+1)*ldc+j0 : (i0+i+1)*ldc+j0+jb]
+		arow0 := packA[i*kb : (i+1)*kb]
+		arow1 := packA[(i+1)*kb : (i+2)*kb]
+		p := 0
+		for ; p+1 < kb; p += 2 {
+			a00, a01 := arow0[p], arow0[p+1]
+			a10, a11 := arow1[p], arow1[p+1]
+			b0 := packB[p*jb : (p+1)*jb]
+			b1 := packB[(p+1)*jb : (p+2)*jb]
+			crow1 := crow1[:len(b0)]
+			for j, c0 := range crow0 {
+				crow0[j] = c0 + a00*b0[j] + a01*b1[j]
+				crow1[j] += a10*b0[j] + a11*b1[j]
+			}
+		}
+		if p < kb {
+			a00 := arow0[p]
+			a10 := arow1[p]
+			b0 := packB[p*jb : (p+1)*jb]
+			crow1 := crow1[:len(b0)]
+			for j, c0 := range crow0 {
+				crow0[j] = c0 + a00*b0[j]
+				crow1[j] += a10 * b0[j]
+			}
+		}
+	}
+	if i < ib {
 		crow := c[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+jb]
 		arow := packA[i*kb : (i+1)*kb]
-		// Unroll over k in pairs to expose more ILP.
 		p := 0
 		for ; p+1 < kb; p += 2 {
 			a0, a1 := arow[p], arow[p+1]

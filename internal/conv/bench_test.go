@@ -1,0 +1,122 @@
+package conv_test
+
+// Micro-benchmarks of the real CPU convolution kernels. These are the
+// perf gate behind `make bench-smoke` and the numbers committed in
+// BENCH_kernels.json: run with
+//
+//	go test -run=NONE -bench=BenchmarkConvKernels -benchmem ./internal/conv/
+//
+// The shapes are batch >= 8 so the batch-striped execution engine has
+// samples to distribute; allocs/op is the steady-state allocation count
+// the engine is required to keep at zero for the GEMM and Winograd
+// forward paths.
+
+import (
+	"fmt"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/tensor"
+)
+
+// benchShape is a mid-sized 3x3 stride-1 layer every algorithm supports.
+func benchShape(n int) tensor.ConvShape {
+	return tensor.ConvShape{
+		In:     tensor.Shape{N: n, C: 16, H: 28, W: 28},
+		Filt:   tensor.Filter{K: 32, C: 16, R: 3, S: 3},
+		Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1},
+	}
+}
+
+func benchProblem(b *testing.B, op conv.Op, algo conv.Algo, cs tensor.ConvShape) (*tensor.Tensor, *tensor.FilterTensor, *tensor.Tensor, []float32) {
+	b.Helper()
+	if !conv.Supported(op, algo, cs) {
+		b.Skipf("%v unsupported for %v on %v", algo, op, cs)
+	}
+	// Benchmarks measure the engine at its automatic worker count (the
+	// machine's GOMAXPROCS), not the deterministic pin TestMain sets for
+	// the unit tests.
+	prev := conv.SetMaxWorkers(0)
+	b.Cleanup(func() { conv.SetMaxWorkers(prev) })
+	x := tensor.NewShaped(cs.In)
+	w := tensor.NewFilter(cs.Filt.K, cs.Filt.C, cs.Filt.R, cs.Filt.S)
+	y := tensor.NewShaped(cs.OutShape())
+	for i := range x.Data {
+		x.Data[i] = float32(i%17) * 0.25
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) * 0.5
+	}
+	wsBytes, ok := conv.Workspace(op, algo, cs)
+	if !ok {
+		b.Fatalf("Workspace(%v, %v) unsupported", op, algo)
+	}
+	return x, w, y, make([]float32, (wsBytes+3)/4)
+}
+
+// BenchmarkConvKernels measures the forward kernels at batch 8 — the
+// micro-benchmark the ISSUE's >=2x GEMM speedup criterion refers to.
+func BenchmarkConvKernels(b *testing.B) {
+	cs := benchShape(8)
+	for _, algo := range []conv.Algo{
+		conv.AlgoGemm, conv.AlgoWinograd, conv.AlgoWinogradNonfused,
+		conv.AlgoImplicitGemm, conv.AlgoFFTTiling, conv.AlgoDirect,
+	} {
+		b.Run(algo.String(), func(b *testing.B) {
+			x, w, y, ws := benchProblem(b, conv.Forward, algo, cs)
+			// Warm up once: transform caches etc. are one-time costs.
+			if err := conv.Run(conv.Forward, algo, cs, x, w, y, 1, 0, ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conv.Run(conv.Forward, algo, cs, x, w, y, 1, 0, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvBackwardFilter measures the gradient kernels whose
+// deterministic batch-order accumulation the micro-batch tests rely on.
+func BenchmarkConvBackwardFilter(b *testing.B) {
+	cs := benchShape(8)
+	for _, algo := range []conv.Algo{conv.AlgoGemm, conv.AlgoWinogradNonfused} {
+		b.Run(algo.String(), func(b *testing.B) {
+			x, w, y, ws := benchProblem(b, conv.BackwardFilter, algo, cs)
+			if err := conv.Run(conv.BackwardFilter, algo, cs, x, w, y, 1, 0, ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conv.Run(conv.BackwardFilter, algo, cs, x, w, y, 1, 0, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvKernelsBatch sweeps the GEMM forward kernel over batch
+// sizes, charting how striping scales with available samples.
+func BenchmarkConvKernelsBatch(b *testing.B) {
+	for _, n := range []int{1, 8, 32} {
+		cs := benchShape(n)
+		b.Run(fmt.Sprintf("GEMM/b%d", n), func(b *testing.B) {
+			x, w, y, ws := benchProblem(b, conv.Forward, conv.AlgoGemm, cs)
+			if err := conv.Run(conv.Forward, conv.AlgoGemm, cs, x, w, y, 1, 0, ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conv.Run(conv.Forward, conv.AlgoGemm, cs, x, w, y, 1, 0, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -10,7 +10,9 @@
 //
 // and are numerically validated against the direct reference in the tests.
 // Workspace requirements are exact: Run never touches more than
-// Workspace(op, algo, cs) bytes of the provided scratch buffer.
+// Workspace(op, algo, cs) bytes of the provided scratch buffer, and runs
+// with as little as MinWorkspace(op, algo, cs) bytes by degrading to
+// fewer workspace strips (see engine.go for the execution model).
 package conv
 
 import (
@@ -97,25 +99,33 @@ func (a Algo) String() string {
 	return fmt.Sprintf("Algo(%d)", int(a))
 }
 
+// Per-op algorithm sets, hoisted to package level so AlgosFor (on Run's
+// validation path) stays allocation-free.
+var (
+	forwardAlgos = []Algo{
+		AlgoImplicitGemm, AlgoImplicitPrecompGemm, AlgoGemm, AlgoDirect,
+		AlgoFFT, AlgoFFTTiling, AlgoWinograd, AlgoWinogradNonfused,
+	}
+	backwardDataAlgos = []Algo{
+		AlgoImplicitGemm, AlgoGemm, AlgoDirect,
+		AlgoFFT, AlgoFFTTiling, AlgoWinograd, AlgoWinogradNonfused,
+	}
+	backwardFilterAlgos = []Algo{
+		AlgoImplicitGemm, AlgoGemm, AlgoDirect,
+		AlgoFFT, AlgoFFTTiling, AlgoWinogradNonfused,
+	}
+)
+
 // AlgosFor returns the algorithms available for op, mirroring the per-op
-// algorithm sets of cuDNN v7.
+// algorithm sets of cuDNN v7. Callers must not mutate the returned slice.
 func AlgosFor(op Op) []Algo {
 	switch op {
 	case Forward:
-		return []Algo{
-			AlgoImplicitGemm, AlgoImplicitPrecompGemm, AlgoGemm, AlgoDirect,
-			AlgoFFT, AlgoFFTTiling, AlgoWinograd, AlgoWinogradNonfused,
-		}
+		return forwardAlgos
 	case BackwardData:
-		return []Algo{
-			AlgoImplicitGemm, AlgoGemm, AlgoDirect,
-			AlgoFFT, AlgoFFTTiling, AlgoWinograd, AlgoWinogradNonfused,
-		}
+		return backwardDataAlgos
 	case BackwardFilter:
-		return []Algo{
-			AlgoImplicitGemm, AlgoGemm, AlgoDirect,
-			AlgoFFT, AlgoFFTTiling, AlgoWinogradNonfused,
-		}
+		return backwardFilterAlgos
 	}
 	return nil
 }
@@ -167,9 +177,26 @@ func Supported(op Op, algo Algo, cs tensor.ConvShape) bool {
 	return false
 }
 
-// Workspace returns the exact scratch requirement in bytes for running op
-// with algo on shape cs, and whether the combination is supported.
+// Workspace returns the scratch requirement in bytes for running op with
+// algo on shape cs at full parallelism — P = min(MaxWorkers, batch)
+// workspace strips for the batch-striped algorithms, plus per-worker
+// scratch arenas for the tile-parallel ones — and whether the combination
+// is supported. Run never touches more than this many bytes, and the
+// WR/WD optimizers therefore account the true workspace cost of parallel
+// execution.
 func Workspace(op Op, algo Algo, cs tensor.ConvShape) (int64, bool) {
+	return workspaceSize(op, algo, cs, false)
+}
+
+// MinWorkspace returns the single-strip workspace floor in bytes: the
+// least scratch with which Run can execute op at all. Granting less than
+// Workspace but at least MinWorkspace degrades execution to fewer strips
+// (down to the serial single-strip path) without changing results.
+func MinWorkspace(op Op, algo Algo, cs tensor.ConvShape) (int64, bool) {
+	return workspaceSize(op, algo, cs, true)
+}
+
+func workspaceSize(op Op, algo Algo, cs tensor.ConvShape, minimal bool) (int64, bool) {
 	if !Supported(op, algo, cs) {
 		return 0, false
 	}
@@ -179,15 +206,15 @@ func Workspace(op Op, algo Algo, cs tensor.ConvShape) (int64, bool) {
 	case AlgoImplicitPrecompGemm:
 		return precompWorkspace(cs), true
 	case AlgoGemm:
-		return gemmWorkspace(op, cs), true
+		return gemmWorkspace(op, cs, minimal), true
 	case AlgoFFT:
 		return fftWorkspace(op, cs), true
 	case AlgoFFTTiling:
 		return fftTilingWorkspace(op, cs), true
 	case AlgoWinograd:
-		return winogradWorkspace(op, cs, true), true
+		return winogradWorkspace(op, cs, true, minimal), true
 	case AlgoWinogradNonfused:
-		return winogradWorkspace(op, cs, false), true
+		return winogradWorkspace(op, cs, false, minimal), true
 	}
 	return 0, false
 }
@@ -199,8 +226,10 @@ func Workspace(op Op, algo Algo, cs tensor.ConvShape) (int64, bool) {
 //	BackwardData:   x = alpha*corr*(y, w) + beta*x   (x holds dX, y holds dY)
 //	BackwardFilter: w = alpha*grad(x, y) + beta*w    (w holds dW, y holds dY)
 //
-// ws must hold at least Workspace(op, algo, cs) bytes (len(ws) is in
-// float32 elements, i.e. bytes/4).
+// ws must hold at least MinWorkspace(op, algo, cs) bytes (len(ws) is in
+// float32 elements, i.e. bytes/4). Run uses as many workspace strips as
+// fit in ws, up to the Workspace(op, algo, cs) full-parallel layout, and
+// produces bit-identical results at every strip and worker count.
 func Run(op Op, algo Algo, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) error {
 	if !Supported(op, algo, cs) {
 		return fmt.Errorf("conv: %v not supported for %v on %v", algo, op, cs)
@@ -214,7 +243,7 @@ func Run(op Op, algo Algo, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filt
 	if out := cs.OutShape(); y.Shape != out {
 		return fmt.Errorf("conv: y shape %v != %v", y.Shape, out)
 	}
-	if need, _ := Workspace(op, algo, cs); int64(len(ws))*4 < need {
+	if need, _ := MinWorkspace(op, algo, cs); int64(len(ws))*4 < need {
 		return fmt.Errorf("conv: workspace too small: have %d bytes, need %d", int64(len(ws))*4, need)
 	}
 	switch algo {

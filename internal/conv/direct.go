@@ -82,34 +82,38 @@ func runDirect(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTen
 		})
 	case BackwardFilter:
 		// dW[k,c,r,s] = sum_n sum_{oh,ow} dY[n,k,oh,ow] * X[n,c,ih,iw].
-		// The n loop is outermost per element and strictly ordered.
-		parallelFor(f.K, func(k int) {
-			for c := 0; c < f.C; c++ {
-				for r := 0; r < f.R; r++ {
-					for s := 0; s < f.S; s++ {
-						elem := &w.Data[w.Index(k, c, r, s)]
-						if beta == 0 {
-							*elem = 0
-						} else {
-							*elem *= beta
-						}
-						for n := 0; n < in.N; n++ {
-							var part float32
-							for oh := 0; oh < out.H; oh++ {
-								ih := oh*p.StrideH - p.PadH + r*p.DilationH
-								if ih < 0 || ih >= in.H {
+		// The n loop is outermost per element and strictly ordered. The
+		// task grid is K*C so deep-but-narrow layers (small K, large C)
+		// still expose enough tasks to occupy every worker; each (k, c)
+		// pair owns a disjoint R*S block of dW, and the per-element order
+		// is identical at every grid width and worker count.
+		parallelFor(f.K*f.C, func(idx int) {
+			k := idx / f.C
+			c := idx % f.C
+			for r := 0; r < f.R; r++ {
+				for s := 0; s < f.S; s++ {
+					elem := &w.Data[w.Index(k, c, r, s)]
+					if beta == 0 {
+						*elem = 0
+					} else {
+						*elem *= beta
+					}
+					for n := 0; n < in.N; n++ {
+						var part float32
+						for oh := 0; oh < out.H; oh++ {
+							ih := oh*p.StrideH - p.PadH + r*p.DilationH
+							if ih < 0 || ih >= in.H {
+								continue
+							}
+							for ow := 0; ow < out.W; ow++ {
+								iw := ow*p.StrideW - p.PadW + s*p.DilationW
+								if iw < 0 || iw >= in.W {
 									continue
 								}
-								for ow := 0; ow < out.W; ow++ {
-									iw := ow*p.StrideW - p.PadW + s*p.DilationW
-									if iw < 0 || iw >= in.W {
-										continue
-									}
-									part += y.At(n, k, oh, ow) * x.At(n, c, ih, iw)
-								}
+								part += y.At(n, k, oh, ow) * x.At(n, c, ih, iw)
 							}
-							*elem += alpha * part
 						}
+						*elem += alpha * part
 					}
 				}
 			}

@@ -42,9 +42,10 @@ func ExampleWorkspace() {
 		Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1},
 	}
 	gemm, _ := conv.Workspace(conv.Forward, conv.AlgoGemm, cs)
+	gemmMin, _ := conv.MinWorkspace(conv.Forward, conv.AlgoGemm, cs)
 	fft, _ := conv.Workspace(conv.Forward, conv.AlgoFFT, cs)
-	fmt.Printf("GEMM %d MiB, FFT %d MiB\n", gemm>>20, fft>>20)
-	// Output: GEMM 4 MiB, FFT 280 MiB
+	fmt.Printf("GEMM %d MiB (floor %d MiB), FFT %d MiB\n", gemm>>20, gemmMin>>20, fft>>20)
+	// Output: GEMM 17 MiB (floor 4 MiB), FFT 280 MiB
 }
 
 // ExampleAlgosFor lists the algorithm sets per operation.

@@ -27,8 +27,19 @@ func newSpectralPlan(rows, cols int) spectralPlan {
 // planeFloats returns the number of float32 elements per stored plane.
 func (pl spectralPlan) planeFloats() int { return 2 * pl.p * pl.hw }
 
-// scratch returns a complex work buffer for one full plane.
-func (pl spectralPlan) scratch() []complex128 { return make([]complex128, pl.p*pl.q) }
+// scratchBlock returns one full-plane complex work buffer per engine
+// worker, as a single backing allocation; scratchFor slices out worker
+// wk's plane. Allocating the block once per Run (instead of one plane
+// per task) keeps the FFT kernels' steady-state allocation count flat in
+// the tile and plane counts.
+func (pl spectralPlan) scratchBlock(workers int) []complex128 {
+	return make([]complex128, workers*pl.p*pl.q)
+}
+
+func (pl spectralPlan) scratchFor(block []complex128, wk int) []complex128 {
+	n := pl.p * pl.q
+	return block[wk*n : (wk+1)*n]
+}
 
 // fwdInto transforms a real rows x cols gather into dst's half-spectrum.
 // gather(r, c) is only called for r < rows, c < cols; the rest is zero.
@@ -167,14 +178,16 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 	wspec := ws[:chunk*pf]
 	xspec := ws[chunk*pf : (chunk+n*c)*pf]
 	yspec := ws[(chunk+n*c)*pf : (chunk+n*c+n*k)*pf]
+	workers := MaxWorkers()
+	scrBlock := pl.scratchBlock(workers)
 
 	switch op {
 	case Forward:
 		kch := imin(k, fftFilterChunk)
 		// Padded-input spectra (resident for all chunks).
-		parallelFor(n*c, func(i int) {
+		parallelForW(workers, n*c, func(wk, i int) {
 			nn, cc := i/c, i%c
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
 				ih, iw := r-p.PadH, s-p.PadW
 				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
@@ -186,15 +199,15 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 		for k0 := 0; k0 < k; k0 += kch {
 			kc := imin(kch, k-k0)
 			// Filter spectra for this chunk of output channels.
-			parallelFor(kc*c, func(i int) {
+			parallelForW(workers, kc*c, func(wk, i int) {
 				dk, cc := i/c, i%c
-				scr := pl.scratch()
+				scr := pl.scratchFor(scrBlock, wk)
 				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
 					return w.At(k0+dk, cc, r, s)
 				}, scr)
 			})
 			// Pointwise accumulate over channels, inverse, blend.
-			parallelFor(n*kc, func(i int) {
+			parallelForW(workers, n*kc, func(wk, i int) {
 				nn, dk := i/kc, i%kc
 				kk := k0 + dk
 				acc := yspec[(nn*k+kk)*pf : (nn*k+kk+1)*pf]
@@ -202,7 +215,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				for cc := 0; cc < c; cc++ {
 					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(dk*c+cc)*pf:(dk*c+cc+1)*pf])
 				}
-				scr := pl.scratch()
+				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for oh := 0; oh < out.H; oh++ {
 					for ow := 0; ow < out.W; ow++ {
@@ -215,9 +228,9 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
 		cch := imin(c, fftFilterChunk)
 		// Padded dY spectra, stored in yspec [n][k], resident.
-		parallelFor(n*k, func(i int) {
+		parallelForW(workers, n*k, func(wk, i int) {
 			nn, kk := i/k, i%k
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H+2*padB, out.W+2*padBW, func(r, s int) float32 {
 				oh, ow := r-padB, s-padBW
 				if oh < 0 || oh >= out.H || ow < 0 || ow >= out.W {
@@ -230,15 +243,15 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 			ccnt := imin(cch, c-c0)
 			// Rotated-filter spectra for this chunk of input channels,
 			// indexed [dc][k].
-			parallelFor(ccnt*k, func(i int) {
+			parallelForW(workers, ccnt*k, func(wk, i int) {
 				dc, kk := i/k, i%k
-				scr := pl.scratch()
+				scr := pl.scratchFor(scrBlock, wk)
 				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
 					return w.At(kk, c0+dc, f.R-1-r, f.S-1-s)
 				}, scr)
 			})
 			// dX[n,c] = sum_k corr(padded dY[n,k], rot(w[k,c])).
-			parallelFor(n*ccnt, func(i int) {
+			parallelForW(workers, n*ccnt, func(wk, i int) {
 				nn, dc := i/ccnt, i%ccnt
 				cc := c0 + dc
 				acc := xspec[(nn*c+cc)*pf : (nn*c+cc+1)*pf]
@@ -246,7 +259,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				for kk := 0; kk < k; kk++ {
 					accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(dc*k+kk)*pf:(dc*k+kk+1)*pf])
 				}
-				scr := pl.scratch()
+				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for ih := 0; ih < in.H; ih++ {
 					for iw := 0; iw < in.W; iw++ {
@@ -258,9 +271,9 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 	case BackwardFilter:
 		kch := imin(k, fftFilterChunk)
 		// dW[k,c] = sum_n corr(padded X[n,c], dY[n,k])[0:R, 0:S].
-		parallelFor(n*c, func(i int) {
+		parallelForW(workers, n*c, func(wk, i int) {
 			nn, cc := i/c, i%c
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
 				ih, iw := r-p.PadH, s-p.PadW
 				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
@@ -269,16 +282,16 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				return x.At(nn, cc, ih, iw)
 			}, scr)
 		})
-		parallelFor(n*k, func(i int) {
+		parallelForW(workers, n*k, func(wk, i int) {
 			nn, kk := i/k, i%k
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H, out.W, func(r, s int) float32 {
 				return y.At(nn, kk, r, s)
 			}, scr)
 		})
 		for k0 := 0; k0 < k; k0 += kch {
 			kc := imin(kch, k-k0)
-			parallelFor(kc*c, func(i int) {
+			parallelForW(workers, kc*c, func(wk, i int) {
 				dk, cc := i/c, i%c
 				kk := k0 + dk
 				acc := wspec[i*pf : (i+1)*pf]
@@ -286,7 +299,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				for nn := 0; nn < n; nn++ {
 					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
 				}
-				scr := pl.scratch()
+				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for r := 0; r < f.R; r++ {
 					for s := 0; s < f.S; s++ {
@@ -313,14 +326,16 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 	wspec := ws[:k*c*pf]
 	xspec := ws[k*c*pf : (k*c+n*c)*pf]
 	yspec := ws[(k*c+n*c)*pf : (k*c+n*c+n*k)*pf]
+	workers := MaxWorkers()
+	scrBlock := pl.scratchBlock(workers)
 
 	switch op {
 	case Forward:
 		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(out.H, tileOutH), ceilDiv(out.W, tileOutW)
-		parallelFor(k*c, func(i int) {
+		parallelForW(workers, k*c, func(wk, i int) {
 			kk, cc := i/c, i%c
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
 				return w.At(kk, cc, r, s)
 			}, scr)
@@ -328,9 +343,9 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileOutH, tw*tileOutW
-				parallelFor(n*c, func(i int) {
+				parallelForW(workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
 						ih := baseH + r - p.PadH
 						iw := baseW + s - p.PadW
@@ -340,14 +355,14 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return x.At(nn, cc, ih, iw)
 					}, scr)
 				})
-				parallelFor(n*k, func(i int) {
+				parallelForW(workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
 					acc := yspec[i*pf : (i+1)*pf]
 					zeroPlane(acc)
 					for cc := 0; cc < c; cc++ {
 						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(kk*c+cc)*pf:(kk*c+cc+1)*pf])
 					}
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.invFrom(acc, scr)
 					for dh := 0; dh < tileOutH && baseH+dh < out.H; dh++ {
 						for dw := 0; dw < tileOutW && baseW+dw < out.W; dw++ {
@@ -362,9 +377,9 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
 		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(in.H, tileOutH), ceilDiv(in.W, tileOutW)
-		parallelFor(c*k, func(i int) {
+		parallelForW(workers, c*k, func(wk, i int) {
 			cc, kk := i/k, i%k
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
 				return w.At(kk, cc, f.R-1-r, f.S-1-s)
 			}, scr)
@@ -372,9 +387,9 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileOutH, tw*tileOutW
-				parallelFor(n*k, func(i int) {
+				parallelForW(workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(yspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
 						oh := baseH + r - padB
 						ow := baseW + s - padBW
@@ -384,14 +399,14 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return y.At(nn, kk, oh, ow)
 					}, scr)
 				})
-				parallelFor(n*c, func(i int) {
+				parallelForW(workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
 					acc := xspec[i*pf : (i+1)*pf]
 					zeroPlane(acc)
 					for kk := 0; kk < k; kk++ {
 						accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(cc*k+kk)*pf:(cc*k+kk+1)*pf])
 					}
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.invFrom(acc, scr)
 					for dh := 0; dh < tileOutH && baseH+dh < in.H; dh++ {
 						for dw := 0; dw < tileOutW && baseW+dw < in.W; dw++ {
@@ -407,13 +422,13 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		// contributions accumulate in spectral space in wspec.
 		tileH, tileW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(out.H, tileH), ceilDiv(out.W, tileW)
-		parallelFor(k*c, func(i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
+		parallelForW(workers, k*c, func(_, i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileH, tw*tileW
-				parallelFor(n*c, func(i int) {
+				parallelForW(workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
 						ih := baseH + r - p.PadH
 						iw := baseW + s - p.PadW
@@ -423,9 +438,9 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return x.At(nn, cc, ih, iw)
 					}, scr)
 				})
-				parallelFor(n*k, func(i int) {
+				parallelForW(workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
-					scr := pl.scratch()
+					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(yspec[i*pf:(i+1)*pf], tileH, tileW, func(r, s int) float32 {
 						oh, ow := baseH+r, baseW+s
 						if oh >= out.H || ow >= out.W {
@@ -434,7 +449,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return y.At(nn, kk, oh, ow)
 					}, scr)
 				})
-				parallelFor(k*c, func(i int) {
+				parallelForW(workers, k*c, func(_, i int) {
 					kk, cc := i/c, i%c
 					acc := wspec[i*pf : (i+1)*pf]
 					for nn := 0; nn < n; nn++ {
@@ -443,9 +458,9 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 				})
 			}
 		}
-		parallelFor(k*c, func(i int) {
+		parallelForW(workers, k*c, func(wk, i int) {
 			kk, cc := i/c, i%c
-			scr := pl.scratch()
+			scr := pl.scratchFor(scrBlock, wk)
 			pl.invFrom(wspec[i*pf:(i+1)*pf], scr)
 			for r := 0; r < f.R; r++ {
 				for s := 0; s < f.S; s++ {

@@ -5,14 +5,31 @@ import (
 	"ucudnn/internal/tensor"
 )
 
-// gemmWorkspace returns the scratch bytes for the explicit-GEMM algorithm:
-// one per-sample im2col lowering buffer of (C*R*S) x (OH*OW) float32
-// elements, reused across the batch loop. The footprint is therefore
-// independent of the (micro-)batch size, as with cuDNN's GEMM algorithm.
-func gemmWorkspace(op Op, cs tensor.ConvShape) int64 {
+// gemmStripFloats returns the float32 elements of one worker's workspace
+// strip: the per-sample im2col lowering buffer of (C*R*S) x (OH*OW), plus
+// for BackwardFilter a per-sample partial dW buffer of K x (C*R*S) that
+// the deterministic reduction consumes.
+func gemmStripFloats(op Op, cs tensor.ConvShape) int {
 	out := cs.OutShape()
-	cols := int64(cs.Filt.C) * int64(cs.Filt.R) * int64(cs.Filt.S)
-	return cols * int64(out.H) * int64(out.W) * 4
+	crs := cs.Filt.C * cs.Filt.R * cs.Filt.S
+	strip := crs * out.H * out.W
+	if op == BackwardFilter {
+		strip += cs.Filt.K * crs
+	}
+	return strip
+}
+
+// gemmWorkspace returns the scratch bytes for the explicit-GEMM
+// algorithm: one workspace strip per engine worker (min(MaxWorkers, N)),
+// so the batch can be striped across workers with each worker owning a
+// disjoint lowering buffer. With minimal set, it returns the single-strip
+// floor at which runGemm degrades to the serial batch walk.
+func gemmWorkspace(op Op, cs tensor.ConvShape, minimal bool) int64 {
+	strip := int64(gemmStripFloats(op, cs))
+	if minimal {
+		return strip * 4
+	}
+	return int64(batchStripes(cs.In.N)) * strip * 4
 }
 
 // im2col lowers sample xn (C x H x W, sample-local) into col, a
@@ -92,46 +109,122 @@ func col2im(cs tensor.ConvShape, col []float32, xn []float32, alpha float32) {
 	}
 }
 
-// runGemm executes the explicit im2col + SGEMM algorithm.
+// gemmCtx carries the explicit-GEMM kernel state. Methods use a value
+// receiver so the serial path runs as plain calls with no closures — the
+// property behind the engine's zero-allocation steady state.
+type gemmCtx struct {
+	cs          tensor.ConvShape
+	x           *tensor.Tensor
+	w           *tensor.FilterTensor
+	y           *tensor.Tensor
+	alpha, beta float32
+	ws          []float32
+	strip       int // floats per worker strip
+	crs, pixels int
+	inPlane     int
+	outPlane    int
+	k           int
+}
+
+// colFor returns worker wk's im2col buffer.
+func (g gemmCtx) colFor(wk int) []float32 {
+	return g.ws[wk*g.strip : wk*g.strip+g.crs*g.pixels]
+}
+
+// partFor returns worker wk's partial-dW buffer (BackwardFilter strips
+// only).
+func (g gemmCtx) partFor(wk int) []float32 {
+	off := wk*g.strip + g.crs*g.pixels
+	return g.ws[off : off+g.k*g.crs]
+}
+
+// forwardSample computes Y[n] = alpha * Wmat * im2col(X[n]) + beta*Y[n]
+// in worker wk's strip. sgemmWorkers caps the inner GEMM's parallelism.
+func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
+	col := g.colFor(wk)
+	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
+	blas.SgemmWorkers(sgemmWorkers, false, false, g.k, g.pixels, g.crs,
+		g.alpha, g.w.Data, g.crs, col, g.pixels, g.beta,
+		g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels)
+}
+
+// backwardDataSample computes dX[n] from dY[n] in worker wk's strip.
+func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
+	col := g.colFor(wk)
+	blas.SgemmWorkers(sgemmWorkers, true, false, g.crs, g.pixels, g.k,
+		1, g.w.Data, g.crs, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, 0,
+		col, g.pixels)
+	dx := g.x.Data[n*g.inPlane : (n+1)*g.inPlane]
+	if g.beta == 0 {
+		for i := range dx {
+			dx[i] = 0
+		}
+	} else if g.beta != 1 {
+		for i := range dx {
+			dx[i] *= g.beta
+		}
+	}
+	col2im(g.cs, col, dx, g.alpha)
+}
+
+// filterPartial computes strip wk's raw per-sample filter-gradient
+// contribution: part = dY[n] * im2col(X[n])ᵀ, unscaled, beta=0.
+func (g gemmCtx) filterPartial(wk, n, sgemmWorkers int) {
+	col := g.colFor(wk)
+	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
+	blas.SgemmWorkers(sgemmWorkers, false, true, g.k, g.crs, g.pixels,
+		1, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, col, g.pixels, 0,
+		g.partFor(wk), g.crs)
+}
+
+// runGemm executes the explicit im2col + SGEMM algorithm, striping the
+// batch across as many workspace strips as the granted workspace holds
+// (at most one per engine worker). With a single strip, the batch is
+// walked serially and the inner SGEMM re-parallelized instead.
 func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
 	out := cs.OutShape()
 	in := cs.In
 	f := cs.Filt
-	crs := f.C * f.R * f.S
-	pixels := out.H * out.W
-	col := ws[:crs*pixels]
-	inPlane := in.C * in.H * in.W
-	outPlane := out.C * out.H * out.W
+	g := gemmCtx{
+		cs: cs, x: x, w: w, y: y, alpha: alpha, beta: beta, ws: ws,
+		strip:   gemmStripFloats(op, cs),
+		crs:     f.C * f.R * f.S,
+		pixels:  out.H * out.W,
+		inPlane: in.C * in.H * in.W, outPlane: out.C * out.H * out.W,
+		k: f.K,
+	}
+	workers := fitStripes(batchStripes(in.N), len(ws), g.strip)
 
 	switch op {
 	case Forward:
 		// Y[n] (K x pixels) = alpha * Wmat (K x CRS) * col + beta * Y[n].
-		for n := 0; n < in.N; n++ {
-			im2col(cs, x.Data[n*inPlane:(n+1)*inPlane], col)
-			blas.Sgemm(false, false, f.K, pixels, crs,
-				alpha, w.Data, crs, col, pixels, beta,
-				y.Data[n*outPlane:(n+1)*outPlane], pixels)
+		if workers <= 1 {
+			for n := 0; n < in.N; n++ {
+				g.forwardSample(0, n, 0)
+			}
+			return
 		}
+		// Copy g so only the copy is captured (and heap-allocated) by the
+		// escaping closure; the serial path above keeps g on the stack.
+		gc := g
+		parallelForW(workers, in.N, func(wk, n int) { gc.forwardSample(wk, n, 1) })
 	case BackwardData:
 		// colGrad = Wmatᵀ (CRS x K) * dY[n] (K x pixels); scatter via col2im.
-		for n := 0; n < in.N; n++ {
-			blas.Sgemm(true, false, crs, pixels, f.K,
-				1, w.Data, crs, y.Data[n*outPlane:(n+1)*outPlane], pixels, 0,
-				col, pixels)
-			dx := x.Data[n*inPlane : (n+1)*inPlane]
-			if beta == 0 {
-				for i := range dx {
-					dx[i] = 0
-				}
-			} else if beta != 1 {
-				for i := range dx {
-					dx[i] *= beta
-				}
+		if workers <= 1 {
+			for n := 0; n < in.N; n++ {
+				g.backwardDataSample(0, n, 0)
 			}
-			col2im(cs, col, dx, alpha)
+			return
 		}
+		gc := g
+		parallelForW(workers, in.N, func(wk, n int) { gc.backwardDataSample(wk, n, 1) })
 	case BackwardFilter:
-		// dW (K x CRS) = beta*dW + alpha * sum_n dY[n] (K x pixels) * colᵀ.
+		// dW = beta*dW + alpha * sum_n dY[n] * colᵀ. Per-sample partial
+		// buffers are computed in parallel rounds of `workers` samples and
+		// reduced serially in ascending n order, so every dW element sees
+		// the per-sample contributions added one at a time in batch order —
+		// bit-identical at every worker count, and equal bit for bit to a
+		// micro-batched beta=1 accumulation over the same samples (§II).
 		if beta == 0 {
 			w.Zero()
 		} else if beta != 1 {
@@ -139,11 +232,21 @@ func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTenso
 				w.Data[i] *= beta
 			}
 		}
-		for n := 0; n < in.N; n++ {
-			im2col(cs, x.Data[n*inPlane:(n+1)*inPlane], col)
-			blas.Sgemm(false, true, f.K, crs, pixels,
-				alpha, y.Data[n*outPlane:(n+1)*outPlane], pixels, col, pixels, 1,
-				w.Data, crs)
+		if workers <= 1 {
+			for n := 0; n < in.N; n++ {
+				g.filterPartial(0, n, 0)
+				blas.Saxpy(alpha, g.partFor(0), w.Data)
+			}
+			return
+		}
+		gc := g
+		for n0 := 0; n0 < in.N; n0 += workers {
+			cnt := imin(workers, in.N-n0)
+			base := n0
+			parallelForW(cnt, cnt, func(wk, i int) { gc.filterPartial(wk, base+i, 1) })
+			for i := 0; i < cnt; i++ {
+				blas.Saxpy(alpha, gc.partFor(i), w.Data)
+			}
 		}
 	}
 }

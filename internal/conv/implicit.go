@@ -162,25 +162,27 @@ func runImplicitPrecomp(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.
 	pixels := out.H * out.W
 	crs := f.C * f.R * f.S
 	table := ws[:crs*pixels]
-	ti := 0
-	for c := 0; c < f.C; c++ {
-		for r := 0; r < f.R; r++ {
-			for s := 0; s < f.S; s++ {
-				for oh := 0; oh < out.H; oh++ {
-					ih := oh*p.StrideH - p.PadH + r*p.DilationH
-					for ow := 0; ow < out.W; ow++ {
-						iw := ow*p.StrideW - p.PadW + s*p.DilationW
-						if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
-							table[ti] = -1
-						} else {
-							table[ti] = float32((c*in.H+ih)*in.W + iw)
-						}
-						ti++
-					}
+	// Each table row (one (c, r, s) filter tap) is independent, so the
+	// build parallelizes over taps.
+	parallelFor(crs, func(j int) {
+		c := j / (f.R * f.S)
+		r := (j / f.S) % f.R
+		s := j % f.S
+		trow := table[j*pixels : (j+1)*pixels]
+		ti := 0
+		for oh := 0; oh < out.H; oh++ {
+			ih := oh*p.StrideH - p.PadH + r*p.DilationH
+			for ow := 0; ow < out.W; ow++ {
+				iw := ow*p.StrideW - p.PadW + s*p.DilationW
+				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
+					trow[ti] = -1
+				} else {
+					trow[ti] = float32((c*in.H+ih)*in.W + iw)
 				}
+				ti++
 			}
 		}
-	}
+	})
 	inPlane := in.C * in.H * in.W
 	parallelFor(out.N*out.C, func(idx int) {
 		n := idx / out.C

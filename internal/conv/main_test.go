@@ -1,0 +1,15 @@
+package conv
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain pins the kernel engine's worker count: Workspace sizes scale
+// with MaxWorkers, so the pin keeps workspace-dependent expectations
+// identical on every machine the tests run on (and exercises the striped
+// parallel paths even on single-core CI).
+func TestMain(m *testing.M) {
+	SetMaxWorkers(4)
+	os.Exit(m.Run())
+}

@@ -1,18 +1,13 @@
 package conv
 
-import (
-	"runtime"
-	"sync"
-)
-
-// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS workers in
-// contiguous chunks. Chunk ownership is deterministic, so kernels that
+// parallelFor runs f(i) for i in [0, n) across at most MaxWorkers workers
+// in contiguous chunks. Chunk ownership is deterministic, so kernels that
 // write disjoint regions per index stay reproducible.
 func parallelFor(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := MaxWorkers()
 	if workers > n {
 		workers = n
 	}
@@ -22,26 +17,12 @@ func parallelFor(n int, f func(i int)) {
 		}
 		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	stripedRun(workers, func(w int) {
+		lo, hi := chunkBounds(n, workers, w)
+		for i := lo; i < hi; i++ {
+			f(i)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // blend writes out = alpha*v + beta*out for one element.

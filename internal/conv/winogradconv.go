@@ -55,31 +55,61 @@ func winogradTiles(m, rows, cols, n int) (tilesH, tilesW, total int) {
 	return tilesH, tilesW, n * tilesH * tilesW
 }
 
-// winogradWorkspace returns the scratch bytes of the (non-)fused Winograd
-// algorithm for op on cs.
-func winogradWorkspace(op Op, cs tensor.ConvShape, fused bool) int64 {
-	tr := winogradTransformFor(fused, cs.Filt.R)
+// winogradArenaFloats is the per-worker scratch arena: three alpha^2
+// buffers, enough for the largest (src, dst, tmp) triple of any transform
+// phase (every buffer a transform touches is at most alpha x alpha).
+func winogradArenaFloats(tr *winograd.Transform) int {
+	return 3 * tr.Alpha * tr.Alpha
+}
+
+// winogradBaseFloats returns the float32 elements of the shared spectral
+// buffers (filter spectra, input-tile spectra, products/accumulators) —
+// everything in the workspace except the per-worker arenas.
+func winogradBaseFloats(op Op, cs tensor.ConvShape, tr *winograd.Transform, fused bool) int64 {
 	a2 := int64(tr.Alpha * tr.Alpha)
 	out := cs.OutShape()
 	c, k := int64(cs.In.C), int64(cs.Filt.K)
-	var total int64
+	var total int
 	switch op {
-	case Forward:
-		_, _, t := winogradTiles(tr.M, out.H, out.W, cs.In.N)
-		total = int64(t)
-	case BackwardData:
-		_, _, t := winogradTiles(tr.M, cs.In.H, cs.In.W, cs.In.N)
-		total = int64(t)
 	case BackwardFilter:
-		_, _, t := winogradTiles(tr.M, out.H, out.W, cs.In.N)
+		_, _, total = winogradTiles(tr.M, out.H, out.W, cs.In.N)
 		// Input tiles, output-gradient tiles, and the spectral accumulator.
-		return a2 * (c*int64(t) + k*int64(t) + k*c) * 4
+		return a2 * ((c+k)*int64(total) + k*c)
+	case BackwardData:
+		_, _, total = winogradTiles(tr.M, cs.In.H, cs.In.W, cs.In.N)
+	default:
+		_, _, total = winogradTiles(tr.M, out.H, out.W, cs.In.N)
 	}
-	bp := total
+	bp := int64(total)
 	if fused && bp > fusedBlockTiles {
 		bp = fusedBlockTiles
 	}
-	return a2 * (k*c + (c+k)*bp) * 4
+	return a2 * (k*c + (c+k)*bp)
+}
+
+// winogradWorkspace returns the scratch bytes of the (non-)fused Winograd
+// algorithm for op on cs: the shared spectral buffers plus one transform
+// arena per engine worker (or a single arena with minimal set — the floor
+// at which the tile loops run serially).
+func winogradWorkspace(op Op, cs tensor.ConvShape, fused, minimal bool) int64 {
+	tr := winogradTransformFor(fused, cs.Filt.R)
+	workers := MaxWorkers()
+	if minimal {
+		workers = 1
+	}
+	arenas := int64(workers) * int64(winogradArenaFloats(tr))
+	return (winogradBaseFloats(op, cs, tr, fused) + arenas) * 4
+}
+
+// winogradWorkers returns how many tile workers the granted workspace
+// supports: one per arena that fits after the base (shared spectral
+// buffer) floats, capped at the engine's worker limit.
+func winogradWorkers(tr *winograd.Transform, base int, ws []float32) int {
+	fit := (len(ws) - base) / winogradArenaFloats(tr)
+	if fit < 1 {
+		fit = 1
+	}
+	return imin(MaxWorkers(), fit)
 }
 
 func runWinograd(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32, fused bool) error {
@@ -111,6 +141,147 @@ func runWinograd(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterT
 	return nil
 }
 
+// wgCtx carries the Winograd kernel state shared by the tile phases.
+// Methods use a value receiver so the serial path runs as plain calls
+// with no closures — the property behind the zero-allocation steady
+// state; the parallel branches wrap the same methods in closures created
+// only when more than one arena is in play.
+type wgCtx struct {
+	tr          *winograd.Transform
+	cs          tensor.ConvShape
+	p           tensor.ConvParams
+	in, out     tensor.Shape
+	x, y        *tensor.Tensor
+	w           *tensor.FilterTensor
+	alpha, beta float32
+	m, alpha2   int
+	r, c, k     int
+	tilesW      int
+	tilesPer    int
+	rotSwap     bool
+
+	// Shared spectral buffers (layout differs per op; see the carve sites).
+	u, v, mm []float32
+	// Per-worker transform arenas, arena stride winogradArenaFloats.
+	arena []float32
+
+	// Block-panel geometry (correlate only).
+	bp int
+}
+
+// bufs returns worker wk's three alpha^2 arena buffers.
+func (g wgCtx) bufs(wk int) (b0, b1, b2 []float32) {
+	a2 := g.alpha2
+	base := wk * 3 * a2
+	ar := g.arena[base : base+3*a2]
+	return ar[:a2], ar[a2 : 2*a2], ar[2*a2 : 3*a2]
+}
+
+// filterTile transforms filter pair i = kk*c+cc into the spectral bank:
+// U[e][kk*c+cc].
+func (g wgCtx) filterTile(wk, i int) {
+	kk, cc := i/g.c, i%g.c
+	b0, b1, b2 := g.bufs(wk)
+	r := g.r
+	gb := b0[:r*r]
+	for a := 0; a < r; a++ {
+		for b := 0; b < r; b++ {
+			if g.rotSwap {
+				// Transformed-problem filter [kk=orig c][cc=orig k].
+				gb[a*r+b] = g.w.At(cc, kk, r-1-a, r-1-b)
+			} else {
+				gb[a*r+b] = g.w.At(kk, cc, a, b)
+			}
+		}
+	}
+	ut := b1[:g.alpha2]
+	tr := g.tr
+	tr.FilterTransform(ut, gb, b2[:tr.Alpha*r])
+	kc := g.k * g.c
+	for e := 0; e < g.alpha2; e++ {
+		g.u[e*kc+i] = ut[e]
+	}
+}
+
+// inputTile transforms input tile p0+dp of channel cc (task i = cc*cnt+dp)
+// into V[e][cc*bp + dp].
+func (g wgCtx) inputTile(wk, i, p0, cnt int) {
+	cc, dp := i/cnt, i%cnt
+	pp := p0 + dp
+	nn := pp / g.tilesPer
+	th := (pp % g.tilesPer) / g.tilesW
+	tw := pp % g.tilesW
+	baseH := th*g.m - g.p.PadH
+	baseW := tw*g.m - g.p.PadW
+	b0, b1, b2 := g.bufs(wk)
+	d := b0[:g.alpha2]
+	for j := range d {
+		d[j] = 0
+	}
+	tr := g.tr
+	for a := 0; a < tr.Alpha; a++ {
+		ih := baseH + a
+		if ih < 0 || ih >= g.in.H {
+			continue
+		}
+		for b := 0; b < tr.Alpha; b++ {
+			iw := baseW + b
+			if iw < 0 || iw >= g.in.W {
+				continue
+			}
+			d[a*tr.Alpha+b] = g.x.At(nn, cc, ih, iw)
+		}
+	}
+	vt := b1[:g.alpha2]
+	tr.InputTransform(vt, d, b2[:g.alpha2])
+	cbp := g.c * g.bp
+	for e := 0; e < g.alpha2; e++ {
+		g.v[e*cbp+cc*g.bp+dp] = vt[e]
+	}
+}
+
+// spectralGemm multiplies spectral component e of the filter and input
+// banks: M[e] (k x cnt) = U[e] (k x c) * V[e] (c x cnt).
+func (g wgCtx) spectralGemm(e, cnt, sgemmWorkers int) {
+	k, c, bp := g.k, g.c, g.bp
+	blas.SgemmWorkers(sgemmWorkers, false, false, k, cnt, c,
+		1, g.u[e*k*c:(e+1)*k*c], c, g.v[e*c*bp:e*c*bp+c*bp], bp, 0,
+		g.mm[e*k*bp:e*k*bp+k*bp], bp)
+}
+
+// outputTile inverse-transforms product tile p0+dp of output channel kk
+// (task i = kk*cnt+dp) and blends it into y.
+func (g wgCtx) outputTile(wk, i, p0, cnt int) {
+	kk, dp := i/cnt, i%cnt
+	pp := p0 + dp
+	nn := pp / g.tilesPer
+	th := (pp % g.tilesPer) / g.tilesW
+	tw := pp % g.tilesW
+	b0, b1, b2 := g.bufs(wk)
+	macc := b0[:g.alpha2]
+	kbp := g.k * g.bp
+	for e := 0; e < g.alpha2; e++ {
+		macc[e] = g.mm[e*kbp+kk*g.bp+dp]
+	}
+	m := g.m
+	yt := b1[:m*m]
+	tr := g.tr
+	tr.OutputTransform(yt, macc, b2[:m*tr.Alpha])
+	for a := 0; a < m; a++ {
+		oh := th*m + a
+		if oh >= g.out.H {
+			break
+		}
+		for b := 0; b < m; b++ {
+			ow := tw*m + b
+			if ow >= g.out.W {
+				break
+			}
+			blend(&g.y.Data[g.y.Index(nn, kk, oh, ow)], yt[a*m+b], g.alpha, g.beta)
+		}
+	}
+}
+
 // winogradCorrelate computes out = alpha*corr(in, filt) + beta*out with
 // the Winograd transform tr; cs describes the correlation being computed
 // (for BackwardData, the transformed problem). When rotSwap is set, the
@@ -121,107 +292,156 @@ func winogradCorrelate(tr *winograd.Transform, cs tensor.ConvShape, x *tensor.Te
 	out := cs.OutShape()
 	in := cs.In
 	m, alpha2 := tr.M, tr.Alpha*tr.Alpha
-	r := cs.Filt.R
 	c, k := cs.Filt.C, cs.Filt.K
 	tilesH, tilesW, total := winogradTiles(m, out.H, out.W, in.N)
-	tilesPer := tilesH * tilesW
 	bp := total
 	if fused && bp > fusedBlockTiles {
 		bp = fusedBlockTiles
 	}
 
-	u := ws[:alpha2*k*c]
-	v := ws[alpha2*k*c : alpha2*(k*c+c*bp)]
-	mm := ws[alpha2*(k*c+c*bp) : alpha2*(k*c+(c+k)*bp)]
+	g := wgCtx{
+		tr: tr, cs: cs, p: p, in: in, out: out,
+		x: x, y: y, w: w, alpha: alpha, beta: beta,
+		m: m, alpha2: alpha2, r: cs.Filt.R, c: c, k: k,
+		tilesW: tilesW, tilesPer: tilesH * tilesW, rotSwap: rotSwap,
+		bp: bp,
+	}
+	g.u = ws[:alpha2*k*c]
+	g.v = ws[alpha2*k*c : alpha2*(k*c+c*bp)]
+	g.mm = ws[alpha2*(k*c+c*bp) : alpha2*(k*c+(c+k)*bp)]
+	base := alpha2 * (k*c + (c+k)*bp)
+	workers := winogradWorkers(tr, base, ws)
+	g.arena = ws[base : base+workers*winogradArenaFloats(tr)]
 
-	// Filter transforms: U[e][kk*c+cc].
-	parallelFor(k*c, func(i int) {
-		kk, cc := i/c, i%c
-		g := make([]float32, r*r)
-		for a := 0; a < r; a++ {
-			for b := 0; b < r; b++ {
-				if rotSwap {
-					// Transformed-problem filter [kk=orig c][cc=orig k].
-					g[a*r+b] = w.At(cc, kk, r-1-a, r-1-b)
-				} else {
-					g[a*r+b] = w.At(kk, cc, a, b)
-				}
+	if workers <= 1 {
+		// Serial path: plain method calls, no closures, so g stays on the
+		// stack and steady-state execution allocates nothing.
+		for i := 0; i < k*c; i++ { // filter transforms: U[e][kk*c+cc]
+			g.filterTile(0, i)
+		}
+		for p0 := 0; p0 < total; p0 += bp {
+			cnt := imin(bp, total-p0)
+			for i := 0; i < c*cnt; i++ { // input tiles: V[e][cc*bp + (p-p0)]
+				g.inputTile(0, i, p0, cnt)
+			}
+			for e := 0; e < alpha2; e++ { // M[e] = U[e] * V[e]
+				g.spectralGemm(e, cnt, 0)
+			}
+			for i := 0; i < k*cnt; i++ { // inverse transforms and scatter
+				g.outputTile(0, i, p0, cnt)
 			}
 		}
-		ut := make([]float32, alpha2)
-		tmp := make([]float32, tr.Alpha*r)
-		tr.FilterTransform(ut, g, tmp)
-		for e := 0; e < alpha2; e++ {
-			u[e*k*c+i] = ut[e]
-		}
-	})
-
+		return
+	}
+	// Copy g so only the copy is captured (and heap-allocated) by the
+	// escaping closures; the serial path above keeps g off the heap.
+	gc := g
+	parallelForW(workers, k*c, func(wk, i int) { gc.filterTile(wk, i) })
 	for p0 := 0; p0 < total; p0 += bp {
 		cnt := imin(bp, total-p0)
-		// Input tile transforms: V[e][cc*bp + (p-p0)].
-		parallelFor(c*cnt, func(i int) {
-			cc, dp := i/cnt, i%cnt
-			pp := p0 + dp
-			nn := pp / tilesPer
-			th := (pp % tilesPer) / tilesW
-			tw := pp % tilesW
-			baseH := th*m - p.PadH
-			baseW := tw*m - p.PadW
-			d := make([]float32, alpha2)
-			for a := 0; a < tr.Alpha; a++ {
-				ih := baseH + a
-				if ih < 0 || ih >= in.H {
-					continue
-				}
-				for b := 0; b < tr.Alpha; b++ {
-					iw := baseW + b
-					if iw < 0 || iw >= in.W {
-						continue
-					}
-					d[a*tr.Alpha+b] = x.At(nn, cc, ih, iw)
-				}
-			}
-			vt := make([]float32, alpha2)
-			tmp := make([]float32, alpha2)
-			tr.InputTransform(vt, d, tmp)
-			for e := 0; e < alpha2; e++ {
-				v[e*c*bp+cc*bp+dp] = vt[e]
-			}
-		})
-		// Spectral GEMMs: M[e] (k x cnt) = U[e] (k x c) * V[e] (c x cnt).
-		for e := 0; e < alpha2; e++ {
-			blas.Sgemm(false, false, k, cnt, c,
-				1, u[e*k*c:(e+1)*k*c], c, v[e*c*bp:e*c*bp+c*bp], bp, 0,
-				mm[e*k*bp:e*k*bp+k*bp], bp)
+		parallelForW(workers, c*cnt, func(wk, i int) { gc.inputTile(wk, i, p0, cnt) })
+		parallelForW(workers, alpha2, func(_, e int) { gc.spectralGemm(e, cnt, 1) })
+		parallelForW(workers, k*cnt, func(wk, i int) { gc.outputTile(wk, i, p0, cnt) })
+	}
+}
+
+// inputTileTotal is inputTile with the BackwardFilter bank layout
+// V[e][cc*total + pp] (no block panelling).
+func (g wgCtx) inputTileTotal(wk, i, total int) {
+	cc, pp := i/total, i%total
+	nn := pp / g.tilesPer
+	th := (pp % g.tilesPer) / g.tilesW
+	tw := pp % g.tilesW
+	baseH := th*g.m - g.p.PadH
+	baseW := tw*g.m - g.p.PadW
+	b0, b1, b2 := g.bufs(wk)
+	d := b0[:g.alpha2]
+	for j := range d {
+		d[j] = 0
+	}
+	tr := g.tr
+	for a := 0; a < tr.Alpha; a++ {
+		ih := baseH + a
+		if ih < 0 || ih >= g.in.H {
+			continue
 		}
-		// Inverse transforms and scatter.
-		parallelFor(k*cnt, func(i int) {
-			kk, dp := i/cnt, i%cnt
-			pp := p0 + dp
-			nn := pp / tilesPer
-			th := (pp % tilesPer) / tilesW
-			tw := pp % tilesW
-			macc := make([]float32, alpha2)
-			for e := 0; e < alpha2; e++ {
-				macc[e] = mm[e*k*bp+kk*bp+dp]
+		for b := 0; b < tr.Alpha; b++ {
+			iw := baseW + b
+			if iw < 0 || iw >= g.in.W {
+				continue
 			}
-			yt := make([]float32, m*m)
-			tmp := make([]float32, m*tr.Alpha)
-			tr.OutputTransform(yt, macc, tmp)
-			for a := 0; a < m; a++ {
-				oh := th*m + a
-				if oh >= out.H {
-					break
-				}
-				for b := 0; b < m; b++ {
-					ow := tw*m + b
-					if ow >= out.W {
-						break
-					}
-					blend(&y.Data[y.Index(nn, kk, oh, ow)], yt[a*m+b], alpha, beta)
-				}
+			d[a*tr.Alpha+b] = g.x.At(nn, cc, ih, iw)
+		}
+	}
+	vt := b1[:g.alpha2]
+	tr.InputTransform(vt, d, b2[:g.alpha2])
+	for e := 0; e < g.alpha2; e++ {
+		g.v[e*g.c*total+cc*total+pp] = vt[e]
+	}
+}
+
+// outputAdjointTile maps output-gradient tile pp of channel kk (task
+// i = kk*total+pp) through the adjoint into Wb[e][kk*total + pp] (the mm
+// bank in the BackwardFilter layout).
+func (g wgCtx) outputAdjointTile(wk, i, total int) {
+	kk, pp := i/total, i%total
+	nn := pp / g.tilesPer
+	th := (pp % g.tilesPer) / g.tilesW
+	tw := pp % g.tilesW
+	b0, b1, b2 := g.bufs(wk)
+	m := g.m
+	dy := b0[:m*m]
+	for j := range dy {
+		dy[j] = 0
+	}
+	for a := 0; a < m; a++ {
+		oh := th*m + a
+		if oh >= g.out.H {
+			break
+		}
+		for b := 0; b < m; b++ {
+			ow := tw*m + b
+			if ow >= g.out.W {
+				break
 			}
-		})
+			dy[a*m+b] = g.y.At(nn, kk, oh, ow)
+		}
+	}
+	wt := b1[:g.alpha2]
+	tr := g.tr
+	tr.OutputAdjoint(wt, dy, b2[:tr.Alpha*m])
+	for e := 0; e < g.alpha2; e++ {
+		g.mm[e*g.k*total+kk*total+pp] = wt[e]
+	}
+}
+
+// spectralAdjointGemm accumulates spectral component e of the filter
+// gradient: dU[e] (k x c) = Wb[e] (k x total) * V[e]ᵀ.
+func (g wgCtx) spectralAdjointGemm(e, total, sgemmWorkers int) {
+	k, c := g.k, g.c
+	blas.SgemmWorkers(sgemmWorkers, false, true, k, c, total,
+		1, g.mm[e*k*total:(e+1)*k*total], total, g.v[e*c*total:(e+1)*c*total], total, 0,
+		g.u[e*k*c:(e+1)*k*c], c)
+}
+
+// filterAdjointTile maps spectral accumulator pair i = kk*c+cc back to
+// filter space and blends it into dW.
+func (g wgCtx) filterAdjointTile(wk, i int) {
+	kk, cc := i/g.c, i%g.c
+	b0, b1, b2 := g.bufs(wk)
+	uacc := b0[:g.alpha2]
+	kc := g.k * g.c
+	for e := 0; e < g.alpha2; e++ {
+		uacc[e] = g.u[e*kc+i]
+	}
+	r := g.r
+	gb := b1[:r*r]
+	tr := g.tr
+	tr.FilterAdjoint(gb, uacc, b2[:r*tr.Alpha])
+	for a := 0; a < r; a++ {
+		for b := 0; b < r; b++ {
+			blend(&g.w.Data[g.w.Index(kk, cc, a, b)], gb[a*r+b], g.alpha, g.beta)
+		}
 	}
 }
 
@@ -232,91 +452,44 @@ func winogradBackwardFilter(tr *winograd.Transform, cs tensor.ConvShape, x *tens
 	out := cs.OutShape()
 	in := cs.In
 	m, alpha2 := tr.M, tr.Alpha*tr.Alpha
-	r := cs.Filt.R
 	c, k := cs.Filt.C, cs.Filt.K
 	tilesH, tilesW, total := winogradTiles(m, out.H, out.W, in.N)
-	tilesPer := tilesH * tilesW
 
-	v := ws[:alpha2*c*total]
-	wb := ws[alpha2*c*total : alpha2*(c+k)*total]
-	du := ws[alpha2*(c+k)*total : alpha2*((c+k)*total+k*c)]
-
-	// Input tiles (same gather as forward): V[e][cc*total + p].
-	parallelFor(c*total, func(i int) {
-		cc, pp := i/total, i%total
-		nn := pp / tilesPer
-		th := (pp % tilesPer) / tilesW
-		tw := pp % tilesW
-		baseH := th*m - p.PadH
-		baseW := tw*m - p.PadW
-		d := make([]float32, alpha2)
-		for a := 0; a < tr.Alpha; a++ {
-			ih := baseH + a
-			if ih < 0 || ih >= in.H {
-				continue
-			}
-			for b := 0; b < tr.Alpha; b++ {
-				iw := baseW + b
-				if iw < 0 || iw >= in.W {
-					continue
-				}
-				d[a*tr.Alpha+b] = x.At(nn, cc, ih, iw)
-			}
-		}
-		vt := make([]float32, alpha2)
-		tmp := make([]float32, alpha2)
-		tr.InputTransform(vt, d, tmp)
-		for e := 0; e < alpha2; e++ {
-			v[e*c*total+cc*total+pp] = vt[e]
-		}
-	})
-	// Output-gradient tiles through the adjoint: Wb[e][kk*total + p].
-	parallelFor(k*total, func(i int) {
-		kk, pp := i/total, i%total
-		nn := pp / tilesPer
-		th := (pp % tilesPer) / tilesW
-		tw := pp % tilesW
-		dy := make([]float32, m*m)
-		for a := 0; a < m; a++ {
-			oh := th*m + a
-			if oh >= out.H {
-				break
-			}
-			for b := 0; b < m; b++ {
-				ow := tw*m + b
-				if ow >= out.W {
-					break
-				}
-				dy[a*m+b] = y.At(nn, kk, oh, ow)
-			}
-		}
-		wt := make([]float32, alpha2)
-		tmp := make([]float32, tr.Alpha*m)
-		tr.OutputAdjoint(wt, dy, tmp)
-		for e := 0; e < alpha2; e++ {
-			wb[e*k*total+kk*total+pp] = wt[e]
-		}
-	})
-	// Spectral accumulation: dU[e] (k x c) = Wb[e] (k x total) * V[e]ᵀ.
-	for e := 0; e < alpha2; e++ {
-		blas.Sgemm(false, true, k, c, total,
-			1, wb[e*k*total:(e+1)*k*total], total, v[e*c*total:(e+1)*c*total], total, 0,
-			du[e*k*c:(e+1)*k*c], c)
+	g := wgCtx{
+		tr: tr, cs: cs, p: p, in: in, out: out,
+		x: x, y: y, w: w, alpha: alpha, beta: beta,
+		m: m, alpha2: alpha2, r: cs.Filt.R, c: c, k: k,
+		tilesW: tilesW, tilesPer: tilesH * tilesW,
 	}
-	// Back to filter space.
-	parallelFor(k*c, func(i int) {
-		kk, cc := i/c, i%c
-		uacc := make([]float32, alpha2)
-		for e := 0; e < alpha2; e++ {
-			uacc[e] = du[e*k*c+i]
+	// Input tiles, output-gradient tiles (mm), and the spectral
+	// accumulator (u), then the worker arenas.
+	g.v = ws[:alpha2*c*total]
+	g.mm = ws[alpha2*c*total : alpha2*(c+k)*total]
+	g.u = ws[alpha2*(c+k)*total : alpha2*((c+k)*total+k*c)]
+	base := alpha2 * ((c+k)*total + k*c)
+	workers := winogradWorkers(tr, base, ws)
+	g.arena = ws[base : base+workers*winogradArenaFloats(tr)]
+
+	if workers <= 1 {
+		// Serial path: plain method calls keep g on the stack (see
+		// winogradCorrelate).
+		for i := 0; i < c*total; i++ { // input tiles: V[e][cc*total + p]
+			g.inputTileTotal(0, i, total)
 		}
-		g := make([]float32, r*r)
-		tmp := make([]float32, r*tr.Alpha)
-		tr.FilterAdjoint(g, uacc, tmp)
-		for a := 0; a < r; a++ {
-			for b := 0; b < r; b++ {
-				blend(&w.Data[w.Index(kk, cc, a, b)], g[a*r+b], alpha, beta)
-			}
+		for i := 0; i < k*total; i++ { // adjoint dY tiles: Wb[e][kk*total + p]
+			g.outputAdjointTile(0, i, total)
 		}
-	})
+		for e := 0; e < alpha2; e++ { // dU[e] = Wb[e] * V[e]ᵀ
+			g.spectralAdjointGemm(e, total, 0)
+		}
+		for i := 0; i < k*c; i++ { // back to filter space
+			g.filterAdjointTile(0, i)
+		}
+		return
+	}
+	gc := g
+	parallelForW(workers, c*total, func(wk, i int) { gc.inputTileTotal(wk, i, total) })
+	parallelForW(workers, k*total, func(wk, i int) { gc.outputAdjointTile(wk, i, total) })
+	parallelForW(workers, alpha2, func(_, e int) { gc.spectralAdjointGemm(e, total, 1) })
+	parallelForW(workers, k*c, func(wk, i int) { gc.filterAdjointTile(wk, i) })
 }

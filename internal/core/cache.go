@@ -18,10 +18,13 @@ import (
 // offline benchmarking and sharing results across a homogeneous cluster
 // via a network filesystem.
 type Cache struct {
-	mu    sync.Mutex
-	mem   map[string][]cudnn.AlgoPerf
-	path  string
-	file  *os.File
+	mu   sync.Mutex
+	mem  map[string][]cudnn.AlgoPerf
+	path string
+	file *os.File
+	// w buffers Put's file appends so a benchmarking sweep is not one
+	// write(2) per record; Close (and Flush) drain it. Nil iff file is.
+	w     *bufio.Writer
 	stats CacheStats
 	m     *metricSet
 }
@@ -89,18 +92,41 @@ func NewCache(path string) (*Cache, error) {
 		f.Close()
 		return nil, fmt.Errorf("core: reading benchmark db: %w", err)
 	}
+	c.w = bufio.NewWriter(f)
 	return c, nil
 }
 
-// Close releases the file database, if any.
+// Flush forces buffered Put records out to the file database.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Cache) flushLocked() error {
+	if c.w == nil {
+		return nil
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("core: writing benchmark db: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered records and releases the file database, if any.
 func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.file == nil {
 		return nil
 	}
+	ferr := c.flushLocked()
 	err := c.file.Close()
 	c.file = nil
+	c.w = nil
+	if ferr != nil {
+		return ferr
+	}
 	return err
 }
 
@@ -175,7 +201,7 @@ func (c *Cache) Put(key string, perfs []cudnn.AlgoPerf) error {
 		return err
 	}
 	data = append(data, '\n')
-	if _, err := c.file.Write(data); err != nil {
+	if _, err := c.w.Write(data); err != nil {
 		return fmt.Errorf("core: writing benchmark db: %w", err)
 	}
 	c.stats.FileStores++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -39,6 +40,51 @@ func TestHandleConcurrentPlanning(t *testing.T) {
 	wg.Wait()
 	if got := len(h.Plans()); got != 4 {
 		t.Fatalf("plans = %d, want 4 unique kernels", got)
+	}
+}
+
+// Concurrent execution on one handle with a compute backend and real
+// tensors: every goroutine shares the handle's workspace arena, so this
+// is the -race witness for the execMu serialization (the arena snapshot
+// in execute used to race with growArena). Outputs must still be right.
+func TestHandleConcurrentExecuteRace(t *testing.T) {
+	h := newTestHandle(t, cudnn.ModelBackend, WithWorkspaceLimit(1<<20))
+	xd, wd, cd, yd, cs := smallConv(10)
+	rng := rand.New(rand.NewSource(11))
+	w := tensor.NewFilter(12, 8, 3, 3)
+	w.Randomize(rng, 0.5)
+	const G = 8
+	xs := make([]*tensor.Tensor, G)
+	ys := make([]*tensor.Tensor, G)
+	refs := make([]*tensor.Tensor, G)
+	for i := range xs {
+		xs[i] = tensor.NewShaped(cs.In)
+		xs[i].Randomize(rng, 1)
+		ys[i] = tensor.NewShaped(cs.OutShape())
+		refs[i] = tensor.NewShaped(cs.OutShape())
+		if err := conv.Run(conv.Forward, conv.AlgoDirect, cs, xs[i], w, refs[i], 1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	algo, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := h.ConvolutionForward(1, xd, xs[i], wd, w, cd, algo, nil, 0, yd, ys[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range ys {
+		if !tensor.AllClose(ys[i].Data, refs[i].Data, 1e-3, 1e-3) {
+			t.Fatalf("goroutine %d output wrong: maxdiff %g", i, tensor.MaxAbsDiff(ys[i].Data, refs[i].Data))
+		}
 	}
 }
 

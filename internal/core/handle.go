@@ -168,6 +168,12 @@ type Handle struct {
 	m       *metricSet
 	tracer  *trace.Recorder
 
+	// execMu serializes kernel execution on the handle (one stream, as in
+	// cuDNN): every plan's workspace is carved from the shared wsArena, so
+	// two overlapping Convolution* calls must not run their kernels at the
+	// same time.
+	execMu sync.Mutex
+
 	mu         sync.Mutex
 	plans      map[string]*execPlan
 	limits     map[string]int64
@@ -176,9 +182,10 @@ type Handle struct {
 	regClosed  bool
 	wdResult   *WDResult
 	optTime    time.Duration
-	// wsArena backs every plan's workspace. Kernel execution on a handle
-	// is serialized (one stream), so plans share the host buffer while
-	// device-memory accounting stays per kernel segment.
+	// wsArena backs every plan's workspace. Guarded by mu (growArena may
+	// reallocate it); execute snapshots the slice under mu and uses the
+	// snapshot under execMu, so device-memory accounting stays per kernel
+	// segment while the host buffer is shared.
 	wsArena []float32
 }
 
@@ -404,7 +411,11 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 	if err != nil {
 		return err
 	}
+	h.execMu.Lock()
+	defer h.execMu.Unlock()
+	h.mu.Lock()
 	ws := h.wsArena[:(ep.plan.Workspace+3)/4]
+	h.mu.Unlock()
 	off := 0
 	for i, mc := range ep.plan.Config {
 		h.m.algoSelected(op, mc.Algo)

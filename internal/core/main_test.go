@@ -1,0 +1,16 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"ucudnn/internal/conv"
+)
+
+// TestMain pins the kernel engine's worker count: conv.Workspace sizes
+// scale with conv.MaxWorkers, so the pin keeps the golden plans and
+// workspace bands identical on every machine the tests run on.
+func TestMain(m *testing.M) {
+	conv.SetMaxWorkers(4)
+	os.Exit(m.Run())
+}

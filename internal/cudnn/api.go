@@ -88,7 +88,10 @@ func (h *Handle) FindConvolutionBackwardFilterAlgorithm(x TensorDesc, dy TensorD
 }
 
 // GetConvolutionForwardWorkspaceSize mirrors
-// cudnnGetConvolutionForwardWorkspaceSize.
+// cudnnGetConvolutionForwardWorkspaceSize. The size covers the kernel
+// engine's full-parallel execution (per-worker workspace strips); the
+// kernels accept smaller buffers down to conv.MinWorkspace by running
+// with fewer strips.
 func (h *Handle) GetConvolutionForwardWorkspaceSize(x TensorDesc, w FilterDesc, cd ConvDesc, y TensorDesc, algo conv.Algo) (int64, error) {
 	cs, err := checkConv(conv.Forward, x, w, cd, y)
 	if err != nil {

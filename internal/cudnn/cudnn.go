@@ -334,8 +334,9 @@ func (h *Handle) Convolve(op conv.Op, algo conv.Algo, cs tensor.ConvShape, x *te
 			if err := conv.Run(op, algo, cs, x, w, y, alpha, beta, ws); err != nil {
 				return err
 			}
-		} else if need, _ := conv.Workspace(op, algo, cs); int64(len(ws))*4 < need {
-			// Even without arithmetic, respect workspace contracts.
+		} else if need, _ := conv.MinWorkspace(op, algo, cs); int64(len(ws))*4 < need {
+			// Even without arithmetic, respect the workspace floor the
+			// executing kernels would enforce.
 			return fmt.Errorf("cudnn: workspace too small: have %d bytes, need %d", int64(len(ws))*4, need)
 		}
 		h.ChargeNamed(label, "conv", mt)

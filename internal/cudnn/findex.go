@@ -28,9 +28,16 @@ func (h *Handle) FindAlgoEx(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w
 		if !conv.Supported(op, algo, cs) {
 			continue
 		}
+		// An algorithm is attemptable once its single-strip floor fits; the
+		// reported Memory is the full-parallel footprint when the caller's
+		// scratch covers it, else the floor the degraded run is bound by.
 		mem, _ := conv.Workspace(op, algo, cs)
 		if mem > limit {
-			continue
+			minMem, _ := conv.MinWorkspace(op, algo, cs)
+			if minMem > limit {
+				continue
+			}
+			mem = minMem
 		}
 		var t time.Duration
 		switch h.backend {
