@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke check race fmt
+.PHONY: build test bench bench-smoke check race fmt lint fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,20 +19,37 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkConvKernels$$|BenchmarkConvBackwardFilter' \
 		-benchtime=3x -benchmem ./internal/conv/
 
+# lint runs the ucudnn-lint analyzer suite (detlint, hotpath, wsfloor,
+# metricname — see DESIGN.md "Static analysis") over the whole module.
+lint:
+	$(GO) run ./cmd/ucudnn-lint ./...
+
+# fuzz-smoke gives each committed fuzz target a short budget: long
+# enough to replay the corpus and probe nearby inputs, short enough for
+# the pre-commit gate.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDescriptors -fuzztime=5s ./internal/cudnn/
+	$(GO) test -run=NONE -fuzz=FuzzILP -fuzztime=5s ./internal/ilp/
+
 # race runs the concurrency-sensitive packages (metrics registry, core
-# handle, trace recorder) under the race detector.
+# handle, trace recorder, plus the striped kernel engine and its BLAS
+# and worker-pool layers) under the race detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/trace/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/trace/... \
+		./internal/conv/... ./internal/blas/... ./internal/parallel/...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # check is the pre-commit gate: tier-1 build+test plus vet, formatting,
-# the race pass, and the kernel benchmark smoke run.
+# the analyzer suite, the race pass, the kernel benchmark smoke run, and
+# the fuzz smoke run.
 check: build
 	$(GO) vet ./...
 	@$(MAKE) --no-print-directory fmt
+	@$(MAKE) --no-print-directory lint
 	$(GO) test ./...
 	@$(MAKE) --no-print-directory race
 	@$(MAKE) --no-print-directory bench-smoke
+	@$(MAKE) --no-print-directory fuzz-smoke

@@ -1,0 +1,168 @@
+// Command ucudnn-lint runs the internal/analysis suite (detlint,
+// hotpath, wsfloor, metricname — see DESIGN.md "Static analysis") over
+// the repository and exits non-zero on any finding.
+//
+// Usage:
+//
+//	ucudnn-lint [-analyzers detlint,wsfloor] [package patterns]
+//
+// Patterns are directories relative to the current module, with the
+// usual /... suffix for recursion; the default is ./... . Findings can
+// be suppressed per line with a justified //ucudnn:allow directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ucudnn/internal/analysis"
+)
+
+func main() {
+	var list string
+	flag.StringVar(&list, "analyzers", "", "comma-separated analyzer subset (default: the full suite)")
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+		os.Exit(2)
+	}
+
+	moduleRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(moduleRoot, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucudnn-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ucudnn-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand turns package patterns into a sorted list of directories that
+// contain non-test Go files. testdata, vendor and hidden directories
+// are skipped, matching the go tool's pattern semantics.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			recursive = true
+			p = rest
+			if p == "." || p == "" {
+				p = "."
+			}
+		}
+		if !recursive {
+			add(filepath.Clean(p))
+			continue
+		}
+		err := filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != p && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(filepath.Clean(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

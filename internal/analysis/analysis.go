@@ -1,0 +1,233 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: Analyzer values inspect one
+// type-checked package at a time and report position-tagged diagnostics.
+//
+// It exists because the engine's three load-bearing promises — bitwise
+// determinism at every worker count, the MinWorkspace floor, and
+// zero-allocation kernel hot paths (see DESIGN.md "Kernel execution
+// engine") — are contracts that spot tests can only sample. The analyzers
+// in this package (detlint, hotpath, wsfloor, metricname) check them
+// mechanically on every build via cmd/ucudnn-lint, which make check runs.
+//
+// # Suppressing a finding
+//
+// A finding can be silenced with a justification directive on the flagged
+// line or the line directly above it:
+//
+//	//ucudnn:allow <analyzer> -- <justification>
+//
+// The justification is mandatory; a directive without one is itself a
+// diagnostic. Directives name exactly one analyzer, so a line needing two
+// suppressions carries two directives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ucudnn:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the slash-separated path the package was loaded as
+	// (module-qualified for repo packages).
+	ImportPath string
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, tagged with the reporting analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directivePrefix introduces every ucudnn analysis directive.
+const directivePrefix = "//ucudnn:"
+
+// A directive is one parsed //ucudnn: comment.
+type directive struct {
+	verb string // "allow", "hotpath", ...
+	args string // text after the verb, trimmed
+	pos  token.Position
+}
+
+// parseDirectives extracts //ucudnn: directives from every comment in the
+// files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				verb := rest
+				args := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					verb, args = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				out = append(out, directive{verb: verb, args: args, pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return out
+}
+
+// allowRe splits an allow directive's arguments into the analyzer name
+// and the mandatory justification after "--".
+var allowRe = regexp.MustCompile(`^([a-z][a-z0-9]*)\s*--\s*(.*)$`)
+
+// Run executes the analyzers over a loaded package and returns the
+// surviving diagnostics sorted by position: findings not covered by a
+// valid //ucudnn:allow directive, plus one diagnostic for every malformed
+// or justification-free directive.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			ImportPath: pkg.ImportPath,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+
+	// allowed maps analyzer name -> file -> set of covered lines. A
+	// directive covers its own line (trailing-comment form) and the next
+	// line (comment-above form).
+	allowed := map[string]map[string]map[int]bool{}
+	for _, d := range parseDirectives(pkg.Fset, pkg.Files) {
+		if d.verb != "allow" {
+			continue
+		}
+		m := allowRe.FindStringSubmatch(d.args)
+		if m == nil || strings.TrimSpace(m[2]) == "" {
+			diags = append(diags, Diagnostic{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  "malformed //ucudnn:allow directive: want \"//ucudnn:allow <analyzer> -- <justification>\" with a non-empty justification",
+			})
+			continue
+		}
+		name := m[1]
+		byFile := allowed[name]
+		if byFile == nil {
+			byFile = map[string]map[int]bool{}
+			allowed[name] = byFile
+		}
+		lines := byFile[d.pos.Filename]
+		if lines == nil {
+			lines = map[int]bool{}
+			byFile[d.pos.Filename] = lines
+		}
+		lines[d.pos.Line] = true
+		lines[d.pos.Line+1] = true
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[d.Analyzer][d.Pos.Filename][d.Pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// funcDirectives returns the //ucudnn: verbs attached to a function
+// declaration's doc comment.
+func funcDirectives(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var verbs []string
+	for _, c := range fd.Doc.List {
+		if !strings.HasPrefix(c.Text, directivePrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, directivePrefix)
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			rest = rest[:i]
+		}
+		verbs = append(verbs, rest)
+	}
+	return verbs
+}
+
+// hasFuncDirective reports whether fd's doc comment carries the verb.
+func hasFuncDirective(fd *ast.FuncDecl, verb string) bool {
+	for _, v := range funcDirectives(fd) {
+		if v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathElem reports whether the final element of the import path equals
+// elem ("ucudnn/internal/core" -> "core"). Analyzers that apply to a
+// fixed set of packages match on it, so testdata fixtures can opt in by
+// directory name.
+func pkgPathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

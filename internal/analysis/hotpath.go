@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath enforces the zero-allocation contract on functions annotated
+// with //ucudnn:hotpath in their doc comment: the steady-state kernel
+// paths behind the 0 allocs/op benchmarks (engine runners, GEMM /
+// Winograd / FFT inner loops, the SGEMM micro-kernel). Inside an
+// annotated function the analyzer flags every construct the compiler
+// may lower to a heap allocation:
+//
+//   - make, new, append and slice/map composite literals;
+//   - function literals (closure environments escape to the heap when
+//     the closure does) and go statements;
+//   - implicit or explicit conversions of non-constant values to
+//     interface types (boxing), which is how fmt-style calls allocate.
+//
+// The check is local: callees are not inspected, so annotate the leaf
+// compute functions rather than fork-join wrappers that legitimately
+// spawn goroutines.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs inside //ucudnn:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasFuncDirective(fd, "hotpath") {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"hot path %s: function literal allocates its closure environment; move parallel dispatch outside //ucudnn:hotpath functions", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"hot path %s: go statement allocates a goroutine; fork-join belongs outside //ucudnn:hotpath functions", name)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hot path %s: slice literal allocates", name)
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hot path %s: map literal allocates", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Conversions: T(x) with T an interface type boxes x.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"hot path %s: conversion to interface %s allocates (boxing)",
+				name, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+	// Allocating builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path %s: make allocates; carve scratch from the workspace arena instead", name)
+			case "new":
+				pass.Reportf(call.Pos(), "hot path %s: new allocates", name)
+			case "append":
+				pass.Reportf(call.Pos(), "hot path %s: append may grow its backing array; pre-size buffers outside the hot path", name)
+			}
+			return
+		}
+	}
+	// Boxing through interface-typed parameters (fmt-style calls).
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if call.Ellipsis.IsValid() {
+				pt = nil // passing a ready slice through ... does not box
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"hot path %s: argument boxes %s into interface %s (allocates)",
+				name,
+				types.TypeString(pass.TypesInfo.TypeOf(arg), types.RelativeTo(pass.Pkg)),
+				types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface slot heap-allocates:
+// true for non-constant, non-nil values of non-interface type. Constants
+// (including string literals, e.g. panic messages) are materialized in
+// static data, not boxed at run time.
+func boxes(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	if tv.Type == nil || types.IsInterface(tv.Type) {
+		return false
+	}
+	return true
+}

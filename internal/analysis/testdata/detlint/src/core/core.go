@@ -1,0 +1,58 @@
+// Package core is a detlint fixture: its path leaf "core" opts it into
+// the determinism scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sumScores accumulates floats in map order: the classic
+// nondeterminism bug (see internal/ilp history).
+func sumScores(scores map[int]float64) float64 {
+	var total float64
+	for _, v := range scores { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the canonical collect-then-sort pattern: the loop body
+// only appends, so iteration order cannot leak into the result.
+func sortedKeys(scores map[int]float64) []int {
+	var keys []int
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// indexLoop iterates a slice, which is ordered: allowed.
+func indexLoop(costs []float64) float64 {
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	return total
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `math/rand`
+}
+
+// membership demonstrates a justified suppression: only the count
+// matters, so iteration order cannot influence the result.
+func membership(scores map[int]float64) int {
+	n := 0
+	//ucudnn:allow detlint -- membership count only; iteration order cannot reach the result
+	for range scores {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+// Package baddir holds malformed suppression directives: each is itself
+// a diagnostic because the justification is mandatory.
+package baddir
+
+func noJustification() {
+	//ucudnn:allow detlint
+	_ = 0
+}
+
+func emptyJustification() int {
+	//ucudnn:allow hotpath --
+	return 1
+}

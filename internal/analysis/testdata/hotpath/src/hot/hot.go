@@ -1,0 +1,71 @@
+// Package hot is a hotpath fixture covering the zero-alloc contract.
+package hot
+
+type ifc interface{}
+
+func sink(v interface{})                      {}
+func logf(format string, args ...interface{}) {}
+func worker()                                 {}
+
+// scale is a compliant annotated leaf kernel: index arithmetic and a
+// constant-string panic, nothing that allocates.
+//
+//ucudnn:hotpath
+func scale(dst, src []float32, alpha float32) {
+	if len(dst) < len(src) {
+		panic("hot: dst too small")
+	}
+	for i := range src {
+		dst[i] = alpha * src[i]
+	}
+}
+
+// alloc violates every clause of the contract.
+//
+//ucudnn:hotpath
+func alloc(dst, src []float32, x float32) {
+	buf := make([]float32, 16) // want `make allocates`
+	_ = buf
+	dst = append(dst, 1) // want `append may grow`
+	p := new(float32)    // want `new allocates`
+	_ = p
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+	m := map[int]int{0: 1} // want `map literal allocates`
+	_ = m
+	f := func() {} // want `function literal`
+	f()
+	go worker()     // want `go statement`
+	_ = ifc(x)      // want `boxing`
+	sink(x)         // want `boxes`
+	logf("x=%v", x) // want `boxes`
+}
+
+// spread passes a ready []interface{} through ...: no per-call boxing.
+//
+//ucudnn:hotpath
+func spread(args []interface{}) {
+	logf("vals", args...)
+}
+
+// constants passed to interface slots live in static data, not the heap.
+//
+//ucudnn:hotpath
+func consts() {
+	sink(3)
+	sink(nil)
+	sink("gemm")
+}
+
+// free is not annotated: it may allocate.
+func free() []float32 {
+	return make([]float32, 4)
+}
+
+// warm documents an accepted allocation with a justified suppression.
+//
+//ucudnn:hotpath
+func warm(n int) []float32 {
+	//ucudnn:allow hotpath -- one-time warmup allocation, amortized and benchmarked
+	return make([]float32, n)
+}

@@ -1,0 +1,72 @@
+// Package ws is a wsfloor fixture covering the workspace contract.
+package ws
+
+import "errors"
+
+var errTooSmall = errors.New("ws: workspace below floor")
+
+// MinWorkspace is the package workspace floor.
+func MinWorkspace() int { return 64 }
+
+// Run validates against the floor before dispatching: compliant.
+func Run(ws []byte) error {
+	if len(ws) < MinWorkspace() {
+		return errTooSmall
+	}
+	ws[0] = 1
+	return nil
+}
+
+// ConvolveForward delegates ws to Run, which owns the check: compliant.
+func ConvolveForward(ws []byte) error {
+	return Run(ws)
+}
+
+// ConvolveRaw dispatches without consulting the floor.
+func ConvolveRaw(ws []byte) { // want `neither checks the MinWorkspace floor`
+	ws[0] = 1
+}
+
+type nullEngine struct{}
+
+// Run without a workspace parameter is out of contract scope.
+func (nullEngine) Run() error { return nil }
+
+type engine struct {
+	n      int
+	cached int
+}
+
+// Workspace is pure: compliant.
+func (e *engine) Workspace() int { return e.n * 8 }
+
+// fftWorkspace memoizes through the receiver: a query becomes a write.
+func (e *engine) fftWorkspace() int {
+	e.cached = e.n * 8 // want `writes through e`
+	return e.cached
+}
+
+var workspaceCalls int
+
+// gemmWorkspace counts invocations in package state.
+func gemmWorkspace(n int) int {
+	workspaceCalls++ // want `writes package-level variable workspaceCalls`
+	return n * 8
+}
+
+// workspaceSize launches background work from a size query.
+func workspaceSize(n int) int {
+	done := make(chan struct{})
+	go close(done) // want `launches a goroutine`
+	<-done
+	return n
+}
+
+// winogradWorkspace mutates only locals: compliant.
+func winogradWorkspace(tiles []int) int {
+	total := 0
+	for _, t := range tiles {
+		total += t
+	}
+	return total
+}

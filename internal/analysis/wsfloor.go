@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WSFloor enforces the workspace contract around every Run/Convolve-
+// shaped entry point and every Workspace() implementation:
+//
+//  1. An entry point that accepts a workspace buffer (a slice parameter
+//     named ws or workspace) must validate it against the MinWorkspace
+//     floor before dispatching — either by referencing MinWorkspace
+//     directly or by forwarding the buffer to another entry point that
+//     does (the delegation the cudnn wrappers use).
+//  2. Workspace/MinWorkspace size reporters must be side-effect-free:
+//     optimizers call them speculatively over whole configuration
+//     spaces, so a reporter that mutates package or caller state turns
+//     a query into an action.
+var WSFloor = &Analyzer{
+	Name: "wsfloor",
+	Doc:  "entry points must check the MinWorkspace floor; Workspace() reporters must be pure",
+	Run:  runWSFloor,
+}
+
+func runWSFloor(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if isEntryPointName(name) {
+				checkEntryPoint(pass, fd)
+			}
+			if isWorkspaceReporterName(name) {
+				checkReporterPurity(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isEntryPointName matches the Run/Convolve-shaped executors of the
+// kernel contract.
+func isEntryPointName(name string) bool {
+	return name == "Run" ||
+		strings.Contains(name, "Convolve") ||
+		strings.HasPrefix(name, "Convolution")
+}
+
+// isWorkspaceReporterName matches workspace-size reporters: Workspace,
+// MinWorkspace, and the {algo}Workspace / *WorkspaceSize helpers behind
+// them.
+func isWorkspaceReporterName(name string) bool {
+	return name == "Workspace" || name == "MinWorkspace" ||
+		strings.HasSuffix(name, "Workspace") ||
+		strings.HasSuffix(name, "WorkspaceSize") ||
+		name == "workspaceSize"
+}
+
+// workspaceParam returns the *ast.Ident of the function's workspace
+// parameter (a slice parameter named ws or workspace), or nil.
+func workspaceParam(pass *Pass, fd *ast.FuncDecl) *ast.Ident {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if id.Name != "ws" && id.Name != "workspace" {
+				continue
+			}
+			if t := pass.TypesInfo.TypeOf(field.Type); t != nil {
+				if _, ok := t.Underlying().(*types.Slice); ok {
+					return id
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkEntryPoint(pass *Pass, fd *ast.FuncDecl) {
+	wsParam := workspaceParam(pass, fd)
+	if wsParam == nil {
+		return
+	}
+	wsObj := pass.TypesInfo.Defs[wsParam]
+	checksFloor := false
+	delegates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "MinWorkspace" {
+				checksFloor = true
+			}
+		case *ast.CallExpr:
+			if calleeEntryName(n) && passesIdent(pass, n.Args, wsObj) {
+				delegates = true
+			}
+		}
+		return true
+	})
+	if !checksFloor && !delegates {
+		pass.Reportf(fd.Pos(),
+			"entry point %s takes workspace %q but neither checks the MinWorkspace floor nor delegates it to an entry point that does (workspace contract)",
+			fd.Name.Name, wsParam.Name)
+	}
+}
+
+// calleeEntryName reports whether the call's callee is itself an entry-
+// point-shaped function (Run / Convolve* / Convolution*).
+func calleeEntryName(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return isEntryPointName(fun.Name)
+	case *ast.SelectorExpr:
+		return isEntryPointName(fun.Sel.Name)
+	}
+	return false
+}
+
+// passesIdent reports whether any argument is exactly the object obj.
+func passesIdent(pass *Pass, args []ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for _, a := range args {
+		if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkReporterPurity flags statements in a workspace reporter that
+// mutate state visible outside the function: writes to package-level
+// variables, writes through parameters or the receiver, goroutine
+// launches and channel sends.
+func checkReporterPurity(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkReporterWrite(pass, name, fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkReporterWrite(pass, name, fd, n.X)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "workspace reporter %s launches a goroutine; size queries must be side-effect-free (workspace contract)", name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "workspace reporter %s sends on a channel; size queries must be side-effect-free (workspace contract)", name)
+		}
+		return true
+	})
+}
+
+// checkReporterWrite flags an assignment target that reaches outside the
+// reporter: a package-level variable, or an indirect write (index, star,
+// field) whose base is a parameter/receiver or package-level variable.
+func checkReporterWrite(pass *Pass, name string, fd *ast.FuncDecl, lhs ast.Expr) {
+	indirect := false
+	e := lhs
+loop:
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indirect = true
+			e = x.X
+		case *ast.StarExpr:
+			indirect = true
+			e = x.X
+		case *ast.SelectorExpr:
+			indirect = true
+			e = x.X
+		default:
+			break loop
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id] // `x := ...` definitions
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		pass.Reportf(lhs.Pos(),
+			"workspace reporter %s writes package-level variable %s; size queries must be side-effect-free (workspace contract)", name, id.Name)
+		return
+	}
+	if indirect && isParamOrRecv(pass, fd, v) {
+		pass.Reportf(lhs.Pos(),
+			"workspace reporter %s writes through %s, mutating caller-visible state; size queries must be side-effect-free (workspace contract)", name, id.Name)
+	}
+}
+
+// isParamOrRecv reports whether v is one of fd's parameters or its
+// receiver.
+func isParamOrRecv(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if pass.TypesInfo.Defs[id] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}

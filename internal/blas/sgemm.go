@@ -27,6 +27,8 @@ const parallelThreshold = 1 << 16
 //
 // A is (m x k) after op, with leading dimension lda; B is (k x n) after
 // op, with leading dimension ldb; C is (m x n) with leading dimension ldc.
+//
+//ucudnn:hotpath
 func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	SgemmWorkers(0, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }
@@ -38,6 +40,8 @@ func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int
 // oversubscription). Every element of C is accumulated in the same order
 // regardless of the worker count, so results are bit-identical across
 // all settings.
+//
+//ucudnn:hotpath
 func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if m == 0 || n == 0 {
 		return
@@ -73,6 +77,7 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 			break
 		}
 		wg.Add(1)
+		//ucudnn:allow hotpath -- the multi-worker path forks by design; callers on the zero-alloc path pass workers==1
 		go func(lo, hi int) {
 			defer wg.Done()
 			sgemmRows(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -81,6 +86,7 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 	wg.Wait()
 }
 
+//ucudnn:hotpath
 func checkDims(transA, transB bool, m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	if m < 0 || n < 0 || k < 0 {
 		panic("blas: negative dimension")
@@ -107,6 +113,7 @@ func checkDims(transA, transB bool, m, n, k int, a []float32, lda int, b []float
 	}
 }
 
+//ucudnn:hotpath
 func scaleC(m, n int, beta float32, c []float32, ldc int) {
 	if beta == 1 {
 		return
@@ -127,6 +134,8 @@ func scaleC(m, n int, beta float32, c []float32, ldc int) {
 
 // sgemmRows computes rows [mLo, mHi) of C += alpha*op(A)*op(B) with cache
 // blocking. C has already been scaled by beta.
+//
+//ucudnn:hotpath
 func sgemmRows(transA, transB bool, mLo, mHi, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	var packA [blockM * blockK]float32
 	var packB [blockK * blockN]float32
@@ -145,6 +154,8 @@ func sgemmRows(transA, transB bool, mLo, mHi, n, k int, alpha float32, a []float
 }
 
 // packBPanel copies op(B)[k0:k0+kb, j0:j0+jb] into pack, row-major kb x jb.
+//
+//ucudnn:hotpath
 func packBPanel(pack *[blockK * blockN]float32, transB bool, b []float32, ldb int, k0, kb, j0, jb int) {
 	if !transB {
 		for p := 0; p < kb; p++ {
@@ -161,6 +172,8 @@ func packBPanel(pack *[blockK * blockN]float32, transB bool, b []float32, ldb in
 
 // packAPanel copies alpha*op(A)[i0:i0+ib, k0:k0+kb] into pack, row-major
 // ib x kb.
+//
+//ucudnn:hotpath
 func packAPanel(pack *[blockM * blockK]float32, transA bool, a []float32, lda int, i0, ib, k0, kb int, alpha float32) {
 	if !transA {
 		for i := 0; i < ib; i++ {
@@ -190,6 +203,8 @@ func packAPanel(pack *[blockM * blockK]float32, transA bool, a []float32, lda in
 // halving B-panel bandwidth. Each C element still sees the exact k-pair
 // accumulation order of the single-row kernel, so results are unchanged
 // bit for bit.
+//
+//ucudnn:hotpath
 func microKernel(packA *[blockM * blockK]float32, packB *[blockK * blockN]float32, ib, jb, kb int, c []float32, ldc, i0, j0 int) {
 	i := 0
 	for ; i+1 < ib; i += 2 {
@@ -243,6 +258,8 @@ func microKernel(packA *[blockM * blockK]float32, packB *[blockK * blockN]float3
 }
 
 // Saxpy computes y += alpha * x.
+//
+//ucudnn:hotpath
 func Saxpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic("blas: Saxpy length mismatch")
@@ -253,6 +270,8 @@ func Saxpy(alpha float32, x, y []float32) {
 }
 
 // Sdot returns the dot product of x and y.
+//
+//ucudnn:hotpath
 func Sdot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("blas: Sdot length mismatch")

@@ -54,6 +54,8 @@ func SetMaxWorkers(n int) int {
 // batchStripes returns the stripe count the workspace contract assumes
 // for a batch of n samples: one strip per worker, never more than the
 // samples available.
+//
+//ucudnn:hotpath
 func batchStripes(n int) int {
 	s := MaxWorkers()
 	if s > n {
@@ -68,6 +70,8 @@ func batchStripes(n int) int {
 // fitStripes bounds want stripes by how many whole strips of stripElems
 // float32s fit in a workspace of have float32s (at least one: Run has
 // already validated the MinWorkspace floor).
+//
+//ucudnn:hotpath
 func fitStripes(want int, have, stripElems int) int {
 	if stripElems <= 0 {
 		return want
@@ -105,6 +109,8 @@ func stripedRun(workers int, f func(w int)) {
 
 // chunkBounds splits n items into chunks of ceil(n/workers) and returns
 // the [lo, hi) range owned by worker w.
+//
+//ucudnn:hotpath
 func chunkBounds(n, workers, w int) (int, int) {
 	chunk := (n + workers - 1) / workers
 	lo := w * chunk

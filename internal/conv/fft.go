@@ -36,6 +36,7 @@ func (pl spectralPlan) scratchBlock(workers int) []complex128 {
 	return make([]complex128, workers*pl.p*pl.q)
 }
 
+//ucudnn:hotpath
 func (pl spectralPlan) scratchFor(block []complex128, wk int) []complex128 {
 	n := pl.p * pl.q
 	return block[wk*n : (wk+1)*n]
@@ -43,6 +44,8 @@ func (pl spectralPlan) scratchFor(block []complex128, wk int) []complex128 {
 
 // fwdInto transforms a real rows x cols gather into dst's half-spectrum.
 // gather(r, c) is only called for r < rows, c < cols; the rest is zero.
+//
+//ucudnn:hotpath
 func (pl spectralPlan) fwdInto(dst []float32, rows, cols int, gather func(r, c int) float32, scratch []complex128) {
 	for i := range scratch {
 		scratch[i] = 0
@@ -65,6 +68,8 @@ func (pl spectralPlan) fwdInto(dst []float32, rows, cols int, gather func(r, c i
 
 // invFrom reconstructs the full Hermitian spectrum from src and inverse-
 // transforms it; the real result is left in scratch (row stride pl.q).
+//
+//ucudnn:hotpath
 func (pl spectralPlan) invFrom(src []float32, scratch []complex128) {
 	for r := 0; r < pl.p; r++ {
 		for c := 0; c < pl.hw; c++ {
@@ -86,6 +91,8 @@ func (pl spectralPlan) invFrom(src []float32, scratch []complex128) {
 }
 
 // zeroPlane clears one stored plane.
+//
+//ucudnn:hotpath
 func zeroPlane(dst []float32) {
 	for i := range dst {
 		dst[i] = 0
@@ -94,6 +101,8 @@ func zeroPlane(dst []float32) {
 
 // accumMulConj computes dst += a * conj(b) over interleaved complex planes.
 // This is the spectral form of correlation (the DL "convolution").
+//
+//ucudnn:hotpath
 func accumMulConj(dst, a, b []float32) {
 	for i := 0; i < len(dst); i += 2 {
 		ar, ai := a[i], a[i+1]

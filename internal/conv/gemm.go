@@ -9,6 +9,8 @@ import (
 // strip: the per-sample im2col lowering buffer of (C*R*S) x (OH*OW), plus
 // for BackwardFilter a per-sample partial dW buffer of K x (C*R*S) that
 // the deterministic reduction consumes.
+//
+//ucudnn:hotpath
 func gemmStripFloats(op Op, cs tensor.ConvShape) int {
 	out := cs.OutShape()
 	crs := cs.Filt.C * cs.Filt.R * cs.Filt.S
@@ -34,6 +36,8 @@ func gemmWorkspace(op Op, cs tensor.ConvShape, minimal bool) int64 {
 
 // im2col lowers sample xn (C x H x W, sample-local) into col, a
 // (C*R*S) x (OH*OW) row-major matrix, zero-filling padded positions.
+//
+//ucudnn:hotpath
 func im2col(cs tensor.ConvShape, xn []float32, col []float32) {
 	p := cs.Params.Normalized()
 	out := cs.OutShape()
@@ -75,6 +79,8 @@ func im2col(cs tensor.ConvShape, xn []float32, col []float32) {
 
 // col2im scatters col (the gradient of the im2col lowering) back into
 // sample xn, accumulating alpha*col on top of the existing contents.
+//
+//ucudnn:hotpath
 func col2im(cs tensor.ConvShape, col []float32, xn []float32, alpha float32) {
 	p := cs.Params.Normalized()
 	out := cs.OutShape()
@@ -127,12 +133,16 @@ type gemmCtx struct {
 }
 
 // colFor returns worker wk's im2col buffer.
+//
+//ucudnn:hotpath
 func (g gemmCtx) colFor(wk int) []float32 {
 	return g.ws[wk*g.strip : wk*g.strip+g.crs*g.pixels]
 }
 
 // partFor returns worker wk's partial-dW buffer (BackwardFilter strips
 // only).
+//
+//ucudnn:hotpath
 func (g gemmCtx) partFor(wk int) []float32 {
 	off := wk*g.strip + g.crs*g.pixels
 	return g.ws[off : off+g.k*g.crs]
@@ -140,6 +150,8 @@ func (g gemmCtx) partFor(wk int) []float32 {
 
 // forwardSample computes Y[n] = alpha * Wmat * im2col(X[n]) + beta*Y[n]
 // in worker wk's strip. sgemmWorkers caps the inner GEMM's parallelism.
+//
+//ucudnn:hotpath
 func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
@@ -149,6 +161,8 @@ func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
 }
 
 // backwardDataSample computes dX[n] from dY[n] in worker wk's strip.
+//
+//ucudnn:hotpath
 func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
 	blas.SgemmWorkers(sgemmWorkers, true, false, g.crs, g.pixels, g.k,
@@ -169,6 +183,8 @@ func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 
 // filterPartial computes strip wk's raw per-sample filter-gradient
 // contribution: part = dY[n] * im2col(X[n])ᵀ, unscaled, beta=0.
+//
+//ucudnn:hotpath
 func (g gemmCtx) filterPartial(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)

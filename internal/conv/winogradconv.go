@@ -170,6 +170,8 @@ type wgCtx struct {
 }
 
 // bufs returns worker wk's three alpha^2 arena buffers.
+//
+//ucudnn:hotpath
 func (g wgCtx) bufs(wk int) (b0, b1, b2 []float32) {
 	a2 := g.alpha2
 	base := wk * 3 * a2
@@ -179,6 +181,8 @@ func (g wgCtx) bufs(wk int) (b0, b1, b2 []float32) {
 
 // filterTile transforms filter pair i = kk*c+cc into the spectral bank:
 // U[e][kk*c+cc].
+//
+//ucudnn:hotpath
 func (g wgCtx) filterTile(wk, i int) {
 	kk, cc := i/g.c, i%g.c
 	b0, b1, b2 := g.bufs(wk)
@@ -205,6 +209,8 @@ func (g wgCtx) filterTile(wk, i int) {
 
 // inputTile transforms input tile p0+dp of channel cc (task i = cc*cnt+dp)
 // into V[e][cc*bp + dp].
+//
+//ucudnn:hotpath
 func (g wgCtx) inputTile(wk, i, p0, cnt int) {
 	cc, dp := i/cnt, i%cnt
 	pp := p0 + dp
@@ -242,6 +248,8 @@ func (g wgCtx) inputTile(wk, i, p0, cnt int) {
 
 // spectralGemm multiplies spectral component e of the filter and input
 // banks: M[e] (k x cnt) = U[e] (k x c) * V[e] (c x cnt).
+//
+//ucudnn:hotpath
 func (g wgCtx) spectralGemm(e, cnt, sgemmWorkers int) {
 	k, c, bp := g.k, g.c, g.bp
 	blas.SgemmWorkers(sgemmWorkers, false, false, k, cnt, c,
@@ -251,6 +259,8 @@ func (g wgCtx) spectralGemm(e, cnt, sgemmWorkers int) {
 
 // outputTile inverse-transforms product tile p0+dp of output channel kk
 // (task i = kk*cnt+dp) and blends it into y.
+//
+//ucudnn:hotpath
 func (g wgCtx) outputTile(wk, i, p0, cnt int) {
 	kk, dp := i/cnt, i%cnt
 	pp := p0 + dp
@@ -347,6 +357,8 @@ func winogradCorrelate(tr *winograd.Transform, cs tensor.ConvShape, x *tensor.Te
 
 // inputTileTotal is inputTile with the BackwardFilter bank layout
 // V[e][cc*total + pp] (no block panelling).
+//
+//ucudnn:hotpath
 func (g wgCtx) inputTileTotal(wk, i, total int) {
 	cc, pp := i/total, i%total
 	nn := pp / g.tilesPer
@@ -383,6 +395,8 @@ func (g wgCtx) inputTileTotal(wk, i, total int) {
 // outputAdjointTile maps output-gradient tile pp of channel kk (task
 // i = kk*total+pp) through the adjoint into Wb[e][kk*total + pp] (the mm
 // bank in the BackwardFilter layout).
+//
+//ucudnn:hotpath
 func (g wgCtx) outputAdjointTile(wk, i, total int) {
 	kk, pp := i/total, i%total
 	nn := pp / g.tilesPer
@@ -417,6 +431,8 @@ func (g wgCtx) outputAdjointTile(wk, i, total int) {
 
 // spectralAdjointGemm accumulates spectral component e of the filter
 // gradient: dU[e] (k x c) = Wb[e] (k x total) * V[e]ᵀ.
+//
+//ucudnn:hotpath
 func (g wgCtx) spectralAdjointGemm(e, total, sgemmWorkers int) {
 	k, c := g.k, g.c
 	blas.SgemmWorkers(sgemmWorkers, false, true, k, c, total,
@@ -426,6 +442,8 @@ func (g wgCtx) spectralAdjointGemm(e, total, sgemmWorkers int) {
 
 // filterAdjointTile maps spectral accumulator pair i = kk*c+cc back to
 // filter space and blends it into dW.
+//
+//ucudnn:hotpath
 func (g wgCtx) filterAdjointTile(wk, i int) {
 	kk, cc := i/g.c, i%g.c
 	b0, b1, b2 := g.bufs(wk)

@@ -1,0 +1,51 @@
+package cudnn
+
+import "testing"
+
+// FuzzDescriptors drives the descriptor constructors and
+// GetOutputDim with arbitrary geometry: invalid inputs must be rejected
+// with an error (never a panic), and every accepted convolution must
+// produce a structurally consistent output descriptor.
+func FuzzDescriptors(f *testing.F) {
+	// Representative layer geometries: conv3x3 s1, conv1x1, strided,
+	// dilated, and a degenerate one the validators must reject.
+	f.Add(1, 3, 8, 8, 4, 3, 3, 3, 1, 1, 1, 1, 1, 1)
+	f.Add(32, 64, 56, 56, 128, 64, 1, 1, 0, 0, 1, 1, 1, 1)
+	f.Add(8, 16, 32, 32, 16, 16, 5, 5, 2, 2, 2, 2, 1, 1)
+	f.Add(2, 4, 16, 16, 4, 4, 3, 3, 2, 2, 1, 1, 2, 2)
+	f.Add(0, -1, 8, 8, 4, 3, 3, 3, -1, 0, 0, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, n, c, h, w, k, fc, r, s, padH, padW, strideH, strideW, dilH, dilW int) {
+		// Bound magnitudes so output-dimension arithmetic stays far from
+		// int overflow; the validators' behavior is identical in range.
+		const lim = 1 << 16
+		for _, v := range []int{n, c, h, w, k, fc, r, s, padH, padW, strideH, strideW, dilH, dilW} {
+			if v > lim || v < -lim {
+				t.Skip("out of modeled range")
+			}
+		}
+		x, errX := NewTensorDesc(n, c, h, w)
+		wd, errW := NewFilterDesc(k, fc, r, s)
+		cd, errC := NewConvDesc(padH, padW, strideH, strideW, dilH, dilW)
+		if errX != nil || errW != nil || errC != nil {
+			return // rejected without panicking: the property we fuzz for
+		}
+		y, err := GetOutputDim(x, wd, cd)
+		if err != nil {
+			return // incompatible geometry, rejected cleanly
+		}
+		if y.N <= 0 || y.C <= 0 || y.H <= 0 || y.W <= 0 {
+			t.Fatalf("GetOutputDim(%v, %v, %v) accepted but returned non-positive dims %v", x, wd, cd, y)
+		}
+		if y.N != x.N {
+			t.Errorf("output batch %d != input batch %d", y.N, x.N)
+		}
+		if y.C != wd.K {
+			t.Errorf("output channels %d != filter count %d", y.C, wd.K)
+		}
+		// GetOutputDim must be a pure function of its descriptors.
+		y2, err2 := GetOutputDim(x, wd, cd)
+		if err2 != nil || y2 != y {
+			t.Errorf("GetOutputDim not reproducible: %v/%v then %v/%v", y, err, y2, err2)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"ucudnn/internal/lp"
+)
+
+// FuzzILP decodes small 0-1 problems from fuzz input, validates them and
+// runs the branch-and-bound solver: accepted instances must solve
+// without panicking, binary variables must come back integral, solutions
+// must be feasible, and on all-binary instances the objective must agree
+// with exhaustive enumeration.
+func FuzzILP(f *testing.F) {
+	// A WD-shaped seed: pick one configuration per group under a shared
+	// budget row, plus an infeasible and an unbounded-ish variant.
+	f.Add([]byte{3, 2, 10, 20, 30, 1, 1, 1, 0, 1, 2, 3, 2, 1, 7})
+	f.Add([]byte{2, 1, 5, 250, 1, 1, 0, 0})
+	f.Add([]byte{4, 3, 1, 2, 3, 4, 9, 9, 9, 9, 200, 100, 50, 25, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := decodeProblem(data)
+		if !ok || p.Validate() != nil {
+			return
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return // node-limit or relaxation failure, reported cleanly
+		}
+		if res.Status != lp.Optimal {
+			return
+		}
+		if len(res.X) != len(p.LP.C) {
+			t.Fatalf("solution has %d variables, want %d", len(res.X), len(p.LP.C))
+		}
+		for j, isBin := range p.Binary {
+			if !isBin {
+				continue
+			}
+			if r := math.Abs(res.X[j] - math.Round(res.X[j])); r > 1e-6 {
+				t.Fatalf("binary variable x[%d] = %g is fractional", j, res.X[j])
+			}
+			if res.X[j] < -1e-6 || res.X[j] > 1+1e-6 {
+				t.Fatalf("binary variable x[%d] = %g outside {0,1}", j, res.X[j])
+			}
+		}
+		if !feasiblePoint(&p.LP, res.X) {
+			t.Fatalf("optimal point %v violates the constraints", res.X)
+		}
+		allBinary := true
+		for _, b := range p.Binary {
+			allBinary = allBinary && b
+		}
+		if allBinary {
+			exh, err := SolveExhaustive(p)
+			if err == nil && exh.Status == lp.Optimal &&
+				math.Abs(exh.Obj-res.Obj) > 1e-5*(1+math.Abs(exh.Obj)) {
+				t.Fatalf("branch-and-bound objective %g disagrees with exhaustive %g", res.Obj, exh.Obj)
+			}
+		}
+	})
+}
+
+// decodeProblem builds a bounded ILP (at most 4 variables and 4 rows,
+// single-digit magnitudes) from raw fuzz bytes.
+func decodeProblem(data []byte) (*Problem, bool) {
+	if len(data) < 2 {
+		return nil, false
+	}
+	nvars := 1 + int(data[0])%4
+	nrows := int(data[1]) % 4
+	need := 2 + nvars + nrows*(nvars+2)
+	if len(data) < need {
+		return nil, false
+	}
+	pos := 2
+	next := func() byte { b := data[pos]; pos++; return b }
+
+	p := &Problem{}
+	p.LP.C = make([]float64, nvars)
+	p.Binary = make([]bool, nvars)
+	for j := 0; j < nvars; j++ {
+		b := next()
+		p.LP.C[j] = float64(int(b%31) - 15)
+		p.Binary[j] = b%2 == 0
+	}
+	// At least one binary variable, or the instance is a plain LP.
+	p.Binary[0] = true
+	for i := 0; i < nrows; i++ {
+		row := make([]float64, nvars)
+		for j := range row {
+			row[j] = float64(int(next()%19) - 9)
+		}
+		p.LP.A = append(p.LP.A, row)
+		p.LP.B = append(p.LP.B, float64(int(next()%21)-5))
+		p.LP.Rel = append(p.LP.Rel, []lp.Relation{lp.LE, lp.GE, lp.EQ}[next()%3])
+	}
+	return p, true
+}

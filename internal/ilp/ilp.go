@@ -122,8 +122,12 @@ func (p *Problem) relax(fixed map[int]float64, bounded []bool) (q *lp.Problem, f
 		for fj, j := range freeIdx {
 			newRow[fj] = row[j]
 		}
-		for j, v := range fixed {
-			b -= row[j] * v
+		// Index order, not map order: b accumulates floats, and the DP
+		// above demands bit-identical objectives run to run.
+		for j := 0; j < n; j++ {
+			if v, ok := fixed[j]; ok {
+				b -= row[j] * v
+			}
 		}
 		q.A = append(q.A, newRow)
 		q.B = append(q.B, b)
@@ -169,9 +173,11 @@ func Solve(p *Problem) (Result, error) {
 			// Fully fixed: evaluate the assignment directly.
 			x := make([]float64, n)
 			obj := 0.0
-			for j, v := range nd.fixed {
-				x[j] = v
-				obj += p.LP.C[j] * v
+			for j := 0; j < n; j++ {
+				if v, ok := nd.fixed[j]; ok {
+					x[j] = v
+					obj += p.LP.C[j] * v
+				}
 			}
 			if feasiblePoint(&p.LP, x) && obj < best.Obj {
 				best = Result{Status: lp.Optimal, X: x, Obj: obj}
@@ -189,14 +195,15 @@ func Solve(p *Problem) (Result, error) {
 		case lp.Unbounded:
 			return Result{Status: lp.Unbounded, Nodes: nodes, SimplexIters: simplexIters}, nil
 		}
-		// Lift the relaxation solution back to original indices.
+		// Lift the relaxation solution back to original indices, summing
+		// the fixed cost in index order for reproducible objectives.
 		fullX := make([]float64, n)
-		for j, v := range nd.fixed {
-			fullX[j] = v
-		}
 		fixedCost := 0.0
-		for j, v := range nd.fixed {
-			fixedCost += p.LP.C[j] * v
+		for j := 0; j < n; j++ {
+			if v, ok := nd.fixed[j]; ok {
+				fullX[j] = v
+				fixedCost += p.LP.C[j] * v
+			}
 		}
 		objFull := rel.Obj + fixedCost
 		for fj, j := range freeIdx {
@@ -231,8 +238,10 @@ func Solve(p *Problem) (Result, error) {
 		}
 		for _, v := range []float64{1, 0} {
 			child := &node{bound: objFull, fixed: make(map[int]float64, len(nd.fixed)+1)}
-			for k, fv := range nd.fixed {
-				child.fixed[k] = fv
+			for k := 0; k < n; k++ {
+				if fv, ok := nd.fixed[k]; ok {
+					child.fixed[k] = fv
+				}
 			}
 			child.fixed[branch] = v
 			heap.Push(q, child)
