@@ -21,6 +21,7 @@ import (
 
 	"ucudnn/internal/bench"
 	"ucudnn/internal/device"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/trace"
 )
@@ -35,6 +36,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace of every timed run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run for go tool pprof")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit for go tool pprof")
+	faultSpec := flag.String("faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
 	flag.Parse()
 
 	d, err := device.ByName(*dev)
@@ -42,6 +44,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	reportFaults := func() {}
+	if *faultSpec != "" {
+		freg, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		faults.Install(freg)
+		// Disarm and print the fired shots, so any failure under injection
+		// is reproducible from the output alone; called on both the error
+		// exit and the normal one (os.Exit skips defers).
+		reportFaults = func() {
+			faults.Install(nil)
+			fmt.Fprintf(os.Stderr, "faults: schedule %q fired [%s]\n", freg.String(), freg.ShotLog())
+		}
+	}
+	defer reportFaults()
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -94,6 +113,7 @@ func main() {
 	for _, name := range names {
 		if err := bench.Run(name, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			reportFaults()
 			os.Exit(1)
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
@@ -51,6 +52,7 @@ type runOpts struct {
 	TotalMiB  int64
 	Metrics   string
 	Trace     string
+	Faults    string
 }
 
 func main() {
@@ -71,12 +73,38 @@ func main() {
 	flag.Int64Var(&o.TotalMiB, "total", 0, "WD total workspace (MiB; required for -net)")
 	flag.StringVar(&o.Metrics, "metrics", "", "write optimizer metrics at exit (\"-\" for stdout, .prom for Prometheus)")
 	flag.StringVar(&o.Trace, "trace", "", "write the chosen plans as a Chrome-trace micro-batch timeline (Fig. 3)")
+	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_find=every:5;ucudnn_fp_cache_load=nth:1\"")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	report, err := armFaults(o.Faults)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	err = run(o)
+	report()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// armFaults installs the fault schedule (if any) and returns a closure
+// that disarms it and prints the fired shots, so any failure under
+// injection is reproducible from the output alone.
+func armFaults(spec string) (func(), error) {
+	if spec == "" {
+		return func() {}, nil
+	}
+	freg, err := faults.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	faults.Install(freg)
+	return func() {
+		faults.Install(nil)
+		fmt.Fprintf(os.Stderr, "faults: schedule %q fired [%s]\n", freg.String(), freg.ShotLog())
+	}, nil
 }
 
 func parseDims(s string, n int) ([]int, error) {

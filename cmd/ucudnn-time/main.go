@@ -19,6 +19,7 @@ import (
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 	"ucudnn/internal/zoo"
@@ -37,6 +38,7 @@ type runOpts struct {
 	DB       string
 	Trace    string
 	Metrics  string
+	Faults   string
 }
 
 func main() {
@@ -52,12 +54,38 @@ func main() {
 	flag.StringVar(&o.DB, "db", "", "benchmark database file (optional)")
 	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
 	flag.StringVar(&o.Metrics, "metrics", "", "write µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus; wr/wd modes)")
+	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	report, err := armFaults(o.Faults)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	err = run(o)
+	report()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// armFaults installs the fault schedule (if any) and returns a closure
+// that disarms it and prints the fired shots, so any failure under
+// injection is reproducible from the output alone.
+func armFaults(spec string) (func(), error) {
+	if spec == "" {
+		return func() {}, nil
+	}
+	freg, err := faults.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	faults.Install(freg)
+	return func() {
+		faults.Install(nil)
+		fmt.Fprintf(os.Stderr, "faults: schedule %q fired [%s]\n", freg.String(), freg.ShotLog())
+	}, nil
 }
 
 func run(o runOpts) error {

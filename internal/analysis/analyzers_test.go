@@ -5,11 +5,13 @@ import (
 	"testing"
 )
 
-func TestDetlint(t *testing.T)           { RunFixture(t, Detlint, "core") }
-func TestDetlintOutOfScope(t *testing.T) { RunFixture(t, Detlint, "other") }
-func TestHotpath(t *testing.T)           { RunFixture(t, Hotpath, "hot") }
-func TestWSFloor(t *testing.T)           { RunFixture(t, WSFloor, "ws") }
-func TestMetricName(t *testing.T)        { RunFixture(t, MetricName, "metrics") }
+func TestDetlint(t *testing.T)             { RunFixture(t, Detlint, "core") }
+func TestDetlintOutOfScope(t *testing.T)   { RunFixture(t, Detlint, "other") }
+func TestHotpath(t *testing.T)             { RunFixture(t, Hotpath, "hot") }
+func TestWSFloor(t *testing.T)             { RunFixture(t, WSFloor, "ws") }
+func TestMetricName(t *testing.T)          { RunFixture(t, MetricName, "metrics") }
+func TestFaultPoint(t *testing.T)          { RunFixture(t, FaultPoint, "probe") }
+func TestFaultPointExemptPkg(t *testing.T) { RunFixture(t, FaultPoint, "faults") }
 
 // TestMalformedDirective checks that justification-free //ucudnn:allow
 // directives are themselves reported, by any analyzer selection.

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// FaultPoint enforces the fault-injection naming contract documented in
+// DESIGN.md ("Fault injection & graceful degradation"): every
+// faults.Point handed to the registry — as a call argument (Err / Hit /
+// Grant / Mangle) or as the Point field of a faults.Rule literal — must
+// be a compile-time constant matching ucudnn_fp_* snake_case. Constant
+// names keep the injection-point universe enumerable (schedules written
+// for one build keep parsing on the next) and greppable from a failure's
+// printed schedule straight to the probe site.
+//
+// The faults package itself is exempt: it plumbs Point values through
+// variables by design.
+var FaultPoint = &Analyzer{
+	Name: "faultpoint",
+	Doc:  "faults.Point values must be compile-time ucudnn_fp_* snake_case constants",
+	Run:  runFaultPoint,
+}
+
+var faultPointRe = regexp.MustCompile(`^ucudnn_fp(_[a-z0-9]+)+$`)
+
+func runFaultPoint(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "faults" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if isFaultPointType(pass, arg) {
+						checkFaultPoint(pass, arg)
+					}
+				}
+			case *ast.CompositeLit:
+				checkRuleLiteral(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRuleLiteral checks the Point field of a faults.Rule composite
+// literal, in both keyed and positional form.
+func checkRuleLiteral(pass *Pass, lit *ast.CompositeLit) {
+	tv := pass.TypesInfo.Types[lit]
+	if tv.Type == nil || !isFaultsNamed(tv.Type, "Rule") {
+		return
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Point" {
+				continue
+			}
+			checkFaultPoint(pass, kv.Value)
+			continue
+		}
+		if i == 0 { // positional literal: Point is the first field
+			checkFaultPoint(pass, el)
+		}
+	}
+}
+
+// checkFaultPoint requires expr to be a compile-time string constant
+// matching the ucudnn_fp_* scheme.
+func checkFaultPoint(pass *Pass, expr ast.Expr) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(expr.Pos(),
+			"fault point must be a compile-time faults.Point constant so the injection-point universe is enumerable statically")
+		return
+	}
+	if name := constant.StringVal(tv.Value); !faultPointRe.MatchString(name) {
+		pass.Reportf(expr.Pos(),
+			"fault point %q does not match the ucudnn_fp_* snake_case scheme", name)
+	}
+}
+
+// isFaultPointType reports whether the expression's static type is the
+// faults package's Point type.
+func isFaultPointType(pass *Pass, expr ast.Expr) bool {
+	tv := pass.TypesInfo.Types[expr]
+	return tv.Type != nil && isFaultsNamed(tv.Type, "Point")
+}
+
+// isFaultsNamed reports whether t is a named type with the given name
+// declared in a package named "faults".
+func isFaultsNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "faults"
+}

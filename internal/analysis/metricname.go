@@ -193,7 +193,7 @@ func labelCallName(pass *Pass, arg ast.Expr) (string, bool) {
 }
 
 // All is the ucudnn-lint analyzer suite in execution order.
-var All = []*Analyzer{Detlint, Hotpath, WSFloor, MetricName}
+var All = []*Analyzer{Detlint, Hotpath, WSFloor, MetricName, FaultPoint}
 
 // ByName resolves a comma-separated analyzer list ("detlint,hotpath");
 // empty selects the whole suite.
@@ -210,7 +210,7 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname, faultpoint)", name)
 		}
 		out = append(out, a)
 	}

@@ -1,0 +1,41 @@
+// Package faults is a miniature stand-in for ucudnn/internal/faults with
+// the same Point surface, so faultpoint fixtures type-check without
+// importing the real module.
+package faults
+
+type Point string
+
+const (
+	PointConvolve  Point = "ucudnn_fp_convolve"
+	PointArenaGrow Point = "ucudnn_fp_arena_grow"
+	// PointLegacy predates the naming scheme; the fixture uses it to show
+	// that a bad constant is flagged at every use site.
+	PointLegacy Point = "fp-legacy"
+)
+
+type Trigger struct{ N int64 }
+
+func Nth(n int64) Trigger { return Trigger{N: n} }
+
+type Rule struct {
+	Point   Point
+	Trigger Trigger
+	Shrink  int64
+}
+
+type Registry struct{}
+
+func New(rules ...Rule) *Registry { return &Registry{} }
+
+func Err(p Point) error { return nil }
+
+func Hit(p Point) bool { return false }
+
+func Grant(p Point, bytes int64) int64 { return bytes }
+
+// Plumbing Point values through variables is the registry's own business:
+// the analyzer exempts the faults package itself.
+func (r *Registry) match(p Point) bool {
+	q := p
+	return Hit(q)
+}

@@ -1,0 +1,35 @@
+// Package probe is a faultpoint fixture exercising the naming contract.
+package probe
+
+import "faults"
+
+const pointLocal faults.Point = "ucudnn_fp_probe_local"
+
+func compliant() {
+	_ = faults.Err(faults.PointConvolve)
+	_ = faults.Hit(pointLocal)
+	_ = faults.Grant(faults.PointArenaGrow, 1<<20)
+	_ = faults.New(faults.Rule{Point: faults.PointConvolve, Trigger: faults.Nth(1)})
+	_ = faults.Rule{faults.PointArenaGrow, faults.Nth(2), 4}
+}
+
+func dynamicPoints(p faults.Point, s string) {
+	_ = faults.Err(p)                    // want `compile-time faults.Point constant`
+	_ = faults.Hit(faults.Point(s))      // want `compile-time faults.Point constant`
+	_ = faults.Grant(p, 64)              // want `compile-time faults.Point constant`
+	_ = faults.Rule{Point: p}            // want `compile-time faults.Point constant`
+	_ = faults.Rule{p, faults.Nth(1), 0} // want `compile-time faults.Point constant`
+}
+
+func badNames() {
+	_ = faults.Err("convolve")                // want `does not match the ucudnn_fp_\* snake_case scheme`
+	_ = faults.Hit("ucudnn_convolve")         // want `does not match the ucudnn_fp_\* snake_case scheme`
+	_ = faults.Err(faults.PointLegacy)        // want `does not match the ucudnn_fp_\* snake_case scheme`
+	_ = faults.Rule{Point: "ucudnn_fp_Upper"} // want `does not match the ucudnn_fp_\* snake_case scheme`
+}
+
+// accepted documents a justified exception.
+func accepted(p faults.Point) {
+	//ucudnn:allow faultpoint -- replaying a point parsed from an operator-supplied schedule
+	_ = faults.Hit(p)
+}

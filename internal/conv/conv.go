@@ -18,6 +18,7 @@ package conv
 import (
 	"fmt"
 
+	"ucudnn/internal/faults"
 	"ucudnn/internal/tensor"
 )
 
@@ -245,6 +246,12 @@ func Run(op Op, algo Algo, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filt
 	}
 	if need, _ := MinWorkspace(op, algo, cs); int64(len(ws))*4 < need {
 		return fmt.Errorf("conv: workspace too small: have %d bytes, need %d", int64(len(ws))*4, need)
+	}
+	// Injected kernel-launch failure (a no-op single atomic load unless a
+	// fault registry is installed); placed after validation so an injected
+	// error means "the kernel failed", not "the call was malformed".
+	if err := faults.Err(faults.PointKernelRun); err != nil {
+		return err
 	}
 	switch algo {
 	case AlgoDirect:

@@ -10,6 +10,7 @@ import (
 
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/tensor"
 )
 
@@ -37,6 +38,9 @@ type CacheStats struct {
 	// FileLoads counts records loaded from the file database at open;
 	// FileStores counts records appended to it by Put.
 	FileLoads, FileStores int64
+	// CorruptLines counts file-database lines skipped at open because
+	// they failed to parse (torn writes, truncation, corruption).
+	CorruptLines int64
 	// Entries is the current number of in-memory entries.
 	Entries int
 }
@@ -58,6 +62,7 @@ func (c *Cache) instrument(ms *metricSet) {
 	defer c.mu.Unlock()
 	c.m = ms
 	ms.cacheFileLoads.Add(c.stats.FileLoads)
+	ms.cacheCorruptLines.Add(c.stats.CorruptLines)
 	ms.cacheEntries.Set(float64(len(c.mem)))
 }
 
@@ -76,14 +81,18 @@ func NewCache(path string) (*Cache, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		line := sc.Bytes()
+		line := faults.Mangle(faults.PointCacheLoad, sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		var rec dbRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// Tolerate torn trailing writes; stop at the first bad line.
-			break
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			// A benchmark database is advisory: a torn, truncated or
+			// corrupted line costs a re-benchmark, not the run. Skip it,
+			// count it (CacheStats.CorruptLines, replayed into obs by
+			// instrument), and keep loading the rest of the file.
+			c.stats.CorruptLines++
+			continue
 		}
 		c.mem[rec.Key] = rec.toPerfs()
 		c.stats.FileLoads++

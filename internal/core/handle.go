@@ -9,6 +9,7 @@ import (
 
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
@@ -72,6 +73,12 @@ type Options struct {
 	// TracePath, when set, attaches a timeline recorder to the wrapped
 	// handle; Flush exports it as Chrome trace-event JSON.
 	TracePath string
+	// AlgoFilter, when non-nil, restricts the algorithm universe the
+	// optimizers and the degradation ladder may choose from; it is also
+	// installed on the wrapped cuDNN handle so benchmark enumeration
+	// agrees. The differential test harness uses it to pin every
+	// execution mode to one bit-exact algorithm family.
+	AlgoFilter func(conv.Op, conv.Algo) bool
 }
 
 // Option mutates Options.
@@ -109,6 +116,14 @@ func WithMetricsPath(path string) Option { return func(o *Options) { o.MetricsPa
 // WithTracePath enables timeline recording and sets where Flush exports
 // the Chrome trace.
 func WithTracePath(path string) Option { return func(o *Options) { o.TracePath = path } }
+
+// WithAlgoFilter restricts algorithm selection to those f admits (nil
+// removes the restriction). The filter is installed on the wrapped cuDNN
+// handle by New, so Find*/benchmark enumeration and plan optimization
+// see the same universe.
+func WithAlgoFilter(f func(conv.Op, conv.Algo) bool) Option {
+	return func(o *Options) { o.AlgoFilter = f }
+}
 
 // FromEnv applies the paper's environment-variable configuration:
 // UCUDNN_BATCH_SIZE_POLICY, UCUDNN_WORKSPACE_LIMIT (bytes),
@@ -187,10 +202,21 @@ type Handle struct {
 	// snapshot under execMu, so device-memory accounting stays per kernel
 	// segment while the host buffer is shared.
 	wsArena []float32
+	// degraded counts plans adopted by the degradation ladder (guarded by
+	// mu; mirrored into the ucudnn_fault_degraded_plans gauge).
+	degraded int
+	// snapBuf backs execute's pre-run output snapshot for beta != 0 calls
+	// (guarded by execMu), so fallback retries can restore the blended
+	// output without allocating per call.
+	snapBuf []float32
 }
 
-// growArena ensures the arena covers bytes; callers hold h.mu.
+// growArena ensures the arena covers bytes; callers hold h.mu. An armed
+// arena-growth fault shrinks or denies the request — the arena then stays
+// smaller than a plan's workspace, and execute's kernels degrade to fewer
+// strips or fail into the degradation ladder.
 func (h *Handle) growArena(bytes int64) {
+	bytes = faults.Grant(faults.PointArenaGrow, bytes)
 	n := int((bytes + 3) / 4)
 	if len(h.wsArena) < n {
 		h.wsArena = make([]float32, n)
@@ -233,6 +259,9 @@ func New(inner *cudnn.Handle, opts ...Option) (*Handle, error) {
 	if o.TracePath != "" {
 		h.tracer = trace.New()
 		inner.SetTrace(h.tracer)
+	}
+	if o.AlgoFilter != nil {
+		inner.SetAlgoFilter(o.AlgoFilter)
 	}
 	return h, nil
 }
@@ -406,18 +435,74 @@ func (h *Handle) ensurePlan(k Kernel) (*execPlan, error) {
 // execute runs the kernel's micro-batched configuration sequentially,
 // slicing the mini-batch tensors in place (no copies) and accumulating
 // BackwardFilter gradients with beta=1 after the first micro-batch.
+// A failed plan (or a failed planning step) does not surface to the
+// framework: execute snapshots blended outputs, then walks the
+// degradation ladder in degrade.go until some configuration runs.
 func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32) error {
-	ep, err := h.ensurePlan(Kernel{Op: op, Shape: cs})
-	if err != nil {
-		return err
-	}
+	k := Kernel{Op: op, Shape: cs}
+	ep, err := h.ensurePlan(k)
 	h.execMu.Lock()
 	defer h.execMu.Unlock()
+	restore := h.snapshotOutput(op, x, w, y, beta)
+	if err == nil {
+		err = h.runConfig(ep.plan.Config, ep.plan.Workspace, op, cs, x, w, y, alpha, beta)
+		if err == nil {
+			return nil
+		}
+	}
+	return h.degrade(k, err, restore, x, w, y, alpha, beta)
+}
+
+// snapshotOutput copies the output buffer a beta != 0 call blends into,
+// returning the restore closure fallback retries run before re-executing
+// (a half-written blended output cannot be re-run in place). beta == 0
+// retries are idempotent — every configuration overwrites the full
+// output — so no copy is taken. Callers hold execMu (snapBuf is reused
+// across calls).
+func (h *Handle) snapshotOutput(op conv.Op, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, beta float32) func() {
+	var out []float32
+	if beta != 0 {
+		switch op {
+		case conv.Forward:
+			if y != nil {
+				out = y.Data
+			}
+		case conv.BackwardData:
+			if x != nil {
+				out = x.Data
+			}
+		case conv.BackwardFilter:
+			if w != nil {
+				out = w.Data
+			}
+		}
+	}
+	if out == nil {
+		return func() {}
+	}
+	if cap(h.snapBuf) < len(out) {
+		h.snapBuf = make([]float32, len(out))
+	}
+	snap := h.snapBuf[:len(out)]
+	copy(snap, out)
+	return func() { copy(out, snap) }
+}
+
+// runConfig executes one configuration over the full mini-batch. Callers
+// hold execMu. The workspace slice is the arena prefix of the
+// configuration's requirement, clamped to the arena's actual size (a
+// fault-shrunk grant may have left it short — the kernels' MinWorkspace
+// floor checks decide whether that is still runnable).
+func (h *Handle) runConfig(cfg Config, wsBytes int64, op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32) error {
 	h.mu.Lock()
-	ws := h.wsArena[:(ep.plan.Workspace+3)/4]
+	n := int((wsBytes + 3) / 4)
+	if n > len(h.wsArena) {
+		n = len(h.wsArena)
+	}
+	ws := h.wsArena[:n]
 	h.mu.Unlock()
 	off := 0
-	for i, mc := range ep.plan.Config {
+	for i, mc := range cfg {
 		h.m.algoSelected(op, mc.Algo)
 		mcs := cs.WithN(mc.BatchSize)
 		mx, my := x, y
@@ -436,7 +521,7 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 			// x and dy slices, the filter stays whole.
 		}
 		if err := h.inner.Convolve(op, mc.Algo, mcs, mx, w, my, alpha, mbeta, ws); err != nil {
-			return fmt.Errorf("core: micro-batch %d of %v: %w", i, ep.plan.Config, err)
+			return fmt.Errorf("core: micro-batch %d of %v: %w", i, cfg, err)
 		}
 		off += mc.BatchSize
 	}

@@ -18,6 +18,9 @@ const (
 	MetricCacheFileLoads   = "ucudnn_cache_file_loads_total"
 	MetricCacheFileStores  = "ucudnn_cache_file_stores_total"
 	MetricCacheEntries     = "ucudnn_cache_entries"
+	MetricCacheCorrupt     = "ucudnn_cache_corrupt_lines_total"
+	MetricFallback         = "ucudnn_fallback_total"
+	MetricDegradedPlans    = "ucudnn_fault_degraded_plans"
 	MetricBenchKernels     = "ucudnn_bench_kernels_total"
 	MetricWRSeconds        = "ucudnn_opt_wr_seconds"
 	MetricWRDPStates       = "ucudnn_opt_wr_dp_states_total"
@@ -45,11 +48,14 @@ type metricSet struct {
 	wsRequested     *obs.Counter
 	wsGranted       *obs.Counter
 
-	cacheHits       *obs.Counter
-	cacheMisses     *obs.Counter
-	cacheFileLoads  *obs.Counter
-	cacheFileStores *obs.Counter
-	cacheEntries    *obs.Gauge
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	cacheFileLoads    *obs.Counter
+	cacheFileStores   *obs.Counter
+	cacheEntries      *obs.Gauge
+	cacheCorruptLines *obs.Counter
+
+	degradedPlans *obs.Gauge
 
 	benchKernels *obs.Counter
 
@@ -82,6 +88,8 @@ func newMetricSet(r *obs.Registry) *metricSet {
 	ms.cacheFileLoads = r.Counter(MetricCacheFileLoads)
 	ms.cacheFileStores = r.Counter(MetricCacheFileStores)
 	ms.cacheEntries = r.Gauge(MetricCacheEntries)
+	ms.cacheCorruptLines = r.Counter(MetricCacheCorrupt)
+	ms.degradedPlans = r.Gauge(MetricDegradedPlans)
 	ms.benchKernels = r.Counter(MetricBenchKernels)
 	ms.wrSeconds = r.Histogram(MetricWRSeconds, obs.DurationBuckets)
 	ms.wrDPStates = r.Counter(MetricWRDPStates)
@@ -106,4 +114,13 @@ func (ms *metricSet) algoSelected(op conv.Op, algo conv.Algo) {
 		return
 	}
 	ms.reg.Counter(MetricAlgoSelected, obs.L("op", op.String()), obs.L("algo", algo.String())).Inc()
+}
+
+// fallback counts one successful degradation, labeled with the ladder
+// stage that recovered execution (pareto, finer, floor).
+func (ms *metricSet) fallback(stage string) {
+	if ms.reg == nil {
+		return
+	}
+	ms.reg.Counter(MetricFallback, obs.L("stage", stage)).Inc()
 }

@@ -26,6 +26,7 @@ import (
 
 	"ucudnn/internal/conv"
 	"ucudnn/internal/device"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 )
@@ -68,6 +69,9 @@ type Handle struct {
 	elapsed time.Duration
 	kernels int64
 	tracer  *trace.Recorder
+	// algoFilter, when non-nil, restricts the algorithm universe AlgoPerfs
+	// (and so Find*/Get*/PickAlgo) reports. See SetAlgoFilter.
+	algoFilter func(conv.Op, conv.Algo) bool
 }
 
 // NewHandle creates a handle for the given device and timing backend.
@@ -112,6 +116,26 @@ func (h *Handle) SetTrace(r *trace.Recorder) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.tracer = r
+}
+
+// SetAlgoFilter restricts the algorithm universe the handle's selection
+// surface (AlgoPerfs, PickAlgo, Find*/Get*) reports: algorithms for which
+// f returns false are treated as unsupported. The differential test
+// harness uses this to pin all execution modes to one algorithm family so
+// results stay bitwise comparable; pass nil to remove the restriction.
+// Execution entry points (Convolve) are not filtered — they run whatever
+// algorithm the caller selected.
+func (h *Handle) SetAlgoFilter(f func(conv.Op, conv.Algo) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.algoFilter = f
+}
+
+// AlgoFilter returns the installed algorithm filter (nil when unset).
+func (h *Handle) AlgoFilter() func(conv.Op, conv.Algo) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.algoFilter
 }
 
 // Charge adds d to the simulated clock (used for non-convolution layers
@@ -230,9 +254,18 @@ const benchReps = 1
 // time to the handle's clock, and returns the results sorted fastest
 // first. This is the generic core of Find*Algorithm.
 func (h *Handle) AlgoPerfs(op conv.Op, cs tensor.ConvShape) []AlgoPerf {
+	filter := h.AlgoFilter()
 	var out []AlgoPerf
 	for _, algo := range conv.AlgosFor(op) {
+		if filter != nil && !filter(op, algo) {
+			continue
+		}
 		if !conv.Supported(op, algo, cs) {
+			continue
+		}
+		// Injected Find* failure: drop this candidate, as cuDNN does when
+		// one algorithm's benchmark run returns a bad status.
+		if faults.Hit(faults.PointFind) {
 			continue
 		}
 		mem, _ := conv.Workspace(op, algo, cs)
@@ -317,6 +350,12 @@ func (h *Handle) PickAlgo(op conv.Op, cs tensor.ConvShape, pref Pref, wsLimit in
 // the backend. It is the generic core of Convolution{Forward,BackwardData,
 // BackwardFilter}.
 func (h *Handle) Convolve(op conv.Op, algo conv.Algo, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) error {
+	// Injected execution failure at the cuDNN API boundary (the
+	// CUDNN_STATUS_EXECUTION_FAILED analogue), before any buffer is
+	// touched.
+	if err := faults.Err(faults.PointConvolve); err != nil {
+		return err
+	}
 	label := fmt.Sprintf("%v %v@%d %dc %dx%d", op, algo, cs.In.N, cs.In.C, cs.In.H, cs.In.W)
 	switch h.backend {
 	case RealBackend:

@@ -20,6 +20,7 @@ import (
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
+	"ucudnn/internal/faults"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 )
@@ -78,8 +79,13 @@ type Context struct {
 }
 
 // Workspace returns a scratch slice of at least the given byte size from
-// the shared arena. Valid until the next call.
+// the shared arena. Valid until the next call. An armed workspace fault
+// shrinks (or denies) the grant, simulating framework-side memory
+// pressure: convolution layers hand the short buffer on, and the library
+// below degrades (µ-cuDNN) or reports the workspace as too small (plain
+// cuDNN).
 func (c *Context) Workspace(bytes int64) []float32 {
+	bytes = faults.Grant(faults.PointDnnWorkspace, bytes)
 	if bytes <= 0 {
 		return nil
 	}

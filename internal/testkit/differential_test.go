@@ -1,0 +1,163 @@
+package testkit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/faults"
+)
+
+// batchFor picks a per-network batch size: big enough that micro-batching
+// is nontrivial, small enough that the CPU arithmetic stays affordable.
+func batchFor(network string) int {
+	switch network {
+	case "inception", "densenet40":
+		return 4
+	}
+	return 2
+}
+
+// testNetworks returns the networks under test; -short keeps only the two
+// cheapest so the race detector (make race) stays affordable.
+func testNetworks(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"inception", "densenet40"}
+	}
+	return Networks()
+}
+
+// runCached memoizes Run results across the package's tests (the golden
+// and differential suites share several configurations). workers is part
+// of the key so P-variation tests really re-run.
+var (
+	runCacheMu sync.Mutex
+	runCache   = map[string]*Result{}
+)
+
+func runCached(t *testing.T, mode Mode, spec RunSpec, workers int) *Result {
+	t.Helper()
+	key := fmt.Sprintf("%s|%v|wd=%v|p=%d|faults=%s", spec.Network, mode, spec.WD, workers, spec.Faults)
+	runCacheMu.Lock()
+	res, ok := runCache[key]
+	runCacheMu.Unlock()
+	if ok {
+		return res
+	}
+	prev := conv.MaxWorkers()
+	conv.SetMaxWorkers(workers)
+	defer conv.SetMaxWorkers(prev)
+	res, err := Run(mode, spec)
+	if err != nil {
+		t.Fatalf("%s %v: %v", spec.Network, mode, err)
+	}
+	runCacheMu.Lock()
+	runCache[key] = res
+	runCacheMu.Unlock()
+	return res
+}
+
+// compareResults asserts bitwise-identical fingerprints. ctx names the
+// comparison; when the b side ran under faults, the message carries the
+// schedule and fired shots so the failure replays from the log alone.
+func compareResults(t *testing.T, ctx string, a, b *Result) {
+	t.Helper()
+	replay := ""
+	if b.Schedule != "" {
+		replay = fmt.Sprintf("\nreplay: schedule %q fired [%s]", b.Schedule, b.Shots)
+	}
+	if a.Output != b.Output {
+		t.Errorf("%s: output fingerprints diverge: %#x vs %#x%s", ctx, a.Output, b.Output, replay)
+	}
+	if a.Loss != b.Loss {
+		t.Errorf("%s: loss bits diverge: %#x vs %#x%s", ctx, a.Loss, b.Loss, replay)
+	}
+	if len(a.Grads) != len(b.Grads) {
+		t.Fatalf("%s: parameter count diverges: %d vs %d%s", ctx, len(a.Grads), len(b.Grads), replay)
+	}
+	for i := range a.Grads {
+		if a.Grads[i] != b.Grads[i] {
+			t.Errorf("%s: gradient %s diverges: %#x vs %#x%s",
+				ctx, a.Grads[i].Name, a.Grads[i].Sum, b.Grads[i].Sum, replay)
+			return
+		}
+	}
+}
+
+// The tentpole assertion: every zoo network produces bitwise-identical
+// outputs and parameter gradients whether convolutions run undivided,
+// micro-batched, or micro-batched with an armed fault schedule that forces
+// the degradation ladder to recover mid-run.
+func TestDifferentialAllNetworks(t *testing.T) {
+	for _, name := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			spec := RunSpec{Network: name, Batch: batchFor(name)}
+			und := runCached(t, Undivided, spec, 4)
+			mic := runCached(t, Micro, spec, 4)
+			flt := runCached(t, MicroFaults, spec, 4)
+			compareResults(t, name+": undivided vs micro", und, mic)
+			compareResults(t, name+": undivided vs micro+faults", und, flt)
+			if flt.Shots == "" {
+				t.Errorf("%s: schedule %q never fired; the fault path was not exercised", name, flt.Schedule)
+			}
+		})
+	}
+}
+
+// Micro-batching must actually engage under the auto-probed limit — a
+// harness that never divides would pass the differential vacuously.
+func TestMicroRunsDivide(t *testing.T) {
+	name := "inception"
+	res := runCached(t, Micro, RunSpec{Network: name, Batch: batchFor(name)}, 4)
+	if res.MaxMicroBatches < 2 {
+		t.Fatalf("%s micro run never divided (max micro-batches %d)", name, res.MaxMicroBatches)
+	}
+}
+
+// A schedule derived from a seed must replay exactly: same spec string,
+// same fired shots, same bits — the reproducibility contract for any
+// failure the differential suite ever prints.
+func TestScheduleForSeedReplaysExactly(t *testing.T) {
+	sched := ScheduleForSeed(7)
+	if sched != ScheduleForSeed(7) {
+		t.Fatal("ScheduleForSeed is not deterministic")
+	}
+	r, err := faults.Parse(sched)
+	if err != nil {
+		t.Fatalf("ScheduleForSeed(7) = %q does not parse: %v", sched, err)
+	}
+	if r.String() != sched {
+		t.Fatalf("schedule %q is not canonical (String() = %q)", sched, r.String())
+	}
+	spec := RunSpec{Network: "inception", Batch: 4, Faults: sched}
+	a, err := Run(MicroFaults, spec)
+	if err != nil {
+		t.Fatalf("run under %q: %v", sched, err)
+	}
+	b, err := Run(MicroFaults, spec)
+	if err != nil {
+		t.Fatalf("replay under %q: %v", sched, err)
+	}
+	if a.Shots != b.Shots {
+		t.Fatalf("shots diverge across replays:\n first: %s\nsecond: %s", a.Shots, b.Shots)
+	}
+	compareResults(t, "replay", a, b)
+	und := runCached(t, Undivided, RunSpec{Network: "inception", Batch: 4}, 4)
+	compareResults(t, "undivided vs seeded-fault run", und, a)
+}
+
+func TestFingerprintIsBitwise(t *testing.T) {
+	a := []float32{1, 2, 3}
+	if Fingerprint(a) != Fingerprint([]float32{1, 2, 3}) {
+		t.Fatal("equal data fingerprints differ")
+	}
+	if Fingerprint(a) == Fingerprint([]float32{1, 2, 3.0000002}) {
+		t.Fatal("one-ulp difference not detected")
+	}
+	negZero := []float32{0}
+	negZero[0] = -negZero[0]
+	if Fingerprint([]float32{0}) == Fingerprint(negZero) {
+		t.Fatal("signed zero not distinguished")
+	}
+}

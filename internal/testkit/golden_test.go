@@ -1,0 +1,114 @@
+package testkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// goldenPath holds the committed end-to-end fingerprints. Regenerate with
+//
+//	UCUDNN_UPDATE_GOLDEN=1 go test ./internal/testkit -run TestGolden
+//
+// after any intentional numeric change (and say why in the commit).
+const goldenPath = "testdata/golden.json"
+
+// goldenEntry is one committed fingerprint set: forward output, loss bits
+// and a combined hash over every parameter gradient's fingerprint.
+type goldenEntry struct {
+	Output string `json:"output"`
+	Loss   string `json:"loss"`
+	Grads  string `json:"grads"`
+}
+
+func entryOf(res *Result) goldenEntry {
+	sums := make([]float32, 0, 2*len(res.Grads))
+	for _, g := range res.Grads {
+		// Feed each 64-bit sum through the float32-stream fingerprint as
+		// two bit-pattern halves.
+		sums = append(sums, bitsFloat(uint32(g.Sum)), bitsFloat(uint32(g.Sum>>32)))
+	}
+	return goldenEntry{
+		Output: fmt.Sprintf("%#016x", res.Output),
+		Loss:   fmt.Sprintf("%#016x", res.Loss),
+		Grads:  fmt.Sprintf("%#016x", Fingerprint(sums)),
+	}
+}
+
+func bitsFloat(b uint32) float32 {
+	// Route through the same FNV path as real data: reinterpret, do not
+	// convert (math.Float32frombits keeps the exact pattern).
+	return math.Float32frombits(b)
+}
+
+// The golden end-to-end suite: every zoo network, WR and WD, each at
+// engine parallelism P = 1 and P = 4. The committed fingerprints pin the
+// numerics; comparing P = 1 against P = 4 pins the engine's bit-identical
+// worker-count contract at whole-network scale.
+func TestGoldenNetworks(t *testing.T) {
+	update := os.Getenv("UCUDNN_UPDATE_GOLDEN") != ""
+	want := map[string]goldenEntry{}
+	if !update {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("reading goldens (regenerate with UCUDNN_UPDATE_GOLDEN=1): %v", err)
+		}
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]goldenEntry{}
+	for _, name := range testNetworks(t) {
+		for _, wd := range []bool{false, true} {
+			mode := "WR"
+			if wd {
+				mode = "WD"
+			}
+			key := name + "/" + mode
+			t.Run(key, func(t *testing.T) {
+				spec := RunSpec{Network: name, Batch: batchFor(name), WD: wd}
+				p4 := runCached(t, Micro, spec, 4)
+				p1 := runCached(t, Micro, spec, 1)
+				compareResults(t, key+": P=4 vs P=1", p4, p1)
+				entry := entryOf(p4)
+				got[key] = entry
+				if update {
+					return
+				}
+				w, ok := want[key]
+				if !ok {
+					t.Fatalf("no golden for %s (regenerate with UCUDNN_UPDATE_GOLDEN=1)", key)
+				}
+				if entry != w {
+					t.Errorf("%s fingerprints drifted:\n got %+v\nwant %+v", key, entry, w)
+				}
+			})
+		}
+	}
+	if update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]goldenEntry, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), goldenPath)
+	}
+}

@@ -1,0 +1,16 @@
+package testkit
+
+import (
+	"os"
+	"testing"
+
+	"ucudnn/internal/conv"
+)
+
+// TestMain pins the kernel engine's worker count so fingerprints (and the
+// committed goldens) are identical on every machine; individual tests that
+// vary P restore this pin when done.
+func TestMain(m *testing.M) {
+	conv.SetMaxWorkers(4)
+	os.Exit(m.Run())
+}
