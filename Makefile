@@ -6,7 +6,17 @@ GO ?= go
 COVER_FLOOR_core   = 88.0
 COVER_FLOOR_faults = 83.0
 
-.PHONY: build test test-e2e bench bench-smoke check cover-gate race fmt lint fuzz-smoke
+.PHONY: build test test-e2e bench bench-smoke bench-json benchdiff check cover-gate race fmt lint fuzz-smoke
+
+# benchdiff compares BENCH_report.json (from bench-json) against the
+# committed baseline. Informational by default — the container this
+# gate usually runs in is a noisy single-core box (see the host note in
+# BENCH_kernels.json); set UCUDNN_BENCHDIFF_STRICT=1 to hard-fail on a
+# >15% ns/op regression or any allocs/op increase.
+BENCHDIFF_FLAGS = -informational
+ifdef UCUDNN_BENCHDIFF_STRICT
+BENCHDIFF_FLAGS =
+endif
 
 build:
 	$(GO) build ./...
@@ -32,8 +42,26 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkConvKernels$$|BenchmarkConvBackwardFilter' \
 		-benchtime=3x -benchmem ./internal/conv/
 
+# bench-json runs the kernel micro-benchmarks that back
+# BENCH_kernels.json and emits a schema'd report for benchdiff. The raw
+# bench output goes through a file, not a pipe, so a test failure is
+# not masked by the emitter's exit status.
+bench-json:
+	@tmp=$$(mktemp); \
+	$(GO) test -run=NONE -bench='BenchmarkConvKernels$$|BenchmarkConvKernelsBatch|BenchmarkConvBackwardFilter' \
+		-benchtime=3x -benchmem ./internal/conv/ > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/ucudnn-benchdiff -emit < $$tmp > BENCH_report.json; rm -f $$tmp
+	@echo "wrote BENCH_report.json"
+
+benchdiff: BENCH_report.json
+	$(GO) run ./cmd/ucudnn-benchdiff $(BENCHDIFF_FLAGS) BENCH_kernels.json BENCH_report.json
+
+BENCH_report.json:
+	@$(MAKE) --no-print-directory bench-json
+
 # lint runs the ucudnn-lint analyzer suite (detlint, hotpath, wsfloor,
-# metricname — see DESIGN.md "Static analysis") over the whole module.
+# metricname, faultpoint — see DESIGN.md "Static analysis") over the
+# whole module.
 lint:
 	$(GO) run ./cmd/ucudnn-lint ./...
 
@@ -59,12 +87,14 @@ cover-gate:
 	done
 
 # race runs the concurrency-sensitive packages (metrics registry, core
-# handle, trace recorder, fault registry, plus the striped kernel engine
-# and its BLAS and worker-pool layers) under the race detector; the e2e
-# harness runs in -short mode (two networks) to keep the pass affordable.
+# handle, trace recorder, fault registry, flight recorder, debug server,
+# plus the striped kernel engine and its BLAS and worker-pool layers)
+# under the race detector; the e2e harness runs in -short mode (two
+# networks) to keep the pass affordable.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/trace/... \
-		./internal/conv/... ./internal/blas/... ./internal/parallel/... ./internal/faults/...
+		./internal/conv/... ./internal/blas/... ./internal/parallel/... ./internal/faults/... \
+		./internal/flight/... ./internal/debugserver/...
 	$(GO) test -race -short -count=1 -timeout 1200s ./internal/testkit/
 
 fmt:
@@ -83,3 +113,5 @@ check: build
 	@$(MAKE) --no-print-directory race
 	@$(MAKE) --no-print-directory bench-smoke
 	@$(MAKE) --no-print-directory fuzz-smoke
+	@$(MAKE) --no-print-directory bench-json
+	@$(MAKE) --no-print-directory benchdiff

@@ -20,8 +20,10 @@ import (
 	"strings"
 
 	"ucudnn/internal/bench"
+	"ucudnn/internal/debugserver"
 	"ucudnn/internal/device"
 	"ucudnn/internal/faults"
+	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/trace"
 )
@@ -37,7 +39,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run for go tool pprof")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit for go tool pprof")
 	faultSpec := flag.String("faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
+	debugAddr := flag.String("debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
+		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
+	flight.DumpOnSignal() // SIGQUIT dumps a flight-recorder snapshot to stderr
 
 	d, err := device.ByName(*dev)
 	if err != nil {
@@ -99,11 +104,20 @@ func main() {
 		defer f.Close()
 		cfg.CSV = f
 	}
-	if *metricsPath != "" {
+	if *metricsPath != "" || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	if *tracePath != "" {
 		cfg.Trace = trace.New()
+	}
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ucudnn/\n", srv.Addr())
 	}
 
 	names := []string{*exp}
@@ -117,7 +131,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if cfg.Metrics != nil {
+	if cfg.Metrics != nil && *metricsPath != "" {
 		if err := cfg.Metrics.WriteFile(*metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

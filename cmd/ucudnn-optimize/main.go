@@ -25,9 +25,11 @@ import (
 	"ucudnn/internal/conv"
 	"ucudnn/internal/core"
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/debugserver"
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
 	"ucudnn/internal/faults"
+	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
@@ -53,6 +55,11 @@ type runOpts struct {
 	Metrics   string
 	Trace     string
 	Faults    string
+
+	// DebugAddr serves the debugserver endpoints; Registry is the shared
+	// metrics registry backing /debug/ucudnn/metrics when it is set.
+	DebugAddr string
+	Registry  *obs.Registry
 }
 
 func main() {
@@ -74,12 +81,25 @@ func main() {
 	flag.StringVar(&o.Metrics, "metrics", "", "write optimizer metrics at exit (\"-\" for stdout, .prom for Prometheus)")
 	flag.StringVar(&o.Trace, "trace", "", "write the chosen plans as a Chrome-trace micro-batch timeline (Fig. 3)")
 	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_find=every:5;ucudnn_fp_cache_load=nth:1\"")
+	flag.StringVar(&o.DebugAddr, "debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
+		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
+	flight.DumpOnSignal() // SIGQUIT dumps a flight-recorder snapshot to stderr
 
 	report, err := armFaults(o.Faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if o.DebugAddr != "" {
+		o.Registry = obs.NewRegistry()
+		srv, err := debugserver.Start(o.DebugAddr, o.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ucudnn/\n", srv.Addr())
 	}
 	err = run(o)
 	report()
@@ -175,9 +195,11 @@ func runKernel(o runOpts) error {
 	}
 	defer cache.Close()
 	b := core.NewBencher(h, cache, o.Workers)
-	var reg *obs.Registry
-	if o.Metrics != "" {
+	reg := o.Registry
+	if reg == nil && o.Metrics != "" {
 		reg = obs.NewRegistry()
+	}
+	if reg != nil {
 		b.SetMetrics(reg)
 	}
 	k := core.Kernel{Op: op, Shape: cs}
@@ -245,7 +267,8 @@ func runNet(o runOpts) error {
 	inner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
 	inner.Mem().Cap = 0
 	uc, err := core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
-		core.WithCachePath(o.DB), core.WithWorkers(o.Workers), core.WithMetricsPath(o.Metrics))
+		core.WithCachePath(o.DB), core.WithWorkers(o.Workers),
+		core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry))
 	if err != nil {
 		return err
 	}

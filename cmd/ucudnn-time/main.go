@@ -17,9 +17,12 @@ import (
 
 	"ucudnn/internal/core"
 	"ucudnn/internal/cudnn"
+	"ucudnn/internal/debugserver"
 	"ucudnn/internal/device"
 	"ucudnn/internal/dnn"
 	"ucudnn/internal/faults"
+	"ucudnn/internal/flight"
+	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 	"ucudnn/internal/zoo"
@@ -39,6 +42,11 @@ type runOpts struct {
 	Trace    string
 	Metrics  string
 	Faults   string
+
+	// DebugAddr serves the debugserver endpoints; Registry is the shared
+	// metrics registry backing /debug/ucudnn/metrics when it is set.
+	DebugAddr string
+	Registry  *obs.Registry
 }
 
 func main() {
@@ -55,12 +63,25 @@ func main() {
 	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
 	flag.StringVar(&o.Metrics, "metrics", "", "write µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus; wr/wd modes)")
 	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
+	flag.StringVar(&o.DebugAddr, "debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
+		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
+	flight.DumpOnSignal() // SIGQUIT dumps a flight-recorder snapshot to stderr
 
 	report, err := armFaults(o.Faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if o.DebugAddr != "" {
+		o.Registry = obs.NewRegistry()
+		srv, err := debugserver.Start(o.DebugAddr, o.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ucudnn/\n", srv.Addr())
 	}
 	err = run(o)
 	report()
@@ -105,7 +126,7 @@ func run(o runOpts) error {
 	case "cudnn":
 	case "wr":
 		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWorkspaceLimit(o.WSMiB<<20),
-			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics))
+			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry))
 		if err != nil {
 			return err
 		}
@@ -115,7 +136,7 @@ func run(o runOpts) error {
 			return fmt.Errorf("-mode wd requires -total")
 		}
 		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
-			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics))
+			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry))
 		if err != nil {
 			return err
 		}

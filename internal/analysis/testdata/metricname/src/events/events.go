@@ -1,0 +1,37 @@
+// Package events is a metricname fixture exercising the flight event
+// naming contract.
+package events
+
+import "flight"
+
+const evLocal flight.Name = "ucudnn_ev_local_probe"
+
+var (
+	kProbe = flight.Register(flight.EvProbe, nil)
+	kLocal = flight.Register(evLocal, nil)
+)
+
+func compliant() {
+	flight.Rec(kProbe, 1, 2, 3, 4)
+	_, _ = flight.Lookup(flight.EvProbe)
+	_, _ = flight.Lookup("ucudnn_ev_inline")
+}
+
+func dynamicNames(n flight.Name, s string) {
+	_ = flight.Register(n, nil)              // want `compile-time flight.Name constant`
+	_, _ = flight.Lookup(flight.Name(s))     // want `compile-time flight.Name constant`
+	_ = flight.Register(flight.Name(s), nil) // want `compile-time flight.Name constant`
+}
+
+func badNames() {
+	_ = flight.Register("kernel_launch", nil)   // want `does not match the ucudnn_ev_\* snake_case scheme`
+	_, _ = flight.Lookup("ucudnn_fp_x")         // want `does not match the ucudnn_ev_\* snake_case scheme`
+	_ = flight.Register("ucudnn_ev_Upper", nil) // want `does not match the ucudnn_ev_\* snake_case scheme`
+	_, _ = flight.Lookup(flight.EvLegacy)       // want `does not match the ucudnn_ev_\* snake_case scheme`
+}
+
+// accepted documents a justified exception to the scheme.
+func accepted(n flight.Name) {
+	//ucudnn:allow metricname -- test harness enumerates names dynamically
+	_, _ = flight.Lookup(n)
+}

@@ -1,0 +1,36 @@
+// Package flight is a miniature stand-in for ucudnn/internal/flight
+// with the same Name surface, so metricname fixtures type-check without
+// importing the real module.
+package flight
+
+type Name string
+
+type Kind uint8
+
+type Formatter func(a, b, c, d int64) string
+
+const (
+	// EvProbe follows the scheme; fixtures use it for compliant calls.
+	EvProbe Name = "ucudnn_ev_probe"
+	// EvLegacy predates the naming scheme; the fixture uses it to show
+	// that a bad constant is flagged at every use site.
+	EvLegacy Name = "ev-legacy"
+)
+
+func Register(name Name, f Formatter) Kind { return 1 }
+
+func Rec(k Kind, a, b, c, d int64) {}
+
+func Lookup(name Name) (Kind, bool) { return 0, false }
+
+// Plumbing Name values through variables is the registry's own
+// business: the analyzer exempts the flight package itself.
+func lookupAll(names []Name) int {
+	found := 0
+	for _, n := range names {
+		if _, ok := Lookup(n); ok {
+			found++
+		}
+	}
+	return found
+}

@@ -1,0 +1,20 @@
+package conv
+
+import (
+	"strconv"
+
+	"ucudnn/internal/flight"
+)
+
+// EvStripe is the flight-recorder event for the engine's workspace
+// stripe fit (one per GEMM kernel run): a=op, b=strips actually run
+// (1 = serial single-strip path), c=floats per strip, d=granted
+// workspace floats.
+const EvStripe flight.Name = "ucudnn_ev_stripe"
+
+var evStripe = flight.Register(EvStripe, fmtStripe)
+
+func fmtStripe(a, b, c, d int64) string {
+	return "op=" + Op(a).String() + " strips=" + strconv.FormatInt(b, 10) +
+		" strip_floats=" + strconv.FormatInt(c, 10) + " ws_floats=" + strconv.FormatInt(d, 10)
+}

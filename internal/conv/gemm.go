@@ -2,6 +2,7 @@ package conv
 
 import (
 	"ucudnn/internal/blas"
+	"ucudnn/internal/flight"
 	"ucudnn/internal/tensor"
 )
 
@@ -210,6 +211,7 @@ func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTenso
 		k: f.K,
 	}
 	workers := fitStripes(batchStripes(in.N), len(ws), g.strip)
+	flight.Rec(evStripe, int64(op), int64(workers), int64(g.strip), int64(len(ws)))
 
 	switch op {
 	case Forward:

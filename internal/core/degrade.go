@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ucudnn/internal/conv"
+	"ucudnn/internal/flight"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 )
@@ -43,6 +44,7 @@ import (
 func (h *Handle) degrade(k Kernel, cause error, restore func(), x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32) error {
 	op, cs := k.Op, k.Shape
 	clockStart := h.inner.Elapsed()
+	flight.Rec(evFallback, h.id, 0, int64(op), 0) // stage 0 = ladder entered
 
 	h.mu.Lock()
 	key := k.String()
@@ -209,6 +211,7 @@ func (h *Handle) adopt(k Kernel, plan Plan, stage string, clockStart time.Durati
 	h.mu.Unlock()
 	h.m.fallback(stage)
 	h.m.degradedPlans.Set(float64(deg))
+	flight.Rec(evFallback, h.id, stageCode(stage), int64(k.Op), 1)
 	if h.tracer != nil {
 		h.tracer.Add(trace.Event{
 			Name:  "degrade " + k.String() + " -> " + stage,

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strconv"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/flight"
+)
+
+// Flight-recorder event names emitted by the core (see internal/flight
+// and the "Observability" section of DESIGN.md). Like metric names,
+// they are compile-time constants — the metricname analyzer enforces
+// the ucudnn_ev_* scheme at every registration site.
+const (
+	// EvKernelLaunch marks Handle.execute entering a planned kernel:
+	// a=handle id, b=op, c=micro-batch divisions, d=plan workspace bytes
+	// (c=d=0 when planning itself failed and execution goes straight to
+	// the degradation ladder).
+	EvKernelLaunch flight.Name = "ucudnn_ev_kernel_launch"
+	// EvKernelFinish marks Handle.execute returning: a=handle id, b=op,
+	// c=1 on success / 0 on failure, d=simulated device time consumed
+	// (nanoseconds).
+	EvKernelFinish flight.Name = "ucudnn_ev_kernel_finish"
+	// EvMicroKernel marks one micro-batch kernel dispatch: a=handle id,
+	// b=algorithm, c=micro-batch size, d=sample offset in the mini-batch.
+	EvMicroKernel flight.Name = "ucudnn_ev_micro_kernel"
+	// EvArenaGrow marks workspace-arena growth (or a fault-curtailed
+	// grant): a=handle id, b=requested bytes, c=granted bytes, d=arena
+	// bytes after the call.
+	EvArenaGrow flight.Name = "ucudnn_ev_arena_grow"
+	// EvFallback marks degradation-ladder transitions: a=handle id,
+	// b=stage (0=enter, 1=pareto, 2=finer, 3=floor), c=op, d=1 when the
+	// stage adopted a working plan.
+	EvFallback flight.Name = "ucudnn_ev_fallback"
+	// EvCacheHit / EvCacheMiss mark benchmark-cache lookups: a=current
+	// entry count.
+	EvCacheHit  flight.Name = "ucudnn_ev_cache_hit"
+	EvCacheMiss flight.Name = "ucudnn_ev_cache_miss"
+)
+
+var (
+	evKernelLaunch = flight.Register(EvKernelLaunch, fmtKernelLaunch)
+	evKernelFinish = flight.Register(EvKernelFinish, fmtKernelFinish)
+	evMicroKernel  = flight.Register(EvMicroKernel, fmtMicroKernel)
+	evArenaGrow    = flight.Register(EvArenaGrow, fmtArenaGrow)
+	evFallback     = flight.Register(EvFallback, fmtFallback)
+	evCacheHit     = flight.Register(EvCacheHit, fmtCacheEntries)
+	evCacheMiss    = flight.Register(EvCacheMiss, fmtCacheEntries)
+)
+
+func fmtKernelLaunch(a, b, c, d int64) string {
+	return "handle=" + strconv.FormatInt(a, 10) + " op=" + conv.Op(b).String() +
+		" divisions=" + strconv.FormatInt(c, 10) + " ws=" + strconv.FormatInt(d, 10)
+}
+
+func fmtKernelFinish(a, b, c, d int64) string {
+	return "handle=" + strconv.FormatInt(a, 10) + " op=" + conv.Op(b).String() +
+		" ok=" + strconv.FormatInt(c, 10) + " sim_ns=" + strconv.FormatInt(d, 10)
+}
+
+func fmtMicroKernel(a, b, c, d int64) string {
+	return "handle=" + strconv.FormatInt(a, 10) + " algo=" + conv.Algo(b).String() +
+		" batch=" + strconv.FormatInt(c, 10) + " offset=" + strconv.FormatInt(d, 10)
+}
+
+func fmtArenaGrow(a, b, c, d int64) string {
+	return "handle=" + strconv.FormatInt(a, 10) + " requested=" + strconv.FormatInt(b, 10) +
+		" granted=" + strconv.FormatInt(c, 10) + " arena=" + strconv.FormatInt(d, 10)
+}
+
+// fallbackStages maps EvFallback's stage code to the ladder stage name
+// counted by ucudnn_fallback_total (plus the synthetic "enter" mark).
+var fallbackStages = [...]string{"enter", "pareto", "finer", "floor"}
+
+// stageCode inverts fallbackStages for adopt's stage string.
+func stageCode(stage string) int64 {
+	for i, s := range fallbackStages {
+		if s == stage {
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+func fmtFallback(a, b, c, d int64) string {
+	stage := "?"
+	if b >= 0 && int(b) < len(fallbackStages) {
+		stage = fallbackStages[b]
+	}
+	return "handle=" + strconv.FormatInt(a, 10) + " stage=" + stage +
+		" op=" + conv.Op(c).String() + " ok=" + strconv.FormatInt(d, 10)
+}
+
+func fmtCacheEntries(a, _, _, _ int64) string {
+	return "entries=" + strconv.FormatInt(a, 10)
+}

@@ -10,6 +10,7 @@ import (
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/faults"
+	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
@@ -176,7 +177,10 @@ type execPlan struct {
 // surface as *cudnn.Handle; all other cuDNN functionality is reached
 // through Inner(), the Go analogue of the paper's cast operator.
 type Handle struct {
-	inner   *cudnn.Handle
+	inner *cudnn.Handle
+	// id is the process-wide creation index assigned by registerHandle;
+	// flight events carry it so a dump with several handles stays legible.
+	id      int64
 	opts    Options
 	cache   *Cache
 	bencher *Bencher
@@ -216,10 +220,14 @@ type Handle struct {
 // smaller than a plan's workspace, and execute's kernels degrade to fewer
 // strips or fail into the degradation ladder.
 func (h *Handle) growArena(bytes int64) {
-	bytes = faults.Grant(faults.PointArenaGrow, bytes)
-	n := int((bytes + 3) / 4)
-	if len(h.wsArena) < n {
+	granted := faults.Grant(faults.PointArenaGrow, bytes)
+	n := int((granted + 3) / 4)
+	grew := len(h.wsArena) < n
+	if grew {
 		h.wsArena = make([]float32, n)
+	}
+	if grew || granted != bytes {
+		flight.Rec(evArenaGrow, h.id, bytes, granted, int64(len(h.wsArena))*4)
 	}
 }
 
@@ -263,6 +271,7 @@ func New(inner *cudnn.Handle, opts ...Option) (*Handle, error) {
 	if o.AlgoFilter != nil {
 		inner.SetAlgoFilter(o.AlgoFilter)
 	}
+	registerHandle(h)
 	return h, nil
 }
 
@@ -443,14 +452,28 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 	ep, err := h.ensurePlan(k)
 	h.execMu.Lock()
 	defer h.execMu.Unlock()
+	var divisions, planWS int64
+	if err == nil {
+		divisions = int64(len(ep.plan.Config))
+		planWS = ep.plan.Workspace
+	}
+	flight.Rec(evKernelLaunch, h.id, int64(op), divisions, planWS)
+	simStart := h.inner.Elapsed()
 	restore := h.snapshotOutput(op, x, w, y, beta)
 	if err == nil {
 		err = h.runConfig(ep.plan.Config, ep.plan.Workspace, op, cs, x, w, y, alpha, beta)
 		if err == nil {
+			flight.Rec(evKernelFinish, h.id, int64(op), 1, int64(h.inner.Elapsed()-simStart))
 			return nil
 		}
 	}
-	return h.degrade(k, err, restore, x, w, y, alpha, beta)
+	err = h.degrade(k, err, restore, x, w, y, alpha, beta)
+	ok := int64(1)
+	if err != nil {
+		ok = 0
+	}
+	flight.Rec(evKernelFinish, h.id, int64(op), ok, int64(h.inner.Elapsed()-simStart))
+	return err
 }
 
 // snapshotOutput copies the output buffer a beta != 0 call blends into,
@@ -504,6 +527,7 @@ func (h *Handle) runConfig(cfg Config, wsBytes int64, op conv.Op, cs tensor.Conv
 	off := 0
 	for i, mc := range cfg {
 		h.m.algoSelected(op, mc.Algo)
+		flight.Rec(evMicroKernel, h.id, int64(mc.Algo), int64(mc.BatchSize), int64(off))
 		mcs := cs.WithN(mc.BatchSize)
 		mx, my := x, y
 		if x != nil {

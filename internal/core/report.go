@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file is the live-introspection surface behind the debug server's
+// /debug/ucudnn/plan endpoint: a bounded registry of recently created
+// handles, and a structured per-handle report of the paper's §IV-B
+// table — per-kernel chosen algorithm, micro-batch division, and
+// workspace share against the budget — taken from the running process
+// instead of a finished benchmark log.
+
+// handleRingSize bounds how many handles the registry retains. A ring
+// (rather than an unbounded list) keeps long test runs from pinning
+// every handle's multi-MiB workspace arena in memory; a live process
+// inspecting itself cares about the handles it is currently executing.
+const handleRingSize = 16
+
+var (
+	handleRegMu sync.Mutex
+	handleSeq   int64
+	handleRing  [handleRingSize]*Handle
+)
+
+// registerHandle assigns h its process-wide id and notes it in the
+// ring; called once from New.
+func registerHandle(h *Handle) {
+	handleRegMu.Lock()
+	defer handleRegMu.Unlock()
+	handleSeq++
+	h.id = handleSeq
+	handleRing[(handleSeq-1)%handleRingSize] = h
+}
+
+// Handles returns the most recently created µ-cuDNN handles, oldest
+// first (bounded to the last handleRingSize).
+func Handles() []*Handle {
+	handleRegMu.Lock()
+	defer handleRegMu.Unlock()
+	lo := handleSeq - handleRingSize
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]*Handle, 0, handleSeq-lo)
+	for s := lo + 1; s <= handleSeq; s++ {
+		out = append(out, handleRing[(s-1)%handleRingSize])
+	}
+	return out
+}
+
+// ID returns the handle's process-wide creation index (1-based); flight
+// events carry it as their handle argument.
+func (h *Handle) ID() int64 { return h.id }
+
+// PlanReport is one kernel's row of the live plan table.
+type PlanReport struct {
+	// Kernel is the kernel identity, "Op[shape]".
+	Kernel string `json:"kernel"`
+	// Config is the micro-batched configuration, "<algo@n, ...>".
+	Config string `json:"config"`
+	// Divisions is the number of micro-batches in the configuration.
+	Divisions int `json:"divisions"`
+	// PredictedNS is the optimizer's predicted time for the whole
+	// configuration (0 for plans adopted by the degradation ladder,
+	// which does not re-benchmark).
+	PredictedNS int64 `json:"predicted_ns"`
+	// WorkspaceBytes is the configuration's workspace requirement.
+	WorkspaceBytes int64 `json:"workspace_bytes"`
+	// LimitBytes is the budget the kernel was optimized under: the
+	// per-kernel limit in WR mode, the network-wide budget in WD mode.
+	LimitBytes int64 `json:"limit_bytes"`
+	// Share is WorkspaceBytes / LimitBytes (0 when the limit is 0).
+	Share float64 `json:"share"`
+}
+
+// HandleReport is a point-in-time snapshot of one handle's
+// configuration and decided plans.
+type HandleReport struct {
+	ID                  int64        `json:"id"`
+	Mode                string       `json:"mode"`
+	Policy              string       `json:"policy"`
+	Device              string       `json:"device"`
+	WorkspaceLimit      int64        `json:"workspace_limit_bytes"`
+	TotalWorkspaceLimit int64        `json:"total_workspace_limit_bytes,omitempty"`
+	OptTimeNS           int64        `json:"opt_time_ns"`
+	DegradedPlans       int          `json:"degraded_plans"`
+	ArenaBytes          int64        `json:"arena_bytes"`
+	Plans               []PlanReport `json:"plans"`
+}
+
+// Report snapshots the handle's live plan table, sorted by kernel.
+func (h *Handle) Report() HandleReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := HandleReport{
+		ID:                  h.id,
+		Mode:                h.opts.Mode.String(),
+		Policy:              h.opts.Policy.String(),
+		Device:              h.inner.Device().Name,
+		WorkspaceLimit:      h.opts.WorkspaceLimit,
+		TotalWorkspaceLimit: h.opts.TotalWorkspaceLimit,
+		OptTimeNS:           h.optTime.Nanoseconds(),
+		DegradedPlans:       h.degraded,
+		ArenaBytes:          int64(len(h.wsArena)) * 4,
+		Plans:               make([]PlanReport, 0, len(h.plans)),
+	}
+	keys := make([]string, 0, len(h.plans))
+	for key := range h.plans {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		p := h.plans[key].plan
+		limit := h.opts.WorkspaceLimit
+		if h.opts.Mode == WD {
+			limit = h.opts.TotalWorkspaceLimit
+		}
+		if l, ok := h.limits[key]; ok {
+			limit = l
+		}
+		share := 0.0
+		if limit > 0 {
+			share = float64(p.Workspace) / float64(limit)
+		}
+		r.Plans = append(r.Plans, PlanReport{
+			Kernel:         p.Kernel.String(),
+			Config:         p.Config.String(),
+			Divisions:      len(p.Config),
+			PredictedNS:    p.Time.Nanoseconds(),
+			WorkspaceBytes: p.Workspace,
+			LimitBytes:     limit,
+			Share:          share,
+		})
+	}
+	sort.Slice(r.Plans, func(i, j int) bool { return r.Plans[i].Kernel < r.Plans[j].Kernel })
+	return r
+}

@@ -1,0 +1,244 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/flight"
+	"ucudnn/internal/obs"
+	"ucudnn/internal/tensor"
+)
+
+// driveKernel builds a handle with metrics attached and executes one
+// real micro-batched convolution, so every endpoint has live state.
+func driveKernel(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	h, err := core.New(cudnn.NewHandle(device.P100, cudnn.ModelBackend),
+		core.WithMetrics(reg),
+		core.WithWorkspaceLimit(1<<20),
+		// GEMM needs real workspace, so the arena grows and the
+		// workspace timeline has something to show.
+		core.WithAlgoFilter(func(op conv.Op, a conv.Algo) bool { return a == conv.AlgoGemm }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, _ := cudnn.NewTensorDesc(10, 8, 12, 12)
+	wd, _ := cudnn.NewFilterDesc(12, 8, 3, 3)
+	cd, _ := cudnn.NewConvDesc(1, 1, 1, 1, 1, 1)
+	yd, _ := cudnn.GetOutputDim(xd, wd, cd)
+	cs := cudnn.Shape(xd, wd, cd)
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.NewShaped(cs.In)
+	x.Randomize(rng, 1)
+	w := tensor.NewFilter(12, 8, 3, 3)
+	w.Randomize(rng, 0.5)
+	y := tensor.NewShaped(cs.OutShape())
+	algo, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, algo, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAllEndpoints is the acceptance-criteria integration test: a live
+// server over a real driven kernel, all five endpoints exercised.
+func TestAllEndpoints(t *testing.T) {
+	prev := flight.Active()
+	defer flight.Install(prev)
+	flight.Enable(4096)
+
+	reg := driveKernel(t)
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr() + "/debug/ucudnn"
+
+	t.Run("metrics", func(t *testing.T) {
+		code, body := get(t, base+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		for _, want := range []string{"# TYPE ", "ucudnn_algo_selected_total", "_bucket{"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prometheus body missing %q", want)
+			}
+		}
+		code, body = get(t, base+"/metrics?format=summary")
+		if code != http.StatusOK || !strings.Contains(body, "p50=") {
+			t.Fatalf("summary (status %d) missing quantiles:\n%s", code, body)
+		}
+	})
+
+	t.Run("events", func(t *testing.T) {
+		code, body := get(t, base+"/events?n=1000")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var resp struct {
+			Total    uint64 `json:"total_recorded"`
+			Capacity int    `json:"ring_capacity"`
+			Events   []struct {
+				Seq   uint64 `json:"seq"`
+				TNS   int64  `json:"t_ns"`
+				Event string `json:"event"`
+				Text  string `json:"text"`
+			} `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("events JSON: %v\n%s", err, body)
+		}
+		if resp.Total == 0 || resp.Capacity != 4096 || len(resp.Events) == 0 {
+			t.Fatalf("events response = total %d cap %d events %d", resp.Total, resp.Capacity, len(resp.Events))
+		}
+		names := map[string]bool{}
+		for _, e := range resp.Events {
+			if e.Seq == 0 || e.TNS == 0 || e.Text == "" {
+				t.Fatalf("incomplete event %+v", e)
+			}
+			names[e.Event] = true
+		}
+		for _, want := range []string{"ucudnn_ev_kernel_launch", "ucudnn_ev_kernel_finish", "ucudnn_ev_micro_kernel", "ucudnn_ev_stripe"} {
+			if !names[want] {
+				t.Errorf("event stream missing %s (saw %v)", want, names)
+			}
+		}
+		if code, body := get(t, base+"/events?n=bogus"); code != http.StatusBadRequest {
+			t.Errorf("bad n gave status %d: %s", code, body)
+		}
+	})
+
+	t.Run("plan", func(t *testing.T) {
+		code, body := get(t, base+"/plan")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		for _, want := range []string{"handle ", "mode=WR", "kernel", "Forward[", "GEMM@"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("plan table missing %q:\n%s", want, body)
+			}
+		}
+		code, body = get(t, base+"/plan?format=json")
+		if code != http.StatusOK {
+			t.Fatalf("json status %d", code)
+		}
+		var reports []core.HandleReport
+		if err := json.Unmarshal([]byte(body), &reports); err != nil {
+			t.Fatalf("plan JSON: %v\n%s", err, body)
+		}
+		found := false
+		for _, r := range reports {
+			for _, p := range r.Plans {
+				if strings.HasPrefix(p.Kernel, "Forward") && p.Divisions >= 1 && p.WorkspaceBytes > 0 {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no Forward plan row in %s", body)
+		}
+	})
+
+	t.Run("workspace", func(t *testing.T) {
+		code, body := get(t, base+"/workspace")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var resp struct {
+			Handles []struct {
+				ID    int64 `json:"id"`
+				Arena int64 `json:"arena_bytes"`
+			} `json:"handles"`
+			Timeline []struct {
+				Handle  int64 `json:"handle"`
+				Granted int64 `json:"granted_bytes"`
+				Arena   int64 `json:"arena_bytes"`
+			} `json:"timeline"`
+		}
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("workspace JSON: %v\n%s", err, body)
+		}
+		if len(resp.Handles) == 0 || len(resp.Timeline) == 0 {
+			t.Fatalf("workspace response empty: %s", body)
+		}
+		if last := resp.Timeline[len(resp.Timeline)-1]; last.Arena <= 0 || last.Granted <= 0 {
+			t.Fatalf("timeline tail = %+v", last)
+		}
+	})
+
+	t.Run("buildinfo", func(t *testing.T) {
+		code, body := get(t, base+"/buildinfo")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var resp struct {
+			GoVersion string `json:"go_version"`
+			Module    string `json:"module"`
+		}
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("buildinfo JSON: %v\n%s", err, body)
+		}
+		if resp.GoVersion == "" {
+			t.Fatal("buildinfo missing go_version")
+		}
+	})
+
+	t.Run("index", func(t *testing.T) {
+		code, body := get(t, base+"/")
+		if code != http.StatusOK || !strings.Contains(body, "/debug/ucudnn/plan") {
+			t.Fatalf("index (status %d):\n%s", code, body)
+		}
+	})
+}
+
+func TestMetricsWithoutRegistry(t *testing.T) {
+	req := httptest.NewRequest("GET", "/debug/ucudnn/metrics", nil)
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("nil-registry metrics status = %d, want 404", rec.Code)
+	}
+}
+
+func TestEventsWhenDisabled(t *testing.T) {
+	prev := flight.Active()
+	defer flight.Install(prev)
+	flight.Disable()
+	req := httptest.NewRequest("GET", "/debug/ucudnn/events", nil)
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("disabled events status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"events": []`) {
+		t.Fatalf("disabled events body = %s", rec.Body.String())
+	}
+}

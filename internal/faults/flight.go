@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"strconv"
+
+	"ucudnn/internal/flight"
+)
+
+// EvFaultShot is the flight-recorder event emitted for every fired
+// injection: a=point index (1-based position in knownPoints, 0 for a
+// point this build doesn't know), b=1-based per-point call count,
+// c=effect code (1=error, 2=skip, 3=deny, 4=shrink, 5=corrupt),
+// d=shrink divisor (shrink effect only).
+const EvFaultShot flight.Name = "ucudnn_ev_fault_shot"
+
+var evFaultShot = flight.Register(EvFaultShot, fmtFaultShot)
+
+// knownPoints indexes the stack's injection points for the event's
+// point argument — flight events carry integer words, not strings.
+var knownPoints = [...]Point{
+	PointKernelRun, PointConvolve, PointFind,
+	PointArenaGrow, PointDnnWorkspace, PointCacheLoad,
+}
+
+// Effect codes carried in EvFaultShot's c word; effectNames[code] is
+// the Shot.Effect spelling (shrink drops its ":N" divisor suffix, which
+// rides in the d word instead).
+const (
+	effectError int64 = iota + 1
+	effectSkip
+	effectDeny
+	effectShrink
+	effectCorrupt
+)
+
+var effectNames = [...]string{"?", "error", "skip", "deny", "shrink", "corrupt"}
+
+// pointIndex returns p's 1-based position in knownPoints (0 unknown).
+func pointIndex(p Point) int64 {
+	for i, kp := range knownPoints {
+		if kp == p {
+			return int64(i + 1)
+		}
+	}
+	return 0
+}
+
+// effectCode inverts effectNames for fire's effect strings (0 unknown).
+func effectCode(effect string) int64 {
+	for i, n := range effectNames {
+		if n == effect {
+			return int64(i)
+		}
+	}
+	return 0
+}
+
+func fmtFaultShot(a, b, c, d int64) string {
+	point := "unknown"
+	if a >= 1 && int(a) <= len(knownPoints) {
+		point = string(knownPoints[a-1])
+	}
+	effect := "?"
+	if c >= 1 && int(c) < len(effectNames) {
+		effect = effectNames[c]
+	}
+	s := "point=" + point + " call=" + strconv.FormatInt(b, 10) + " effect=" + effect
+	if c == effectShrink {
+		s += " div=" + strconv.FormatInt(d, 10)
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"testing"
+
+	"ucudnn/internal/flight"
+)
+
+func TestPointIndexAndEffectCode(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, p := range knownPoints {
+		i := pointIndex(p)
+		if i < 1 || int(i) > len(knownPoints) || seen[i] {
+			t.Fatalf("pointIndex(%s) = %d", p, i)
+		}
+		seen[i] = true
+	}
+	if pointIndex(Point("ucudnn_fp_nope")) != 0 { //ucudnn:allow faultpoint -- deliberately unknown point
+		t.Fatal("unknown point did not map to 0")
+	}
+	for code, name := range effectNames {
+		if code == 0 {
+			continue
+		}
+		if got := effectCode(name); got != int64(code) {
+			t.Errorf("effectCode(%q) = %d, want %d", name, got, code)
+		}
+	}
+	if effectCode("shrink:8") != 0 {
+		t.Error("divisor-suffixed effect string should be unknown (the divisor rides in d)")
+	}
+}
+
+// TestFaultShotEvents fires each helper shape and checks the flight
+// recorder saw a correctly coded shot for every one.
+func TestFaultShotEvents(t *testing.T) {
+	prevFlight := flight.Active()
+	defer flight.Install(prevFlight)
+	flight.Enable(256)
+	defer Install(nil)
+
+	r := New(
+		Rule{Point: PointConvolve, Trigger: Nth(1)},
+		Rule{Point: PointKernelRun, Trigger: Nth(1)},
+		Rule{Point: PointCacheLoad, Trigger: Nth(1)},
+		Rule{Point: PointArenaGrow, Trigger: EveryK(1), Shrink: 8},
+		Rule{Point: PointDnnWorkspace, Trigger: Nth(1)},
+	)
+	Install(r)
+
+	if Err(PointConvolve) == nil {
+		t.Fatal("armed Err did not fire")
+	}
+	if !Hit(PointKernelRun) {
+		t.Fatal("armed Hit did not fire")
+	}
+	Mangle(PointCacheLoad, []byte("x"))
+	if got := Grant(PointArenaGrow, 800); got != 100 {
+		t.Fatalf("shrink grant = %d, want 100", got)
+	}
+	if got := Grant(PointDnnWorkspace, 800); got != 0 {
+		t.Fatalf("deny grant = %d, want 0", got)
+	}
+	// Unfired evaluations record nothing: the nth:1 rules are spent.
+	if Err(PointConvolve) != nil {
+		t.Fatal("spent rule fired again")
+	}
+
+	want := map[string]string{
+		"point=ucudnn_fp_convolve call=1 effect=error":          "",
+		"point=ucudnn_fp_kernel_run call=1 effect=skip":         "",
+		"point=ucudnn_fp_cache_load call=1 effect=corrupt":      "",
+		"point=ucudnn_fp_arena_grow call=1 effect=shrink div=8": "",
+		"point=ucudnn_fp_dnn_workspace call=1 effect=deny":      "",
+	}
+	evs := flight.Events(0)
+	if len(evs) != len(want) {
+		t.Fatalf("recorded %d events, want %d: %v", len(evs), len(want), evs)
+	}
+	for _, e := range evs {
+		if e.Name() != string(EvFaultShot) {
+			t.Fatalf("unexpected event %s", e.Name())
+		}
+		if _, ok := want[e.Text()]; !ok {
+			t.Fatalf("unexpected shot text %q", e.Text())
+		}
+		delete(want, e.Text())
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing shots: %v", want)
+	}
+}
+
+func TestFaultShotFormatterUnknowns(t *testing.T) {
+	k, ok := flight.Lookup(EvFaultShot)
+	if !ok {
+		t.Fatal("EvFaultShot not registered")
+	}
+	e := flight.Event{Kind: k, A: 99, B: 2, C: 42}
+	if want := "point=unknown call=2 effect=?"; e.Text() != want {
+		t.Fatalf("unknown shot text = %q, want %q", e.Text(), want)
+	}
+}

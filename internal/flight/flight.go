@@ -1,0 +1,335 @@
+// Package flight is the µ-cuDNN in-process flight recorder: an
+// always-on, fixed-capacity ring buffer of small typed events (kernel
+// launches, workspace-arena growth, fallback-ladder transitions, fault
+// shots, cache traffic) that answers "what was this process doing just
+// now" — from a debug-server endpoint, a SIGQUIT dump, or a test.
+//
+// The design point is the recording path, not the reading path: Rec is
+// called from the kernel execution hot path, so it must not allocate,
+// must not lock, and must cost almost nothing when recording is
+// disabled. Each ring slot is a fixed set of atomic words; a writer
+// claims a slot with one atomic increment and publishes it
+// seqlock-style (slot sequence stored before and after the payload), so
+// a concurrent Snapshot either observes a fully published event or
+// discards the slot. There are no mutexes anywhere on the record path
+// and every slot field is atomic, so the recorder is clean under the
+// race detector with writers and readers running concurrently.
+//
+// Payload integrity relies on the ring being large relative to writer
+// concurrency: a writer stalled mid-publish while the rest of the
+// process laps the whole ring could race a second writer on the same
+// slot. With the default 4096-slot ring and nanosecond-scale writes
+// that requires thousands of in-flight recorders, far beyond anything
+// in this codebase; torn slots are still detected and dropped by the
+// sequence check in all but that pathological case.
+//
+// Event kinds are registered once (package init) with a constant
+// ucudnn_ev_* name — enforced by the metricname analyzer, mirroring the
+// faults.Point contract — and an optional argument formatter, so a
+// dumped event renders as e.g.
+//
+//	ucudnn_ev_kernel_launch handle=1 op=Forward divisions=4 ws=262144
+package flight
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Name is a flight-recorder event name. Names are compile-time
+// ucudnn_ev_* snake_case constants (enforced by the metricname
+// analyzer), so the event universe is enumerable statically.
+type Name string
+
+// Kind identifies a registered event kind; the zero Kind is invalid.
+type Kind uint8
+
+// nameRe is the naming scheme Register enforces (mirrored by the
+// metricname analyzer's compile-time rule).
+var nameRe = regexp.MustCompile(`^ucudnn_ev(_[a-z0-9]+)+$`)
+
+// Formatter renders an event's four argument words as a human-readable
+// string ("handle=1 op=Forward ...").
+type Formatter func(a, b, c, d int64) string
+
+var (
+	regMu     sync.Mutex
+	kindNames []Name
+	kindFmts  []Formatter
+	kindIdx   = map[Name]Kind{}
+)
+
+// Register assigns a Kind to name, with an optional argument formatter
+// (nil renders the raw words). It is meant to be called from package
+// init functions; it panics on a name that is duplicated or violates
+// the ucudnn_ev_* scheme, so a bad registration fails at program start,
+// not at dump time.
+func Register(name Name, format Formatter) Kind {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if !nameRe.MatchString(string(name)) {
+		panic(fmt.Sprintf("flight: event name %q does not match the ucudnn_ev_* snake_case scheme", name))
+	}
+	if _, dup := kindIdx[name]; dup {
+		panic(fmt.Sprintf("flight: event name %q registered twice", name))
+	}
+	if len(kindNames) >= 255 {
+		panic("flight: too many event kinds (max 255)")
+	}
+	kindNames = append(kindNames, name)
+	kindFmts = append(kindFmts, format)
+	k := Kind(len(kindNames))
+	kindIdx[name] = k
+	return k
+}
+
+// Lookup resolves a registered event name to its Kind.
+func Lookup(name Name) (Kind, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	k, ok := kindIdx[name]
+	return k, ok
+}
+
+// kindInfo returns the name and formatter of k ("" for unknown kinds).
+func kindInfo(k Kind) (string, Formatter) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if k < 1 || int(k) > len(kindNames) {
+		return "", nil
+	}
+	return string(kindNames[k-1]), kindFmts[k-1]
+}
+
+// Event is one recorded flight event, as read back by Snapshot.
+type Event struct {
+	// Seq is the 1-based global sequence number of the event.
+	Seq uint64
+	// TimeNS is the wall-clock timestamp (UnixNano) of the record call.
+	TimeNS int64
+	// Kind identifies the registered event kind.
+	Kind Kind
+	// A, B, C, D are the event's argument words; their meaning is
+	// per-kind (see the registering package's formatter).
+	A, B, C, D int64
+}
+
+// Name returns the registered name of the event's kind, or a
+// placeholder for a kind recorded by a build this reader doesn't know.
+func (e Event) Name() string {
+	name, _ := kindInfo(e.Kind)
+	if name == "" {
+		return fmt.Sprintf("unknown_kind_%d", e.Kind)
+	}
+	return name
+}
+
+// Text renders the event's arguments through the kind's formatter.
+func (e Event) Text() string {
+	_, format := kindInfo(e.Kind)
+	if format == nil {
+		return fmt.Sprintf("a=%d b=%d c=%d d=%d", e.A, e.B, e.C, e.D)
+	}
+	return format(e.A, e.B, e.C, e.D)
+}
+
+// String renders "name args".
+func (e Event) String() string { return e.Name() + " " + e.Text() }
+
+// slot is one ring entry: sequence number published before (start) and
+// after (end) the payload, seqlock-style. All fields are atomic, so
+// concurrent writers and snapshot readers are race-free by
+// construction; the sequence pair detects torn payloads.
+type slot struct {
+	start atomic.Uint64
+	time  atomic.Int64
+	kind  atomic.Int64
+	a     atomic.Int64
+	b     atomic.Int64
+	c     atomic.Int64
+	d     atomic.Int64
+	end   atomic.Uint64
+}
+
+// Recorder is a fixed-capacity lock-free event ring. The zero value is
+// not usable; use NewRecorder.
+type Recorder struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []slot
+}
+
+// DefaultCapacity is the ring size of the recorder installed at init.
+const DefaultCapacity = 4096
+
+// minCapacity bounds how small a ring can get before the
+// laggard-writer window (see the package comment) becomes plausible.
+const minCapacity = 64
+
+// NewRecorder builds a recorder with at least the requested capacity,
+// rounded up to a power of two (minimum 64 slots).
+func NewRecorder(capacity int) *Recorder {
+	n := minCapacity
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Capacity returns the ring's slot count.
+func (r *Recorder) Capacity() int { return len(r.slots) }
+
+// Total returns how many events have been recorded over the recorder's
+// lifetime (recorded, not retained: the ring keeps the last Capacity).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Record appends one event to the ring: claim a sequence number,
+// publish start, payload, end. Allocation-free and lock-free.
+//
+//ucudnn:hotpath
+func (r *Recorder) Record(k Kind, a, b, c, d int64) {
+	seq := r.next.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.start.Store(seq)
+	s.time.Store(time.Now().UnixNano())
+	s.kind.Store(int64(k))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.d.Store(d)
+	s.end.Store(seq)
+}
+
+// Snapshot returns up to max of the most recent events, oldest first
+// (max <= 0 means all retained). Slots being concurrently rewritten are
+// detected by their sequence pair and skipped, so a snapshot taken
+// under recording load returns only fully published events.
+func (r *Recorder) Snapshot(max int) []Event {
+	if r == nil {
+		return nil
+	}
+	head := r.next.Load()
+	n := head
+	if ringCap := uint64(len(r.slots)); n > ringCap {
+		n = ringCap
+	}
+	if max > 0 && n > uint64(max) {
+		n = uint64(max)
+	}
+	out := make([]Event, 0, n)
+	for seq := head - n + 1; seq <= head; seq++ {
+		s := &r.slots[(seq-1)&r.mask]
+		if s.end.Load() != seq {
+			continue // not yet published, or already overwritten
+		}
+		e := Event{
+			Seq:    seq,
+			TimeNS: s.time.Load(),
+			Kind:   Kind(s.kind.Load()),
+			A:      s.a.Load(),
+			B:      s.b.Load(),
+			C:      s.c.Load(),
+			D:      s.d.Load(),
+		}
+		if s.start.Load() != seq {
+			continue // a writer began rewriting the slot under us
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// active is the installed recorder; nil disables recording and makes
+// Rec a single atomic load plus a branch.
+var active atomic.Pointer[Recorder]
+
+func init() { active.Store(NewRecorder(DefaultCapacity)) }
+
+// Install makes r the recorder Rec writes to; Install(nil) disables
+// recording (Disable is the readable spelling).
+func Install(r *Recorder) { active.Store(r) }
+
+// Enable installs a fresh recorder with the given capacity and returns
+// it (the previous ring and its events are dropped).
+func Enable(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	active.Store(r)
+	return r
+}
+
+// Disable turns recording off; Rec becomes an atomic load + branch.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed recorder (nil when disabled).
+func Active() *Recorder { return active.Load() }
+
+// Rec records one event of kind k on the active recorder. This is the
+// instrumentation entry point threaded through the kernel execution
+// path: allocation-free when enabled, an atomic load and a branch when
+// disabled.
+//
+//ucudnn:hotpath
+func Rec(k Kind, a, b, c, d int64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.Record(k, a, b, c, d)
+}
+
+// Events snapshots the active recorder (nil when disabled); see
+// Recorder.Snapshot.
+func Events(max int) []Event { return Active().Snapshot(max) }
+
+// dumpEvents is how many trailing events a Dump renders.
+const dumpEvents = 128
+
+// Dump writes a human-readable snapshot of the active recorder to w:
+// total counts and the last few events, timestamped with wall-clock
+// time of day.
+func Dump(w io.Writer) {
+	r := Active()
+	if r == nil {
+		fmt.Fprintln(w, "flight: recorder disabled")
+		return
+	}
+	evs := r.Snapshot(dumpEvents)
+	fmt.Fprintf(w, "flight: %d events recorded (ring capacity %d), last %d:\n",
+		r.Total(), r.Capacity(), len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(w, "  [%d] %s %s\n",
+			e.Seq, time.Unix(0, e.TimeNS).Format("15:04:05.000000"), e.String())
+	}
+}
+
+var sigOnce sync.Once
+
+// DumpOnSignal installs a SIGQUIT handler that dumps the flight
+// recorder to stderr, so a live process can be asked what it is doing
+// (kill -QUIT <pid>, or ctrl-\ on a terminal) even with no debug
+// server running. The process keeps running afterwards — note this
+// replaces the Go runtime's default SIGQUIT behaviour (stack dump and
+// exit). Installing twice is a no-op; the CLIs call it at startup.
+func DumpOnSignal() {
+	sigOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			for range ch {
+				Dump(os.Stderr)
+			}
+		}()
+	})
+}

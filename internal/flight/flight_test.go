@@ -1,0 +1,233 @@
+package flight
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Test kinds registered once for the whole package test binary.
+var (
+	kindAlpha = Register("ucudnn_ev_test_alpha", func(a, b, c, d int64) string {
+		return "alpha"
+	})
+	kindBeta = Register("ucudnn_ev_test_beta", nil)
+)
+
+func TestRegisterValidation(t *testing.T) {
+	for _, bad := range []Name{"", "kernel", "ucudnn_fp_x", "ucudnn_ev", "ucudnn_ev_Upper", "ucudnn_ev_a-b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad)
+				}
+			}()
+			Register(bad, nil)
+		}()
+	}
+	// Duplicate registration panics too.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("ucudnn_ev_test_alpha", nil)
+}
+
+func TestLookup(t *testing.T) {
+	if k, ok := Lookup("ucudnn_ev_test_alpha"); !ok || k != kindAlpha {
+		t.Fatalf("Lookup(alpha) = %v, %v", k, ok)
+	}
+	if _, ok := Lookup("ucudnn_ev_nope"); ok {
+		t.Fatal("Lookup of unregistered name succeeded")
+	}
+}
+
+func TestEventFormatting(t *testing.T) {
+	e := Event{Seq: 7, Kind: kindAlpha}
+	if e.Name() != "ucudnn_ev_test_alpha" || e.Text() != "alpha" {
+		t.Fatalf("formatted event = %q %q", e.Name(), e.Text())
+	}
+	raw := Event{Kind: kindBeta, A: 1, B: 2, C: 3, D: 4}
+	if raw.Text() != "a=1 b=2 c=3 d=4" {
+		t.Fatalf("default formatter = %q", raw.Text())
+	}
+	unknown := Event{Kind: 255}
+	if !strings.HasPrefix(unknown.Name(), "unknown_kind_") {
+		t.Fatalf("unknown kind name = %q", unknown.Name())
+	}
+	if got := (Event{Kind: kindAlpha}).String(); got != "ucudnn_ev_test_alpha alpha" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(64)
+	if r.Capacity() != 64 {
+		t.Fatalf("Capacity() = %d, want 64", r.Capacity())
+	}
+	const total = 200
+	for i := int64(1); i <= total; i++ {
+		r.Record(kindBeta, i, i, i, i)
+	}
+	if r.Total() != total {
+		t.Fatalf("Total() = %d, want %d", r.Total(), total)
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 64 {
+		t.Fatalf("Snapshot retained %d events, want 64", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(total - 64 + 1 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.A != int64(wantSeq) || e.A != e.B || e.B != e.C || e.C != e.D {
+			t.Fatalf("event %d payload torn: %+v", i, e)
+		}
+	}
+	if got := r.Snapshot(8); len(got) != 8 || got[7].Seq != total {
+		t.Fatalf("Snapshot(8) = %d events ending at %d", len(got), got[len(got)-1].Seq)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 64}, {1, 64}, {65, 128}, {4096, 4096}, {5000, 8192}} {
+		if got := NewRecorder(tc.in).Capacity(); got != tc.want {
+			t.Errorf("NewRecorder(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGlobalInstall(t *testing.T) {
+	prev := Active()
+	defer Install(prev)
+	if prev == nil {
+		t.Fatal("recorder not enabled by default")
+	}
+	r := Enable(128)
+	if Active() != r {
+		t.Fatal("Enable did not install")
+	}
+	Rec(kindBeta, 1, 2, 3, 4)
+	if evs := Events(0); len(evs) != 1 || evs[0].A != 1 || evs[0].D != 4 {
+		t.Fatalf("global Rec roundtrip = %+v", evs)
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Disable did not uninstall")
+	}
+	Rec(kindBeta, 9, 9, 9, 9) // must be a no-op, not a crash
+	if evs := Events(0); evs != nil {
+		t.Fatalf("disabled Events = %+v, want nil", evs)
+	}
+}
+
+// TestConcurrentRecordSnapshot is the -race stress test: writers fill
+// the ring while readers snapshot it. The ring is sized above the total
+// write count so no slot is ever rewritten — every event a reader
+// observes must therefore be fully consistent (all four words equal).
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	const writers, perWriter = 4, 8192
+	r := NewRecorder(writers * perWriter) // no wraparound: tears are impossible
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range r.Snapshot(0) {
+					if e.A != e.B || e.B != e.C || e.C != e.D {
+						t.Errorf("torn event observed: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(g*perWriter + i)
+				r.Record(kindBeta, v, v, v, v)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Total() != writers*perWriter {
+		t.Fatalf("Total() = %d, want %d", r.Total(), writers*perWriter)
+	}
+	if got := len(r.Snapshot(0)); got != writers*perWriter {
+		t.Fatalf("quiescent snapshot returned %d events, want %d", got, writers*perWriter)
+	}
+}
+
+// TestRecordAllocs asserts the steady-state recording contract of the
+// ISSUE: zero allocations per event, enabled or disabled.
+func TestRecordAllocs(t *testing.T) {
+	prev := Active()
+	defer Install(prev)
+	Enable(256)
+	if n := testing.AllocsPerRun(1000, func() { Rec(kindBeta, 1, 2, 3, 4) }); n != 0 {
+		t.Fatalf("enabled Rec allocates %v per op, want 0", n)
+	}
+	Disable()
+	if n := testing.AllocsPerRun(1000, func() { Rec(kindBeta, 1, 2, 3, 4) }); n != 0 {
+		t.Fatalf("disabled Rec allocates %v per op, want 0", n)
+	}
+}
+
+func TestDump(t *testing.T) {
+	prev := Active()
+	defer Install(prev)
+	Enable(64)
+	Rec(kindAlpha, 0, 0, 0, 0)
+	var sb strings.Builder
+	Dump(&sb)
+	if !strings.Contains(sb.String(), "ucudnn_ev_test_alpha alpha") {
+		t.Fatalf("Dump output missing event:\n%s", sb.String())
+	}
+	Disable()
+	sb.Reset()
+	Dump(&sb)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Fatalf("disabled Dump output = %q", sb.String())
+	}
+}
+
+// BenchmarkRec measures the enabled recording path (must report
+// 0 allocs/op; see BENCH_kernels.json's telemetry note).
+func BenchmarkRec(b *testing.B) {
+	prev := Active()
+	defer Install(prev)
+	Enable(DefaultCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rec(kindBeta, 1, 2, 3, 4)
+	}
+}
+
+// BenchmarkRecDisabled measures the disabled fast path: one atomic
+// load and a branch (the ISSUE's <= ~10 ns/event criterion).
+func BenchmarkRecDisabled(b *testing.B) {
+	prev := Active()
+	defer Install(prev)
+	Disable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rec(kindBeta, 1, 2, 3, 4)
+	}
+}

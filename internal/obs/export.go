@@ -91,12 +91,15 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		case m.g != nil:
 			fmt.Fprintf(tw, "%s%s\t%s\n", m.name, m.labels, fmtFloat(m.g.Value()))
 		case m.h != nil:
-			mean := 0.0
-			if n := m.h.Count(); n > 0 {
-				mean = m.h.Sum() / float64(n)
+			n := m.h.Count()
+			if n == 0 {
+				fmt.Fprintf(tw, "%s%s\tcount=0 sum=0 mean=0\n", m.name, m.labels)
+				continue
 			}
-			fmt.Fprintf(tw, "%s%s\tcount=%d sum=%s mean=%s\n",
-				m.name, m.labels, m.h.Count(), fmtFloat(m.h.Sum()), fmtFloat(mean))
+			mean := m.h.Sum() / float64(n)
+			fmt.Fprintf(tw, "%s%s\tcount=%d sum=%s mean=%s p50=%s p95=%s p99=%s\n",
+				m.name, m.labels, n, fmtFloat(m.h.Sum()), fmtFloat(mean),
+				fmtFloat(m.h.Quantile(0.5)), fmtFloat(m.h.Quantile(0.95)), fmtFloat(m.h.Quantile(0.99)))
 		}
 	}
 	return tw.Flush()

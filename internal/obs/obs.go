@@ -10,7 +10,6 @@
 package obs
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -28,6 +27,12 @@ type Label struct {
 // L builds a label.
 func L(name, value string) Label { return Label{Name: name, Value: value} }
 
+// promEscaper escapes a label value per the Prometheus text exposition
+// format (version 0.0.4): exactly backslash, double quote and line feed.
+// Go's %q is not equivalent — it would also escape other control and
+// non-ASCII characters, which the format passes through as raw UTF-8.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // labelString renders labels in deterministic (sorted-by-name) order as
 // the {a="x",b="y"} suffix of a series; empty for no labels.
 func labelString(labels []Label) string {
@@ -38,7 +43,7 @@ func labelString(labels []Label) string {
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
 	parts := make([]string, len(ls))
 	for i, l := range ls {
-		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+		parts[i] = l.Name + `="` + promEscaper.Replace(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -151,6 +156,36 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum.Value()
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the buckets by
+// linear interpolation inside the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile gives, with the same
+// caveats: resolution is bounded by the bucket bounds, ranks landing in
+// the +Inf bucket clamp to the highest finite bound, and an empty
+// histogram (or out-of-range q) returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || q < 0 || q > 1 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // metric is one registered series.

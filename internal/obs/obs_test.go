@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -113,6 +114,56 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestLabelValueEscaping pins the exposition-format escaping rules:
+// backslash, double quote and line feed are escaped; everything else —
+// including non-ASCII UTF-8 — passes through verbatim (Go's %q would
+// over-escape it).
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", L("path", "C:\\tmp\n\"x\"")).Inc()
+	r.Counter("utf_total", L("dev", "µ-cuDNN ©")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`esc_total{path="C:\\tmp\n\"x\""} 1`,
+		`utf_total{dev="µ-cuDNN ©"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q_seconds", []float64{0.01, 1})
+	for _, q := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want NaN", q, h.Quantile(q))
+		}
+	}
+	h.Observe(0.004)
+	h.Observe(0.146)
+	h.Observe(40)
+	if got := h.Quantile(0.5); got != 0.505 {
+		t.Errorf("p50 = %g, want 0.505 (interpolated inside (0.01, 1])", got)
+	}
+	// Ranks landing in the +Inf bucket clamp to the highest finite bound.
+	for _, q := range []float64{0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%g) = %g, want 1 (clamped)", q, got)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q must be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram Quantile must be NaN")
+	}
+}
+
 const goldenPrometheus = `# TYPE ucudnn_cache_hits_total counter
 ucudnn_cache_hits_total 7
 # TYPE ucudnn_ilp_variables gauge
@@ -131,7 +182,7 @@ ucudnn_selected_total{algo="gemm",op="Forward"} 1
 const goldenSummary = `metric                                           value
 ucudnn_cache_hits_total                          7
 ucudnn_ilp_variables                             562
-ucudnn_opt_wr_seconds                            count=3 sum=40.15 mean=13.383333333333333
+ucudnn_opt_wr_seconds                            count=3 sum=40.15 mean=13.383333333333333 p50=0.505 p95=1 p99=1
 ucudnn_selected_total{algo="fft",op="Forward"}   2
 ucudnn_selected_total{algo="gemm",op="Forward"}  1
 `
