@@ -6,7 +6,7 @@ GO ?= go
 COVER_FLOOR_core   = 88.0
 COVER_FLOOR_faults = 83.0
 
-.PHONY: build test test-e2e bench bench-smoke bench-json benchdiff check cover-gate race fmt lint fuzz-smoke
+.PHONY: build test test-e2e bench bench-smoke bench-json benchdiff check cover-gate race fmt lint fuzz-smoke profile-smoke
 
 # benchdiff compares BENCH_report.json (from bench-json) against the
 # committed baseline. Informational by default — the container this
@@ -59,9 +59,17 @@ benchdiff: BENCH_report.json
 BENCH_report.json:
 	@$(MAKE) --no-print-directory bench-json
 
+# profile-smoke exercises the cost-attribution pipeline end to end: a
+# real-compute zoo run under -profile, then schema + invariant
+# validation of the resulting PROF_report.json (kept as a CI artifact
+# next to BENCH_report.json).
+profile-smoke:
+	$(GO) run ./cmd/ucudnn-time -net alexnet -batch 8 -iters 1 -mode wr -ws 64 -profile PROF_report.json
+	$(GO) run ./cmd/ucudnn-profile -check PROF_report.json
+
 # lint runs the ucudnn-lint analyzer suite (detlint, hotpath, wsfloor,
-# metricname, faultpoint — see DESIGN.md "Static analysis") over the
-# whole module.
+# metricname, faultpoint, phasename — see DESIGN.md "Static analysis")
+# over the whole module.
 lint:
 	$(GO) run ./cmd/ucudnn-lint ./...
 
@@ -94,7 +102,7 @@ cover-gate:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/trace/... \
 		./internal/conv/... ./internal/blas/... ./internal/parallel/... ./internal/faults/... \
-		./internal/flight/... ./internal/debugserver/...
+		./internal/flight/... ./internal/debugserver/... ./internal/prof/...
 	$(GO) test -race -short -count=1 -timeout 1200s ./internal/testkit/
 
 fmt:
@@ -113,5 +121,6 @@ check: build
 	@$(MAKE) --no-print-directory race
 	@$(MAKE) --no-print-directory bench-smoke
 	@$(MAKE) --no-print-directory fuzz-smoke
+	@$(MAKE) --no-print-directory profile-smoke
 	@$(MAKE) --no-print-directory bench-json
 	@$(MAKE) --no-print-directory benchdiff

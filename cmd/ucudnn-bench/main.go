@@ -20,11 +20,13 @@ import (
 	"strings"
 
 	"ucudnn/internal/bench"
+	"ucudnn/internal/core"
 	"ucudnn/internal/debugserver"
 	"ucudnn/internal/device"
 	"ucudnn/internal/faults"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/trace"
 )
 
@@ -39,6 +41,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run for go tool pprof")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit for go tool pprof")
 	faultSpec := flag.String("faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
+	profilePath := flag.String("profile", "", "write a per-phase cost-attribution report at exit (\"-\" for a table on stdout, else JSON)")
 	debugAddr := flag.String("debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
 		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
@@ -107,6 +110,11 @@ func main() {
 	if *metricsPath != "" || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if *profilePath != "" {
+		prof.Enable()
+		prof.SetMetrics(cfg.Metrics)
+		defer prof.Disable()
+	}
 	if *tracePath != "" {
 		cfg.Trace = trace.New()
 	}
@@ -130,6 +138,10 @@ func main() {
 			reportFaults()
 			os.Exit(1)
 		}
+	}
+	if err := core.WriteProfileFile(*profilePath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if cfg.Metrics != nil && *metricsPath != "" {
 		if err := cfg.Metrics.WriteFile(*metricsPath); err != nil {

@@ -31,6 +31,7 @@ import (
 	"ucudnn/internal/faults"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 	"ucudnn/internal/zoo"
@@ -55,6 +56,7 @@ type runOpts struct {
 	Metrics   string
 	Trace     string
 	Faults    string
+	Profile   string
 
 	// DebugAddr serves the debugserver endpoints; Registry is the shared
 	// metrics registry backing /debug/ucudnn/metrics when it is set.
@@ -81,6 +83,7 @@ func main() {
 	flag.StringVar(&o.Metrics, "metrics", "", "write optimizer metrics at exit (\"-\" for stdout, .prom for Prometheus)")
 	flag.StringVar(&o.Trace, "trace", "", "write the chosen plans as a Chrome-trace micro-batch timeline (Fig. 3)")
 	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_find=every:5;ucudnn_fp_cache_load=nth:1\"")
+	flag.StringVar(&o.Profile, "profile", "", "write a per-phase cost-attribution report at exit (\"-\" for a table on stdout, else JSON)")
 	flag.StringVar(&o.DebugAddr, "debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
 		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
@@ -101,8 +104,16 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ucudnn/\n", srv.Addr())
 	}
+	if o.Profile != "" {
+		prof.Enable()
+		prof.SetMetrics(o.Registry)
+		defer prof.Disable()
+	}
 	err = run(o)
 	report()
+	if err == nil {
+		err = core.WriteProfileFile(o.Profile)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,67 @@
+// Command ucudnn-profile reads a ucudnn-profile-report/v1 document (as
+// written by the -profile flag of ucudnn-time, ucudnn-bench and
+// ucudnn-optimize, or served at /debug/ucudnn/profile) and either
+// validates it or renders the human-readable attribution table.
+//
+// Usage:
+//
+//	ucudnn-profile prof.json             # pretty-print the attribution table
+//	ucudnn-profile -check prof.json      # validate schema + invariants, exit 1 on failure
+//	ucudnn-time -net alexnet -profile - | less   # table straight from a run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ucudnn/internal/core"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate the report (schema, phase-name scheme, attribution invariants) instead of printing it")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ucudnn-profile [-check] <report.json|->")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *check); err != nil {
+		fmt.Fprintln(os.Stderr, "ucudnn-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, check bool) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	if check {
+		if err := core.ValidateProfile(data); err != nil {
+			return err
+		}
+		var rep core.ProfileReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s (%d kernels, %d handles, %d phases)\n",
+			path, rep.Schema, len(rep.Kernels), len(rep.Handles), len(rep.TopPhases))
+		return nil
+	}
+	var rep core.ProfileReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != core.ProfileSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, core.ProfileSchema)
+	}
+	return rep.WriteTable(os.Stdout)
+}

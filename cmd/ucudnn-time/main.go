@@ -8,6 +8,7 @@
 //	ucudnn-time -net alexnet -batch 256 -device p100 -mode wr -policy powerOfTwo -ws 64
 //	ucudnn-time -net resnet50 -batch 32 -mode wd -total 2544
 //	ucudnn-time -net alexnet -mode wr -trace out.json -metrics -
+//	ucudnn-time -net alexnet -mode wr -profile prof.json
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"ucudnn/internal/faults"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 	"ucudnn/internal/zoo"
@@ -42,6 +44,7 @@ type runOpts struct {
 	Trace    string
 	Metrics  string
 	Faults   string
+	Profile  string
 
 	// DebugAddr serves the debugserver endpoints; Registry is the shared
 	// metrics registry backing /debug/ucudnn/metrics when it is set.
@@ -63,6 +66,7 @@ func main() {
 	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
 	flag.StringVar(&o.Metrics, "metrics", "", "write µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus; wr/wd modes)")
 	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_convolve=nth:3;ucudnn_fp_arena_grow=every:2,shrink=4\"")
+	flag.StringVar(&o.Profile, "profile", "", "write a per-phase cost-attribution report (\"-\" for a table on stdout, else JSON; forces real compute)")
 	flag.StringVar(&o.DebugAddr, "debug-addr", os.Getenv("UCUDNN_DEBUG_ADDR"),
 		"serve /debug/ucudnn/ endpoints on this address, e.g. localhost:6060 (default $UCUDNN_DEBUG_ADDR)")
 	flag.Parse()
@@ -118,7 +122,16 @@ func run(o runOpts) error {
 	if err != nil {
 		return err
 	}
-	inner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+	// Phase profiling needs the kernels to actually run, so -profile
+	// trades the model-only fast path for real compute.
+	backend := cudnn.ModelOnlyBackend
+	if o.Profile != "" {
+		backend = cudnn.ModelBackend
+		prof.Enable()
+		prof.SetMetrics(o.Registry)
+		defer prof.Disable()
+	}
+	inner := cudnn.NewHandle(d, backend)
 	inner.Mem().Cap = 0
 	var convH dnn.ConvHandle = inner
 	var uc *core.Handle
@@ -149,23 +162,31 @@ func run(o runOpts) error {
 	}
 
 	ctx := dnn.NewContext(convH, inner, o.WSMiB<<20)
-	ctx.SkipCompute = true
+	ctx.SkipCompute = o.Profile == ""
 	var net *dnn.Net
+	var loss *dnn.SoftmaxLoss
 	switch o.Net {
 	case "alexnet":
-		net, _ = zoo.AlexNet(ctx, o.Batch, 1000)
+		net, loss = zoo.AlexNet(ctx, o.Batch, 1000)
 	case "caffe-alexnet":
-		net, _ = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
+		net, loss = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
 	case "resnet18":
-		net, _ = zoo.ResNet18(ctx, o.Batch, 1000)
+		net, loss = zoo.ResNet18(ctx, o.Batch, 1000)
 	case "resnet50":
-		net, _ = zoo.ResNet50(ctx, o.Batch, 1000)
+		net, loss = zoo.ResNet50(ctx, o.Batch, 1000)
 	case "densenet40":
-		net, _ = zoo.DenseNet40(ctx, o.Batch, 40, 10)
+		net, loss = zoo.DenseNet40(ctx, o.Batch, 40, 10)
 	case "inception":
 		net = zoo.InceptionModule(ctx, o.Batch)
 	default:
 		return fmt.Errorf("unknown network %q", o.Net)
+	}
+	if !ctx.SkipCompute && loss != nil {
+		// Real compute runs the loss layer too; give it a label per sample.
+		loss.Labels = make([]int, o.Batch)
+		for i := range loss.Labels {
+			loss.Labels[i] = i % 10
+		}
 	}
 
 	rep, err := net.Time(o.Iters)
@@ -212,6 +233,9 @@ func run(o runOpts) error {
 		if err := uc.Flush(); err != nil {
 			return err
 		}
+	}
+	if err := core.WriteProfileFile(o.Profile); err != nil {
+		return err
 	}
 	_ = tensor.Shape{}
 	return nil

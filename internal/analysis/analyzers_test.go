@@ -14,6 +14,8 @@ func TestMetricNameEvents(t *testing.T)    { RunFixture(t, MetricName, "events")
 func TestMetricNameExemptPkg(t *testing.T) { RunFixture(t, MetricName, "flight") }
 func TestFaultPoint(t *testing.T)          { RunFixture(t, FaultPoint, "probe") }
 func TestFaultPointExemptPkg(t *testing.T) { RunFixture(t, FaultPoint, "faults") }
+func TestPhaseName(t *testing.T)           { RunFixture(t, PhaseName, "kern") }
+func TestPhaseNameExemptPkg(t *testing.T)  { RunFixture(t, PhaseName, "prof") }
 
 // TestMalformedDirective checks that justification-free //ucudnn:allow
 // directives are themselves reported, by any analyzer selection.

@@ -239,7 +239,7 @@ func labelCallName(pass *Pass, arg ast.Expr) (string, bool) {
 }
 
 // All is the ucudnn-lint analyzer suite in execution order.
-var All = []*Analyzer{Detlint, Hotpath, WSFloor, MetricName, FaultPoint}
+var All = []*Analyzer{Detlint, Hotpath, WSFloor, MetricName, FaultPoint, PhaseName}
 
 // ByName resolves a comma-separated analyzer list ("detlint,hotpath");
 // empty selects the whole suite.
@@ -256,7 +256,7 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname, faultpoint)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname, faultpoint, phasename)", name)
 		}
 		out = append(out, a)
 	}

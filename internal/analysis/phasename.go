@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// PhaseName enforces the profiler naming contract documented in
+// DESIGN.md ("Profiling & cost attribution"): every prof.Phase handed
+// to the profiler (Register, or any other call taking a Phase) must be
+// a compile-time constant matching ucudnn_ph_* snake_case, mirroring
+// the faultpoint and metricname analyzers. Constant names keep the
+// phase universe enumerable statically — a cost model trained on one
+// build's profile keys keeps working on the next — and greppable from a
+// report row straight to the timer site.
+//
+// The prof package itself is exempt: it plumbs Phase values through its
+// registry by design.
+var PhaseName = &Analyzer{
+	Name: "phasename",
+	Doc:  "prof.Phase values must be compile-time ucudnn_ph_* snake_case constants",
+	Run:  runPhaseName,
+}
+
+var phaseNameRe = regexp.MustCompile(`^ucudnn_ph(_[a-z0-9]+)+$`)
+
+func runPhaseName(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "prof" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isProfPhaseType(pass, arg) {
+					checkPhaseName(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPhaseName requires expr to be a compile-time string constant
+// matching the ucudnn_ph_* scheme.
+func checkPhaseName(pass *Pass, expr ast.Expr) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(expr.Pos(),
+			"profiler phase must be a compile-time prof.Phase constant so the phase universe is enumerable statically")
+		return
+	}
+	if name := constant.StringVal(tv.Value); !phaseNameRe.MatchString(name) {
+		pass.Reportf(expr.Pos(),
+			"profiler phase %q does not match the ucudnn_ph_* snake_case scheme", name)
+	}
+}
+
+// isProfPhaseType reports whether the expression's static type is the
+// prof package's Phase type.
+func isProfPhaseType(pass *Pass, expr ast.Expr) bool {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Phase" && obj.Pkg() != nil && obj.Pkg().Name() == "prof"
+}

@@ -1,0 +1,35 @@
+// Package kern is a phasename fixture exercising the naming contract.
+package kern
+
+import "prof"
+
+const phaseLocal prof.Phase = "ucudnn_ph_kern_local"
+
+var (
+	phGemm  = prof.Register(prof.PhaseGemmSgemm)
+	phLocal = prof.Register(phaseLocal)
+)
+
+func compliant() {
+	_ = prof.Register("ucudnn_ph_kern_inline")
+	_ = prof.Describe(prof.PhaseGemmSgemm)
+}
+
+func dynamicPhases(p prof.Phase, s string) {
+	_ = prof.Register(p)             // want `compile-time prof.Phase constant`
+	_ = prof.Register(prof.Phase(s)) // want `compile-time prof.Phase constant`
+	_ = prof.Describe(p)             // want `compile-time prof.Phase constant`
+}
+
+func badNames() {
+	_ = prof.Register("gemm_sgemm")           // want `does not match the ucudnn_ph_\* snake_case scheme`
+	_ = prof.Register("ucudnn_gemm")          // want `does not match the ucudnn_ph_\* snake_case scheme`
+	_ = prof.Describe(prof.PhaseLegacy)       // want `does not match the ucudnn_ph_\* snake_case scheme`
+	_ = prof.Register("ucudnn_ph_UpperCamel") // want `does not match the ucudnn_ph_\* snake_case scheme`
+}
+
+// accepted documents a justified exception.
+func accepted(p prof.Phase) {
+	//ucudnn:allow phasename -- replaying a phase parsed from an operator-supplied report
+	_ = prof.Describe(p)
+}

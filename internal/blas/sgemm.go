@@ -7,6 +7,8 @@ package blas
 import (
 	"runtime"
 	"sync"
+
+	"ucudnn/internal/prof"
 )
 
 // blocking parameters for the micro-kernel; sized so an (mc x kc) A-panel
@@ -65,8 +67,14 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 		sgemmRows(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return
 	}
+	// This launch is "nested" to the profiler: it only happens under a
+	// serial outer loop whose phase window already covers this region as
+	// wall time, so only its load imbalance is recorded, not its busy
+	// time (see prof's accounting model).
+	ls := prof.LaunchStart()
 	var wg sync.WaitGroup
 	chunk := (m + workers - 1) / workers
+	launched := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -76,14 +84,18 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 		if lo >= hi {
 			break
 		}
+		launched++
 		wg.Add(1)
 		//ucudnn:allow hotpath -- the multi-worker path forks by design; callers on the zero-alloc path pass workers==1
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			bs := prof.WorkerStart()
 			sgemmRows(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
-		}(lo, hi)
+			prof.WorkerEnd(w, bs)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	prof.LaunchEndNested(launched, ls)
 }
 
 //ucudnn:hotpath

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ucudnn/internal/prof"
 )
 
 // This file is the kernel execution engine: worker-count policy, batch
@@ -89,22 +91,30 @@ func fitStripes(want int, have, stripElems int) int {
 // stripedRun executes f(w) for w in [0, workers), worker 0 inline on the
 // calling goroutine. It is the engine's fork-join primitive: each worker
 // owns a disjoint workspace strip, so there is no shared mutable state
-// beyond the output tensors' disjoint regions.
+// beyond the output tensors' disjoint regions. Every parallel launch is
+// accounted by the profiler: per-worker busy windows plus the launch's
+// wall time, from which stripe load imbalance is derived.
 func stripedRun(workers int, f func(w int)) {
 	if workers <= 1 {
 		f(0)
 		return
 	}
+	ls := prof.LaunchStart()
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			bs := prof.WorkerStart()
 			f(w)
+			prof.WorkerEnd(w, bs)
 		}(w)
 	}
+	bs := prof.WorkerStart()
 	f(0)
+	prof.WorkerEnd(0, bs)
 	wg.Wait()
+	prof.LaunchEnd(workers, ls)
 }
 
 // chunkBounds splits n items into chunks of ceil(n/workers) and returns
@@ -146,5 +156,38 @@ func parallelForW(workers, n int, f func(w, i int)) {
 		for i := lo; i < hi; i++ {
 			f(w, i)
 		}
+	})
+}
+
+// phaseForW is parallelForW with each worker's chunk timed as one
+// window of phase ph. Timing is chunk-level by design: two clock
+// readings per worker per stage, independent of how many tiles the
+// chunk covers, so profiling overhead stays negligible against the
+// chunk's own work. On the serial path the single window is wall time;
+// inside a parallel launch each window is that worker's occupancy —
+// exactly the halves the profiler's measured-time denominator is built
+// from.
+func phaseForW(ph prof.Kind, workers, n int, f func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		t := prof.Enter()
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		prof.Exit(ph, t)
+		return
+	}
+	stripedRun(workers, func(w int) {
+		lo, hi := chunkBounds(n, workers, w)
+		t := prof.Enter()
+		for i := lo; i < hi; i++ {
+			f(w, i)
+		}
+		prof.Exit(ph, t)
 	})
 }

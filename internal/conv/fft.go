@@ -2,6 +2,7 @@ package conv
 
 import (
 	"ucudnn/internal/fftpkg"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 )
 
@@ -194,7 +195,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 	case Forward:
 		kch := imin(k, fftFilterChunk)
 		// Padded-input spectra (resident for all chunks).
-		parallelForW(workers, n*c, func(wk, i int) {
+		phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
 			nn, cc := i/c, i%c
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
@@ -208,22 +209,26 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 		for k0 := 0; k0 < k; k0 += kch {
 			kc := imin(kch, k-k0)
 			// Filter spectra for this chunk of output channels.
-			parallelForW(workers, kc*c, func(wk, i int) {
+			phaseForW(phFFTForward, workers, kc*c, func(wk, i int) {
 				dk, cc := i/c, i%c
 				scr := pl.scratchFor(scrBlock, wk)
 				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
 					return w.At(k0+dk, cc, r, s)
 				}, scr)
 			})
-			// Pointwise accumulate over channels, inverse, blend.
+			// Pointwise accumulate over channels, inverse, blend. The task
+			// mixes two phases, so the split is per task rather than per
+			// chunk (each half is FFT-plane-sized, far above timer cost).
 			parallelForW(workers, n*kc, func(wk, i int) {
 				nn, dk := i/kc, i%kc
 				kk := k0 + dk
 				acc := yspec[(nn*k+kk)*pf : (nn*k+kk+1)*pf]
+				t := prof.Enter()
 				zeroPlane(acc)
 				for cc := 0; cc < c; cc++ {
 					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(dk*c+cc)*pf:(dk*c+cc+1)*pf])
 				}
+				t = prof.Next(phFFTPointwise, t)
 				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for oh := 0; oh < out.H; oh++ {
@@ -231,13 +236,14 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 						blend(&y.Data[y.Index(nn, kk, oh, ow)], float32(real(scr[oh*pl.q+ow])), alpha, beta)
 					}
 				}
+				prof.Exit(phFFTInverse, t)
 			})
 		}
 	case BackwardData:
 		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
 		cch := imin(c, fftFilterChunk)
 		// Padded dY spectra, stored in yspec [n][k], resident.
-		parallelForW(workers, n*k, func(wk, i int) {
+		phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
 			nn, kk := i/k, i%k
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H+2*padB, out.W+2*padBW, func(r, s int) float32 {
@@ -252,7 +258,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 			ccnt := imin(cch, c-c0)
 			// Rotated-filter spectra for this chunk of input channels,
 			// indexed [dc][k].
-			parallelForW(workers, ccnt*k, func(wk, i int) {
+			phaseForW(phFFTForward, workers, ccnt*k, func(wk, i int) {
 				dc, kk := i/k, i%k
 				scr := pl.scratchFor(scrBlock, wk)
 				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
@@ -264,10 +270,12 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				nn, dc := i/ccnt, i%ccnt
 				cc := c0 + dc
 				acc := xspec[(nn*c+cc)*pf : (nn*c+cc+1)*pf]
+				t := prof.Enter()
 				zeroPlane(acc)
 				for kk := 0; kk < k; kk++ {
 					accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(dc*k+kk)*pf:(dc*k+kk+1)*pf])
 				}
+				t = prof.Next(phFFTPointwise, t)
 				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for ih := 0; ih < in.H; ih++ {
@@ -275,12 +283,13 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 						blend(&x.Data[x.Index(nn, cc, ih, iw)], float32(real(scr[ih*pl.q+iw])), alpha, beta)
 					}
 				}
+				prof.Exit(phFFTInverse, t)
 			})
 		}
 	case BackwardFilter:
 		kch := imin(k, fftFilterChunk)
 		// dW[k,c] = sum_n corr(padded X[n,c], dY[n,k])[0:R, 0:S].
-		parallelForW(workers, n*c, func(wk, i int) {
+		phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
 			nn, cc := i/c, i%c
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
@@ -291,7 +300,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				return x.At(nn, cc, ih, iw)
 			}, scr)
 		})
-		parallelForW(workers, n*k, func(wk, i int) {
+		phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
 			nn, kk := i/k, i%k
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H, out.W, func(r, s int) float32 {
@@ -304,10 +313,12 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 				dk, cc := i/c, i%c
 				kk := k0 + dk
 				acc := wspec[i*pf : (i+1)*pf]
+				t := prof.Enter()
 				zeroPlane(acc)
 				for nn := 0; nn < n; nn++ {
 					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
 				}
+				t = prof.Next(phFFTPointwise, t)
 				scr := pl.scratchFor(scrBlock, wk)
 				pl.invFrom(acc, scr)
 				for r := 0; r < f.R; r++ {
@@ -315,6 +326,7 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 						blend(&w.Data[w.Index(kk, cc, r, s)], float32(real(scr[r*pl.q+s])), alpha, beta)
 					}
 				}
+				prof.Exit(phFFTInverse, t)
 			})
 		}
 	}
@@ -342,7 +354,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 	case Forward:
 		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(out.H, tileOutH), ceilDiv(out.W, tileOutW)
-		parallelForW(workers, k*c, func(wk, i int) {
+		phaseForW(phFFTForward, workers, k*c, func(wk, i int) {
 			kk, cc := i/c, i%c
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
@@ -352,7 +364,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileOutH, tw*tileOutW
-				parallelForW(workers, n*c, func(wk, i int) {
+				phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
@@ -367,10 +379,12 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 				parallelForW(workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
 					acc := yspec[i*pf : (i+1)*pf]
+					t := prof.Enter()
 					zeroPlane(acc)
 					for cc := 0; cc < c; cc++ {
 						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(kk*c+cc)*pf:(kk*c+cc+1)*pf])
 					}
+					t = prof.Next(phFFTPointwise, t)
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.invFrom(acc, scr)
 					for dh := 0; dh < tileOutH && baseH+dh < out.H; dh++ {
@@ -378,6 +392,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 							blend(&y.Data[y.Index(nn, kk, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
 						}
 					}
+					prof.Exit(phFFTInverse, t)
 				})
 			}
 		}
@@ -386,7 +401,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
 		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(in.H, tileOutH), ceilDiv(in.W, tileOutW)
-		parallelForW(workers, c*k, func(wk, i int) {
+		phaseForW(phFFTForward, workers, c*k, func(wk, i int) {
 			cc, kk := i/k, i%k
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
@@ -396,7 +411,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileOutH, tw*tileOutW
-				parallelForW(workers, n*k, func(wk, i int) {
+				phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(yspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
@@ -411,10 +426,12 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 				parallelForW(workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
 					acc := xspec[i*pf : (i+1)*pf]
+					t := prof.Enter()
 					zeroPlane(acc)
 					for kk := 0; kk < k; kk++ {
 						accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(cc*k+kk)*pf:(cc*k+kk+1)*pf])
 					}
+					t = prof.Next(phFFTPointwise, t)
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.invFrom(acc, scr)
 					for dh := 0; dh < tileOutH && baseH+dh < in.H; dh++ {
@@ -422,6 +439,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 							blend(&x.Data[x.Index(nn, cc, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
 						}
 					}
+					prof.Exit(phFFTInverse, t)
 				})
 			}
 		}
@@ -431,11 +449,11 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 		// contributions accumulate in spectral space in wspec.
 		tileH, tileW := fftTile-f.R+1, fftTile-f.S+1
 		tilesH, tilesW := ceilDiv(out.H, tileH), ceilDiv(out.W, tileW)
-		parallelForW(workers, k*c, func(_, i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
+		phaseForW(phFFTPointwise, workers, k*c, func(_, i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
 				baseH, baseW := th*tileH, tw*tileW
-				parallelForW(workers, n*c, func(wk, i int) {
+				phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
 					nn, cc := i/c, i%c
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
@@ -447,7 +465,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return x.At(nn, cc, ih, iw)
 					}, scr)
 				})
-				parallelForW(workers, n*k, func(wk, i int) {
+				phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
 					nn, kk := i/k, i%k
 					scr := pl.scratchFor(scrBlock, wk)
 					pl.fwdInto(yspec[i*pf:(i+1)*pf], tileH, tileW, func(r, s int) float32 {
@@ -458,7 +476,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 						return y.At(nn, kk, oh, ow)
 					}, scr)
 				})
-				parallelForW(workers, k*c, func(_, i int) {
+				phaseForW(phFFTPointwise, workers, k*c, func(_, i int) {
 					kk, cc := i/c, i%c
 					acc := wspec[i*pf : (i+1)*pf]
 					for nn := 0; nn < n; nn++ {
@@ -467,7 +485,7 @@ func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.Filter
 				})
 			}
 		}
-		parallelForW(workers, k*c, func(wk, i int) {
+		phaseForW(phFFTInverse, workers, k*c, func(wk, i int) {
 			kk, cc := i/c, i%c
 			scr := pl.scratchFor(scrBlock, wk)
 			pl.invFrom(wspec[i*pf:(i+1)*pf], scr)

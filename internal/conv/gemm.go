@@ -3,6 +3,7 @@ package conv
 import (
 	"ucudnn/internal/blas"
 	"ucudnn/internal/flight"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 )
 
@@ -155,10 +156,13 @@ func (g gemmCtx) partFor(wk int) []float32 {
 //ucudnn:hotpath
 func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
+	t := prof.Enter()
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
+	t = prof.Next(phGemmIm2col, t)
 	blas.SgemmWorkers(sgemmWorkers, false, false, g.k, g.pixels, g.crs,
 		g.alpha, g.w.Data, g.crs, col, g.pixels, g.beta,
 		g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels)
+	prof.Exit(phGemmSgemm, t)
 }
 
 // backwardDataSample computes dX[n] from dY[n] in worker wk's strip.
@@ -166,9 +170,11 @@ func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
 //ucudnn:hotpath
 func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
+	t := prof.Enter()
 	blas.SgemmWorkers(sgemmWorkers, true, false, g.crs, g.pixels, g.k,
 		1, g.w.Data, g.crs, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, 0,
 		col, g.pixels)
+	t = prof.Next(phGemmSgemm, t)
 	dx := g.x.Data[n*g.inPlane : (n+1)*g.inPlane]
 	if g.beta == 0 {
 		for i := range dx {
@@ -180,6 +186,7 @@ func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 		}
 	}
 	col2im(g.cs, col, dx, g.alpha)
+	prof.Exit(phGemmIm2col, t)
 }
 
 // filterPartial computes strip wk's raw per-sample filter-gradient
@@ -188,10 +195,13 @@ func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 //ucudnn:hotpath
 func (g gemmCtx) filterPartial(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
+	t := prof.Enter()
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
+	t = prof.Next(phGemmIm2col, t)
 	blas.SgemmWorkers(sgemmWorkers, false, true, g.k, g.crs, g.pixels,
 		1, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, col, g.pixels, 0,
 		g.partFor(wk), g.crs)
+	prof.Exit(phGemmSgemm, t)
 }
 
 // runGemm executes the explicit im2col + SGEMM algorithm, striping the
@@ -253,7 +263,9 @@ func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTenso
 		if workers <= 1 {
 			for n := 0; n < in.N; n++ {
 				g.filterPartial(0, n, 0)
+				t := prof.Enter()
 				blas.Saxpy(alpha, g.partFor(0), w.Data)
+				prof.Exit(phGemmReduce, t)
 			}
 			return
 		}
@@ -262,9 +274,11 @@ func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTenso
 			cnt := imin(workers, in.N-n0)
 			base := n0
 			parallelForW(cnt, cnt, func(wk, i int) { gc.filterPartial(wk, base+i, 1) })
+			t := prof.Enter()
 			for i := 0; i < cnt; i++ {
 				blas.Saxpy(alpha, gc.partFor(i), w.Data)
 			}
+			prof.Exit(phGemmReduce, t)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package conv
+
+import "ucudnn/internal/prof"
+
+// Profiler phases of the conv algorithms. Each kernel run tiles its
+// measured time into these windows, so the cost-attribution report can
+// answer "is GEMM time im2col-pack or SGEMM?" per layer. Names are
+// compile-time ucudnn_ph_* constants (enforced by the phasename
+// analyzer, like flight's ucudnn_ev_* events).
+const (
+	// GEMM algorithm: im2col/col2im patch packing (including the
+	// zero/scale passes fused into it), the SGEMM itself, and the
+	// deterministic partial-dW reduction of BackwardFilter.
+	PhGemmIm2col prof.Phase = "ucudnn_ph_gemm_im2col"
+	PhGemmSgemm  prof.Phase = "ucudnn_ph_gemm_sgemm"
+	PhGemmReduce prof.Phase = "ucudnn_ph_gemm_reduce"
+
+	// Winograd algorithm: input/filter tile transforms in, the
+	// element-wise spectral multiply (a batched GEMM), and the inverse
+	// output transform.
+	PhWinogradTransformIn  prof.Phase = "ucudnn_ph_winograd_transform_in"
+	PhWinogradElementwise  prof.Phase = "ucudnn_ph_winograd_elementwise"
+	PhWinogradTransformOut prof.Phase = "ucudnn_ph_winograd_transform_out"
+
+	// FFT algorithm: forward transforms, the pointwise spectral
+	// multiply-accumulate, and the inverse transforms (including the
+	// final blend into the output tensor).
+	PhFFTForward   prof.Phase = "ucudnn_ph_fft_forward"
+	PhFFTPointwise prof.Phase = "ucudnn_ph_fft_pointwise"
+	PhFFTInverse   prof.Phase = "ucudnn_ph_fft_inverse"
+
+	// Direct and implicit-GEMM algorithms: one main loop each, plus the
+	// implicit-precomp variant's index-table build.
+	PhDirectMain      prof.Phase = "ucudnn_ph_direct_main"
+	PhImplicitMain    prof.Phase = "ucudnn_ph_implicit_main"
+	PhImplicitPrecomp prof.Phase = "ucudnn_ph_implicit_precomp"
+)
+
+var (
+	phGemmIm2col = prof.Register(PhGemmIm2col)
+	phGemmSgemm  = prof.Register(PhGemmSgemm)
+	phGemmReduce = prof.Register(PhGemmReduce)
+
+	phWinogradTransformIn  = prof.Register(PhWinogradTransformIn)
+	phWinogradElementwise  = prof.Register(PhWinogradElementwise)
+	phWinogradTransformOut = prof.Register(PhWinogradTransformOut)
+
+	phFFTForward   = prof.Register(PhFFTForward)
+	phFFTPointwise = prof.Register(PhFFTPointwise)
+	phFFTInverse   = prof.Register(PhFFTInverse)
+
+	phDirectMain      = prof.Register(PhDirectMain)
+	phImplicitMain    = prof.Register(PhImplicitMain)
+	phImplicitPrecomp = prof.Register(PhImplicitPrecomp)
+)

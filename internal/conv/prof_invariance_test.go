@@ -1,0 +1,69 @@
+package conv
+
+// The profiler's engine contract: enabling phase profiling changes no
+// arithmetic. Every hook either reads a clock or bumps an atomic — it
+// never reorders the striped loops — so outputs are bit-identical with
+// profiling on and off, serial and striped.
+
+import (
+	"math"
+	"testing"
+
+	"ucudnn/internal/prof"
+)
+
+func TestProfilingBitwiseInvariance(t *testing.T) {
+	prof.Reset()
+	t.Cleanup(func() {
+		prof.Disable()
+		prof.Reset()
+	})
+	for _, p := range []int{1, 4} {
+		withWorkers(p, func() {
+			for _, op := range Ops {
+				for _, algo := range AlgosFor(op) {
+					for si, cs := range testShapes {
+						if !Supported(op, algo, cs) {
+							continue
+						}
+						var ref []float32
+						for _, profiling := range []bool{false, true} {
+							if profiling {
+								prof.Enable()
+							} else {
+								prof.Disable()
+							}
+							x, w, y := randomProblem(cs, int64(si+77))
+							ws := wsFor(t, op, algo, cs)
+							if err := Run(op, algo, cs, x, w, y, 0.75, 0.25, ws); err != nil {
+								t.Fatalf("P=%d %v/%v shape %d (profiling=%v): %v", p, op, algo, si, profiling, err)
+							}
+							got := resultOf(op, x, w, y)
+							if ref == nil {
+								ref = append([]float32(nil), got...)
+								continue
+							}
+							for i := range got {
+								if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+									t.Fatalf("P=%d %v/%v shape %d: profiling changes elem %d (%x vs %x)",
+										p, op, algo, si, i, math.Float32bits(got[i]), math.Float32bits(ref[i]))
+								}
+							}
+						}
+						prof.Disable()
+					}
+				}
+			}
+		})
+	}
+	// The profiled runs above must actually have recorded phase windows —
+	// otherwise this test would pass vacuously with dead hooks.
+	rows := prof.Snapshot()
+	var attributed int64
+	for _, r := range rows {
+		attributed += r.AttributedNS
+	}
+	if attributed <= 0 {
+		t.Fatalf("profiled runs recorded no phase time: %+v", rows)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ucudnn/internal/blas"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/winograd"
 )
@@ -325,33 +326,41 @@ func winogradCorrelate(tr *winograd.Transform, cs tensor.ConvShape, x *tensor.Te
 
 	if workers <= 1 {
 		// Serial path: plain method calls, no closures, so g stays on the
-		// stack and steady-state execution allocates nothing.
+		// stack and steady-state execution allocates nothing. Each stage
+		// loop is one phase window (wall time; the inner SGEMM may still
+		// fan out — its launch is accounted as nested).
+		t := prof.Enter()
 		for i := 0; i < k*c; i++ { // filter transforms: U[e][kk*c+cc]
 			g.filterTile(0, i)
 		}
+		prof.Exit(phWinogradTransformIn, t)
 		for p0 := 0; p0 < total; p0 += bp {
 			cnt := imin(bp, total-p0)
+			t = prof.Enter()
 			for i := 0; i < c*cnt; i++ { // input tiles: V[e][cc*bp + (p-p0)]
 				g.inputTile(0, i, p0, cnt)
 			}
+			t = prof.Next(phWinogradTransformIn, t)
 			for e := 0; e < alpha2; e++ { // M[e] = U[e] * V[e]
 				g.spectralGemm(e, cnt, 0)
 			}
+			t = prof.Next(phWinogradElementwise, t)
 			for i := 0; i < k*cnt; i++ { // inverse transforms and scatter
 				g.outputTile(0, i, p0, cnt)
 			}
+			prof.Exit(phWinogradTransformOut, t)
 		}
 		return
 	}
 	// Copy g so only the copy is captured (and heap-allocated) by the
 	// escaping closures; the serial path above keeps g off the heap.
 	gc := g
-	parallelForW(workers, k*c, func(wk, i int) { gc.filterTile(wk, i) })
+	phaseForW(phWinogradTransformIn, workers, k*c, func(wk, i int) { gc.filterTile(wk, i) })
 	for p0 := 0; p0 < total; p0 += bp {
 		cnt := imin(bp, total-p0)
-		parallelForW(workers, c*cnt, func(wk, i int) { gc.inputTile(wk, i, p0, cnt) })
-		parallelForW(workers, alpha2, func(_, e int) { gc.spectralGemm(e, cnt, 1) })
-		parallelForW(workers, k*cnt, func(wk, i int) { gc.outputTile(wk, i, p0, cnt) })
+		phaseForW(phWinogradTransformIn, workers, c*cnt, func(wk, i int) { gc.inputTile(wk, i, p0, cnt) })
+		phaseForW(phWinogradElementwise, workers, alpha2, func(_, e int) { gc.spectralGemm(e, cnt, 1) })
+		phaseForW(phWinogradTransformOut, workers, k*cnt, func(wk, i int) { gc.outputTile(wk, i, p0, cnt) })
 	}
 }
 
@@ -491,23 +500,27 @@ func winogradBackwardFilter(tr *winograd.Transform, cs tensor.ConvShape, x *tens
 	if workers <= 1 {
 		// Serial path: plain method calls keep g on the stack (see
 		// winogradCorrelate).
+		t := prof.Enter()
 		for i := 0; i < c*total; i++ { // input tiles: V[e][cc*total + p]
 			g.inputTileTotal(0, i, total)
 		}
 		for i := 0; i < k*total; i++ { // adjoint dY tiles: Wb[e][kk*total + p]
 			g.outputAdjointTile(0, i, total)
 		}
+		t = prof.Next(phWinogradTransformIn, t)
 		for e := 0; e < alpha2; e++ { // dU[e] = Wb[e] * V[e]ᵀ
 			g.spectralAdjointGemm(e, total, 0)
 		}
+		t = prof.Next(phWinogradElementwise, t)
 		for i := 0; i < k*c; i++ { // back to filter space
 			g.filterAdjointTile(0, i)
 		}
+		prof.Exit(phWinogradTransformOut, t)
 		return
 	}
 	gc := g
-	parallelForW(workers, c*total, func(wk, i int) { gc.inputTileTotal(wk, i, total) })
-	parallelForW(workers, k*total, func(wk, i int) { gc.outputAdjointTile(wk, i, total) })
-	parallelForW(workers, alpha2, func(_, e int) { gc.spectralAdjointGemm(e, total, 1) })
-	parallelForW(workers, k*c, func(wk, i int) { gc.filterAdjointTile(wk, i) })
+	phaseForW(phWinogradTransformIn, workers, c*total, func(wk, i int) { gc.inputTileTotal(wk, i, total) })
+	phaseForW(phWinogradTransformIn, workers, k*total, func(wk, i int) { gc.outputAdjointTile(wk, i, total) })
+	phaseForW(phWinogradElementwise, workers, alpha2, func(_, e int) { gc.spectralAdjointGemm(e, total, 1) })
+	phaseForW(phWinogradTransformOut, workers, k*c, func(wk, i int) { gc.filterAdjointTile(wk, i) })
 }

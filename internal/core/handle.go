@@ -12,6 +12,7 @@ import (
 	"ucudnn/internal/faults"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 )
@@ -452,6 +453,11 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 	ep, err := h.ensurePlan(k)
 	h.execMu.Lock()
 	defer h.execMu.Unlock()
+	pstart := int64(0)
+	if prof.Enabled() {
+		pstart = prof.Begin(k.String())
+	}
+	defer prof.End(pstart)
 	var divisions, planWS int64
 	if err == nil {
 		divisions = int64(len(ep.plan.Config))
@@ -524,6 +530,7 @@ func (h *Handle) runConfig(cfg Config, wsBytes int64, op conv.Op, cs tensor.Conv
 	}
 	ws := h.wsArena[:n]
 	h.mu.Unlock()
+	prof.GrantWS(int64(len(ws)) * 4)
 	off := 0
 	for i, mc := range cfg {
 		h.m.algoSelected(op, mc.Algo)

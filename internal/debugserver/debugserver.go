@@ -10,6 +10,7 @@
 //	metrics    Prometheus text exposition (?format=summary for the table)
 //	events     last-N flight events as JSON (?n=, default 256)
 //	plan       per-kernel algo/division/workspace table (?format=json)
+//	profile    per-phase cost-attribution report (JSON; ?format=table)
 //	workspace  arena-occupancy timeline from flight events (JSON)
 //	buildinfo  module, Go version and VCS stamp (JSON)
 package debugserver
@@ -44,6 +45,7 @@ func Handler(reg *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /debug/ucudnn/events", serveEvents)
 	mux.HandleFunc("GET /debug/ucudnn/plan", servePlan)
+	mux.HandleFunc("GET /debug/ucudnn/profile", serveProfile)
 	mux.HandleFunc("GET /debug/ucudnn/workspace", serveWorkspace)
 	mux.HandleFunc("GET /debug/ucudnn/buildinfo", serveBuildInfo)
 	return mux
@@ -56,6 +58,7 @@ func serveIndex(w http.ResponseWriter, _ *http.Request) {
 		"metrics    Prometheus text exposition (?format=summary)",
 		"events     last-N flight events as JSON (?n=256)",
 		"plan       per-kernel algo/division/workspace table (?format=json)",
+		"profile    per-phase cost-attribution report (JSON, ?format=table)",
 		"workspace  arena-occupancy timeline (JSON)",
 		"buildinfo  module, Go version, VCS stamp (JSON)",
 	} {
@@ -157,6 +160,24 @@ func servePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		tw.Flush()
 	}
+}
+
+// serveProfile returns the live cost-attribution report: the
+// profiler's per-phase rows joined with the plan table
+// (core.BuildProfileReport). JSON by default; ?format=table renders
+// the human-readable attribution table. Note the report only carries
+// data while profiling is enabled (prof.Enable, wired to the CLIs'
+// -profile flag).
+func serveProfile(w http.ResponseWriter, r *http.Request) {
+	rep := core.BuildProfileReport()
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := rep.WriteTable(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // workspacePoint is one arena-occupancy sample on the timeline.

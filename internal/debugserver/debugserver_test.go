@@ -15,6 +15,7 @@ import (
 	"ucudnn/internal/device"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 )
 
@@ -213,10 +214,59 @@ func TestAllEndpoints(t *testing.T) {
 
 	t.Run("index", func(t *testing.T) {
 		code, body := get(t, base+"/")
-		if code != http.StatusOK || !strings.Contains(body, "/debug/ucudnn/plan") {
+		if code != http.StatusOK || !strings.Contains(body, "/debug/ucudnn/plan") ||
+			!strings.Contains(body, "/debug/ucudnn/profile") {
 			t.Fatalf("index (status %d):\n%s", code, body)
 		}
 	})
+}
+
+// TestProfileEndpoint drives a kernel with profiling enabled and reads
+// the live attribution report both ways.
+func TestProfileEndpoint(t *testing.T) {
+	prof.Reset()
+	prof.Enable()
+	defer func() {
+		prof.Disable()
+		prof.SetLayer("")
+		prof.Reset()
+	}()
+	prof.SetLayer("conv_live")
+	driveKernel(t)
+	prof.SetLayer("")
+
+	srv, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr() + "/debug/ucudnn"
+
+	code, body := get(t, base+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := core.ValidateProfile([]byte(body)); err != nil {
+		t.Fatalf("live profile fails validation: %v\n%s", err, body)
+	}
+	var rep core.ProfileReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range rep.Kernels {
+		if k.Layer == "conv_live" && k.AttributedNS > 0 && k.Coverage > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no attributed conv_live row:\n%s", body)
+	}
+
+	code, body = get(t, base+"/profile?format=table")
+	if code != http.StatusOK || !strings.Contains(body, "conv_live") || !strings.Contains(body, "top phases:") {
+		t.Fatalf("table (status %d):\n%s", code, body)
+	}
 }
 
 func TestMetricsWithoutRegistry(t *testing.T) {

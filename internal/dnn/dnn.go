@@ -21,6 +21,7 @@ import (
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
 	"ucudnn/internal/faults"
+	"ucudnn/internal/prof"
 	"ucudnn/internal/tensor"
 	"ucudnn/internal/trace"
 )
@@ -345,7 +346,8 @@ func (n *Net) Forward() error {
 func (n *Net) forwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name()
-	defer func() { n.ctx.label = "" }()
+	prof.SetLayer(li.layer.Name())
+	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
 	defer n.layerSpan(li.layer.Name(), "forward")()
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	for j, b := range li.bottoms {
@@ -400,7 +402,8 @@ func (n *Net) Backward() error {
 func (n *Net) backwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name() + "/bwd"
-	defer func() { n.ctx.label = "" }()
+	prof.SetLayer(n.ctx.label)
+	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
 	defer n.layerSpan(li.layer.Name(), "backward")()
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	dbot := make([]*tensor.Tensor, len(li.bottoms))

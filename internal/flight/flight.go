@@ -296,21 +296,46 @@ func Events(max int) []Event { return Active().Snapshot(max) }
 // dumpEvents is how many trailing events a Dump renders.
 const dumpEvents = 128
 
+var (
+	secMu    sync.Mutex
+	sections []func(io.Writer)
+)
+
+// RegisterDumpSection appends a section writer that Dump invokes after
+// the event listing, so other subsystems (the profiler's top-phase
+// summary, say) can ride along in the SIGQUIT dump without flight
+// importing them. Meant to be called from package init functions.
+func RegisterDumpSection(f func(io.Writer)) {
+	if f == nil {
+		return
+	}
+	secMu.Lock()
+	sections = append(sections, f)
+	secMu.Unlock()
+}
+
 // Dump writes a human-readable snapshot of the active recorder to w:
 // total counts and the last few events, timestamped with wall-clock
-// time of day.
+// time of day, followed by any registered dump sections.
 func Dump(w io.Writer) {
 	r := Active()
 	if r == nil {
 		fmt.Fprintln(w, "flight: recorder disabled")
-		return
+	} else {
+		evs := r.Snapshot(dumpEvents)
+		fmt.Fprintf(w, "flight: %d events recorded (ring capacity %d), last %d:\n",
+			r.Total(), r.Capacity(), len(evs))
+		for _, e := range evs {
+			fmt.Fprintf(w, "  [%d] %s %s\n",
+				e.Seq, time.Unix(0, e.TimeNS).Format("15:04:05.000000"), e.String())
+		}
 	}
-	evs := r.Snapshot(dumpEvents)
-	fmt.Fprintf(w, "flight: %d events recorded (ring capacity %d), last %d:\n",
-		r.Total(), r.Capacity(), len(evs))
-	for _, e := range evs {
-		fmt.Fprintf(w, "  [%d] %s %s\n",
-			e.Seq, time.Unix(0, e.TimeNS).Format("15:04:05.000000"), e.String())
+	secMu.Lock()
+	secs := make([]func(io.Writer), len(sections))
+	copy(secs, sections)
+	secMu.Unlock()
+	for _, f := range secs {
+		f(w)
 	}
 }
 

@@ -1,0 +1,341 @@
+package prof
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ucudnn/internal/obs"
+)
+
+// Test phases; registered once — the registry is process-global.
+var (
+	phA = Register("ucudnn_ph_test_alpha")
+	phB = Register("ucudnn_ph_test_beta")
+)
+
+// resetAll restores the profiler's global state between tests.
+func resetAll(t *testing.T) {
+	t.Helper()
+	Disable()
+	SetMetrics(nil)
+	SetLayer("")
+	Reset()
+	t.Cleanup(func() {
+		Disable()
+		SetMetrics(nil)
+		SetLayer("")
+		Reset()
+	})
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name Phase, why string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic (%s)", name, why)
+			}
+		}()
+		Register(name)
+	}
+	mustPanic("gemm_sgemm", "missing prefix")
+	mustPanic("ucudnn_ph", "no suffix segments")
+	mustPanic("ucudnn_ph_Upper", "not snake_case")
+	mustPanic("ucudnn_ph_test_alpha", "duplicate")
+
+	found := 0
+	for _, p := range Phases() {
+		if p == "ucudnn_ph_test_alpha" || p == "ucudnn_ph_test_beta" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Phases() lists %d of the 2 test phases: %v", found, Phases())
+	}
+}
+
+func TestDisabledHooksAreInert(t *testing.T) {
+	resetAll(t)
+	if got := Begin("k"); got != 0 {
+		t.Fatalf("Begin while disabled = %d, want 0", got)
+	}
+	if got := Enter(); got != 0 {
+		t.Fatalf("Enter while disabled = %d, want 0", got)
+	}
+	if got := LaunchStart(); got != 0 {
+		t.Fatalf("LaunchStart while disabled = %d, want 0", got)
+	}
+	Exit(phA, 0)
+	WorkerEnd(0, 0)
+	LaunchEnd(4, 0)
+	End(0)
+	GrantWS(123)
+	if rows := Snapshot(); len(rows) != 0 {
+		t.Fatalf("disabled hooks recorded rows: %+v", rows)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	resetAll(t)
+	Enable()
+	SetLayer("conv1")
+	start := Begin("Forward[test]")
+	if start == 0 {
+		t.Fatal("Begin returned the disabled token while enabled")
+	}
+	GrantWS(1 << 20)
+	GrantWS(1 << 10) // lower grant must not move the high-watermark
+	pt := Enter()
+	spin()
+	pt = Next(phA, pt)
+	spin()
+	Exit(phB, pt)
+	End(start)
+
+	rows := Snapshot()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1: %+v", len(rows), rows)
+	}
+	r := rows[0]
+	if r.Layer != "conv1" || r.Kernel != "Forward[test]" {
+		t.Fatalf("row key = (%q, %q)", r.Layer, r.Kernel)
+	}
+	if r.Executions != 1 {
+		t.Fatalf("executions = %d, want 1", r.Executions)
+	}
+	if r.WSHighWaterBytes != 1<<20 {
+		t.Fatalf("ws high-watermark = %d, want %d", r.WSHighWaterBytes, 1<<20)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %+v, want both test phases", r.Phases)
+	}
+	var sum int64
+	for _, p := range r.Phases {
+		if p.NS <= 0 || p.Count != 1 {
+			t.Fatalf("phase %+v: want positive ns, count 1", p)
+		}
+		sum += p.NS
+	}
+	if sum != r.AttributedNS {
+		t.Fatalf("attributed %d != phase sum %d", r.AttributedNS, sum)
+	}
+	// Serial path: measured is the kernel wall, and the two phase windows
+	// tile a subset of it.
+	if r.MeasuredNS != r.TotalNS {
+		t.Fatalf("measured %d != total %d on a launch-free row", r.MeasuredNS, r.TotalNS)
+	}
+	if r.AttributedNS > r.TotalNS {
+		t.Fatalf("attributed %d exceeds kernel wall %d", r.AttributedNS, r.TotalNS)
+	}
+	if r.Coverage <= 0 || r.Coverage > 1 {
+		t.Fatalf("coverage = %v", r.Coverage)
+	}
+}
+
+func TestOrphanRow(t *testing.T) {
+	resetAll(t)
+	Enable()
+	// Phase window with no current kernel: lands on the unattributed row.
+	Exit(phA, Enter())
+	rows := Snapshot()
+	if len(rows) != 1 || rows[0].Kernel != "(unattributed)" {
+		t.Fatalf("rows = %+v, want a single unattributed row", rows)
+	}
+}
+
+func TestImbalanceAccounting(t *testing.T) {
+	resetAll(t)
+	Enable()
+	start := Begin("Kern")
+
+	// Synthetic skewed launch: deposit busy time directly into the worker
+	// slots (what WorkerEnd does), then close the launch. The values are
+	// small against the launch's real wall (the spin), so idle stays
+	// positive after the workers*wall - busy subtraction.
+	ls := LaunchStart()
+	workerBusy[0].Store(400)
+	workerBusy[1].Store(100)
+	workerBusy[2].Store(100)
+	workerBusy[3].Store(100)
+	spin()
+	LaunchEnd(4, ls)
+	End(start)
+
+	r := Snapshot()[0]
+	if r.Launches != 1 || r.NestedLaunches != 0 {
+		t.Fatalf("launches = %d/%d, want 1/0", r.Launches, r.NestedLaunches)
+	}
+	if r.BusyNS != 700 {
+		t.Fatalf("busy = %d, want 700", r.BusyNS)
+	}
+	want := 400.0 * 4 / 700.0 // max * workers / sum = 16/7
+	if math.Abs(r.MaxImbalance-want) > 1e-4 || math.Abs(r.MeanImbalance-want) > 1e-4 {
+		t.Fatalf("imbalance max=%v mean=%v, want %v", r.MaxImbalance, r.MeanImbalance, want)
+	}
+	if r.IdleNS <= 0 {
+		t.Fatalf("idle = %d, want positive (wall*workers > busy)", r.IdleNS)
+	}
+	if r.MeanBusyRatio <= 0 || r.MeanBusyRatio >= 1 {
+		t.Fatalf("mean busy ratio = %v", r.MeanBusyRatio)
+	}
+	// Measured folds launch busy time in place of the launch's wall.
+	if r.MeasuredNS < r.BusyNS {
+		t.Fatalf("measured %d < busy %d", r.MeasuredNS, r.BusyNS)
+	}
+}
+
+func TestBalancedLaunchImbalanceIsOne(t *testing.T) {
+	resetAll(t)
+	Enable()
+	start := Begin("Kern")
+	ls := LaunchStart()
+	for w := 0; w < 4; w++ {
+		workerBusy[w].Store(2500)
+	}
+	LaunchEnd(4, ls)
+	End(start)
+	r := Snapshot()[0]
+	if math.Abs(r.MaxImbalance-1.0) > 1e-4 {
+		t.Fatalf("balanced launch imbalance = %v, want 1.0", r.MaxImbalance)
+	}
+}
+
+func TestNestedLaunchKeepsBusyOutOfMeasured(t *testing.T) {
+	resetAll(t)
+	Enable()
+	start := Begin("Kern")
+	ls := LaunchStart()
+	workerBusy[0].Store(3000)
+	workerBusy[1].Store(1000)
+	LaunchEndNested(2, ls)
+	End(start)
+	r := Snapshot()[0]
+	if r.NestedLaunches != 1 || r.Launches != 0 {
+		t.Fatalf("launches = %d/%d, want 0 top-level / 1 nested", r.Launches, r.NestedLaunches)
+	}
+	if r.BusyNS != 0 || r.IdleNS != 0 {
+		t.Fatalf("nested launch leaked busy/idle: %d/%d", r.BusyNS, r.IdleNS)
+	}
+	if want := 3000.0 * 2 / 4000.0; math.Abs(r.MaxImbalance-want) > 1e-4 {
+		t.Fatalf("nested imbalance = %v, want %v", r.MaxImbalance, want)
+	}
+	// The nested region stays measured as wall time.
+	if r.MeasuredNS != r.TotalNS {
+		t.Fatalf("measured %d != total %d: nested busy must not replace wall", r.MeasuredNS, r.TotalNS)
+	}
+}
+
+// TestHotPathAllocs pins the hot-path contract: zero allocations per
+// hook, profiling disabled AND enabled.
+func TestHotPathAllocs(t *testing.T) {
+	resetAll(t)
+	for _, enabled := range []bool{false, true} {
+		if enabled {
+			Enable()
+			Begin("Kern")
+		}
+		name := map[bool]string{false: "disabled", true: "enabled"}[enabled]
+		hooks := map[string]func(){
+			"phase": func() {
+				t := Enter()
+				t = Next(phA, t)
+				Exit(phB, t)
+			},
+			"launch": func() {
+				ls := LaunchStart()
+				bs := WorkerStart()
+				WorkerEnd(0, bs)
+				LaunchEnd(2, ls)
+			},
+			"nested": func() {
+				ls := LaunchStart()
+				bs := WorkerStart()
+				WorkerEnd(1, bs)
+				LaunchEndNested(2, ls)
+			},
+			"grant": func() { GrantWS(4096) },
+		}
+		for hook, f := range hooks {
+			if n := testing.AllocsPerRun(100, f); n != 0 {
+				t.Errorf("%s/%s: %v allocs/op, want 0", name, hook, n)
+			}
+		}
+	}
+}
+
+func TestSetMetricsBridge(t *testing.T) {
+	resetAll(t)
+	reg := obs.NewRegistry()
+	Enable()
+	SetMetrics(reg)
+	Begin("Kern")
+	Exit(phA, Enter())
+	ls := LaunchStart()
+	workerBusy[0].Store(10)
+	LaunchEnd(1, ls)
+
+	var sb strings.Builder
+	if err := reg.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, MetricPhaseSeconds) {
+		t.Errorf("summary lacks %s:\n%s", MetricPhaseSeconds, out)
+	}
+	if !strings.Contains(out, MetricImbalance) {
+		t.Errorf("summary lacks %s:\n%s", MetricImbalance, out)
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	resetAll(t)
+	Enable()
+	Begin("Kern")
+	Exit(phA, Enter())
+	Exit(phB, Enter())
+	totals := PhaseTotals()
+	found := map[string]bool{}
+	for _, p := range totals {
+		found[p.Phase] = true
+		if p.NS <= 0 || p.Count != 1 {
+			t.Errorf("total %+v: want positive ns, count 1", p)
+		}
+	}
+	if !found["ucudnn_ph_test_alpha"] || !found["ucudnn_ph_test_beta"] {
+		t.Fatalf("totals missing test phases: %+v", totals)
+	}
+	for i := 1; i < len(totals); i++ {
+		if totals[i-1].NS < totals[i].NS {
+			t.Fatalf("totals not sorted heaviest-first: %+v", totals)
+		}
+	}
+}
+
+func TestDumpSection(t *testing.T) {
+	resetAll(t)
+	var sb strings.Builder
+	dumpSection(&sb)
+	if !strings.Contains(sb.String(), "profiling disabled") {
+		t.Fatalf("disabled dump = %q", sb.String())
+	}
+	Enable()
+	Begin("Kern")
+	Exit(phA, Enter())
+	sb.Reset()
+	dumpSection(&sb)
+	if !strings.Contains(sb.String(), "ucudnn_ph_test_alpha") {
+		t.Fatalf("dump lacks the recorded phase:\n%s", sb.String())
+	}
+}
+
+// spin burns a little CPU so phase windows are strictly positive.
+func spin() {
+	x := 1.0
+	for i := 0; i < 1000; i++ {
+		x *= 1.0000001
+	}
+	if x < 0 {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,104 @@
+package testkit
+
+// End-to-end profile attribution: a full micro-batched zoo run with the
+// profiler on must produce a schema-valid cost-attribution report in
+// which every convolution layer appears (forward and backward), phase
+// time never exceeds measured kernel time, aggregate coverage clears
+// the 95% bar, and every parallel launch carries an imbalance number.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ucudnn/internal/conv"
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/dnn"
+	"ucudnn/internal/prof"
+)
+
+// convLayerNames builds the network against a plain handle (no
+// arithmetic) and lists its convolution layer names.
+func convLayerNames(t *testing.T, network string, batch int) []string {
+	t.Helper()
+	inner := cudnn.NewHandle(device.P100, cudnn.ModelOnlyBackend)
+	ctx := dnn.NewContext(inner, inner, 1<<30)
+	net, _, err := build(ctx, network, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range net.ConvLayers() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+func TestProfileE2EAttribution(t *testing.T) {
+	const network, batch = "alexnet", 2
+	prevWorkers := conv.SetMaxWorkers(4)
+	defer conv.SetMaxWorkers(prevWorkers)
+	prof.Reset()
+	prof.Enable()
+	defer func() {
+		prof.Disable()
+		prof.SetLayer("")
+		prof.Reset()
+	}()
+
+	if _, err := Run(Micro, RunSpec{Network: network, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := core.BuildProfileReport()
+	byLayer := map[string]bool{}
+	var attributed, measured int64
+	for _, k := range rep.Kernels {
+		byLayer[k.Layer] = true
+		attributed += k.AttributedNS
+		measured += k.MeasuredNS
+		if k.AttributedNS > k.MeasuredNS {
+			t.Errorf("%s %s: attributed %d exceeds measured %d", k.Layer, k.Kernel, k.AttributedNS, k.MeasuredNS)
+		}
+		if k.Workers.Launches+k.Workers.NestedLaunches > 0 && k.Workers.MaxImbalance < 1 {
+			t.Errorf("%s %s: %d launches but max imbalance %v (must be >= 1 for any launch)",
+				k.Layer, k.Kernel, k.Workers.Launches+k.Workers.NestedLaunches, k.Workers.MaxImbalance)
+		}
+	}
+	for _, name := range convLayerNames(t, network, batch) {
+		if !byLayer[name] {
+			t.Errorf("conv layer %s has no forward attribution row", name)
+		}
+		if !byLayer[name+"/bwd"] {
+			t.Errorf("conv layer %s has no backward attribution row", name)
+		}
+	}
+	if measured <= 0 {
+		t.Fatal("report measured no kernel time")
+	}
+	if cov := float64(attributed) / float64(measured); cov < 0.95 {
+		t.Errorf("aggregate coverage = %.3f, want >= 0.95", cov)
+	}
+	// A striped run at P=4 must actually have recorded parallel launches
+	// somewhere — otherwise the imbalance check above is vacuous.
+	var launches int64
+	for _, k := range rep.Kernels {
+		launches += k.Workers.Launches + k.Workers.NestedLaunches
+	}
+	if launches == 0 {
+		t.Error("no parallel launches recorded at P=4")
+	}
+
+	// The document round-trips through its own validator.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateProfile(data); err != nil {
+		t.Fatalf("e2e profile fails validation: %v", err)
+	}
+}
