@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -176,7 +177,10 @@ func (l *Loader) dirFor(path string) (string, bool) {
 }
 
 // parseDir parses the non-test .go files of dir, sorted by name for
-// deterministic diagnostics.
+// deterministic diagnostics. Build constraints (file suffixes and
+// //go:build lines) are honored for the host GOOS/GOARCH, so per-arch
+// file pairs — an assembly-backed kernel and its portable fallback —
+// type-check as the compiler would build them here.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -187,6 +191,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -11,12 +11,49 @@ import (
 	"ucudnn/internal/prof"
 )
 
-// blocking parameters for the micro-kernel; sized so an (mc x kc) A-panel
-// and a (kc x nc) B-panel fit comfortably in L2.
+// Profiler phases of the SGEMM kernel itself: panel packing (the A and
+// B copies into the blocked layouts, alpha fused into the A-pack) and
+// the register-tiled micro-kernel walk. The phased entry points record
+// these so a profile can answer "is GEMM time data movement or FMAs?";
+// callers that already wrap the whole call in their own phase window use
+// the *Quiet variants to keep phase windows non-overlapping.
 const (
-	blockM = 64
-	blockN = 256
-	blockK = 128
+	PhSgemmPack   prof.Phase = "ucudnn_ph_sgemm_pack"
+	PhSgemmKernel prof.Phase = "ucudnn_ph_sgemm_kernel"
+)
+
+var (
+	phSgemmPack   = prof.Register(PhSgemmPack)
+	phSgemmKernel = prof.Register(PhSgemmKernel)
+)
+
+// Register blocking of the micro-kernel: each tile computes an mr x nr
+// block of C held in registers across the whole k extent of one cache
+// block, so C is loaded and stored once per k-block instead of once per
+// k step. Panels are zero-padded to full mr/nr width; the padded lanes
+// compute zeros that the masked store discards.
+//
+// The 4x8 tile is sized to the AVX kernel: four YMM accumulators, one
+// 8-wide B row load and four A broadcasts per k step. The pure-Go
+// fallback computes the same tile as four 2x4 quarters because the gc
+// register allocator has only 15 usable XMM registers — 16 scalar
+// accumulators spill to the stack and run slower than no tiling at all.
+// Both paths accumulate every C element in the exact same k order
+// (mul then add, no FMA contraction), so their results are
+// bitwise-identical.
+const (
+	mr = 4
+	nr = 8
+)
+
+// Cache blocking: the micro-kernel walks an (mc x kc) packed A block
+// against a (kc x nc) packed B panel, sized so the A block (~48 KiB)
+// stays L2-resident and the kc * nr B panel (6 KiB) stays in L1 while
+// the kernel streams over it.
+const (
+	mc = 64
+	kc = 192
+	nc = 160
 )
 
 // parallelThreshold is the minimum number of multiply-adds below which
@@ -32,7 +69,7 @@ const parallelThreshold = 1 << 16
 //
 //ucudnn:hotpath
 func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
-	SgemmWorkers(0, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	sgemmWorkers(true, 0, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 // SgemmWorkers is Sgemm with an explicit cap on the goroutines used:
@@ -45,12 +82,26 @@ func Sgemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int
 //
 //ucudnn:hotpath
 func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	sgemmWorkers(true, workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// SgemmWorkersQuiet is SgemmWorkers without the pack/kernel phase
+// windows, for callers whose own phase window already covers the call
+// (overlapping windows would double-count attributed time).
+//
+//ucudnn:hotpath
+func SgemmWorkersQuiet(workers int, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	sgemmWorkers(false, workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+//ucudnn:hotpath
+func sgemmWorkers(rec bool, workers int, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if m == 0 || n == 0 {
 		return
 	}
 	checkDims(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
-	scaleC(m, n, beta, c, ldc)
 	if k == 0 || alpha == 0 {
+		scaleC(m, n, beta, c, ldc)
 		return
 	}
 
@@ -64,7 +115,7 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 		workers = m
 	}
 	if workers <= 1 {
-		sgemmRows(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		sgemmRows(rec, transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		return
 	}
 	// This launch is "nested" to the profiler: it only happens under a
@@ -90,7 +141,111 @@ func SgemmWorkers(workers int, transA, transB bool, m, n, k int, alpha float32, 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			bs := prof.WorkerStart()
-			sgemmRows(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
+			sgemmRows(rec, transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+			prof.WorkerEnd(w, bs)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	prof.LaunchEndNested(launched, ls)
+}
+
+// PackAFloats returns the float32 length of the packed form of an
+// (m x k) A operand: rows padded up to a multiple of mr.
+func PackAFloats(m, k int) int {
+	return ((m + mr - 1) / mr) * mr * k
+}
+
+// PackA packs alpha * op(A) — (m x k) after op — into dst, which must
+// hold PackAFloats(m, k) elements, in the micro-kernel's blocked layout:
+// k-blocks of kc in order, each holding row panels of mr rows stored
+// [kb][mr], zero-padded in the row direction. A matrix packed once can
+// be multiplied against many B operands via SgemmPackedA — the weight
+// matrix of a convolution is packed once per Run and reused across every
+// sample and micro-batch.
+//
+//ucudnn:hotpath
+func PackA(dst []float32, transA bool, m, k int, alpha float32, a []float32, lda int) {
+	if m < 0 || k < 0 {
+		panic("blas: negative dimension")
+	}
+	if len(dst) < PackAFloats(m, k) {
+		panic("blas: PackA dst too short")
+	}
+	arows, acols := m, k
+	if transA {
+		arows, acols = k, m
+	}
+	if lda < max(1, acols) {
+		panic("blas: bad leading dimension")
+	}
+	if arows > 0 && acols > 0 && len(a) < (arows-1)*lda+acols {
+		panic("blas: A too short")
+	}
+	t := prof.Enter()
+	pm := ((m + mr - 1) / mr) * mr
+	for k0 := 0; k0 < k; k0 += kc {
+		kb := min(kc, k-k0)
+		packAPanels(dst[pm*k0:], transA, a, lda, 0, m, k0, kb, alpha)
+	}
+	prof.Exit(phSgemmPack, t)
+}
+
+// SgemmPackedA computes C = PA * op(B) + beta * C where PA is the packed
+// form of alpha * op(A) produced by PackA for the same (m, k). Worker
+// chunks are rounded to whole mr panels; every C element still sees the
+// exact k-order accumulation of the serial path, so results are
+// bit-identical to SgemmWorkers at every worker count.
+//
+//ucudnn:hotpath
+func SgemmPackedA(workers int, pa []float32, transB bool, m, n, k int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if len(pa) < PackAFloats(m, k) {
+		panic("blas: packed A too short")
+	}
+	checkDims(false, transB, 0, n, k, nil, max(1, k), b, ldb, c, ldc)
+	if len(c) < (m-1)*ldc+n {
+		panic("blas: C too short")
+	}
+	if k == 0 {
+		scaleC(m, n, beta, c, ldc)
+		return
+	}
+	panels := (m + mr - 1) / mr
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if int64(m)*int64(n)*int64(k) < parallelThreshold {
+			workers = 1
+		}
+	}
+	if workers > panels {
+		workers = panels
+	}
+	if workers <= 1 {
+		sgemmPackedRows(true, pa, 0, m, m, n, k, transB, b, ldb, beta, c, ldc)
+		return
+	}
+	ls := prof.LaunchStart()
+	var wg sync.WaitGroup
+	chunk := ((panels + workers - 1) / workers) * mr
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		launched++
+		wg.Add(1)
+		//ucudnn:allow hotpath -- the multi-worker path forks by design; callers on the zero-alloc path pass workers==1
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bs := prof.WorkerStart()
+			sgemmPackedRows(true, pa, lo, hi, m, n, k, transB, b, ldb, beta, c, ldc)
 			prof.WorkerEnd(w, bs)
 		}(w, lo, hi)
 	}
@@ -144,127 +299,263 @@ func scaleC(m, n int, beta float32, c []float32, ldc int) {
 	}
 }
 
-// sgemmRows computes rows [mLo, mHi) of C += alpha*op(A)*op(B) with cache
-// blocking. C has already been scaled by beta.
+// sgemmRows computes rows [mLo, mHi) of C = alpha*op(A)*op(B) + beta*C
+// with cache blocking: B panels are packed once per (j0, k0) block —
+// hoisted out of the row-block loop — and beta is fused into the
+// micro-kernel's store of the first k-block.
 //
 //ucudnn:hotpath
-func sgemmRows(transA, transB bool, mLo, mHi, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	var packA [blockM * blockK]float32
-	var packB [blockK * blockN]float32
-	for j0 := 0; j0 < n; j0 += blockN {
-		jb := min(blockN, n-j0)
-		for k0 := 0; k0 < k; k0 += blockK {
-			kb := min(blockK, k-k0)
-			packBPanel(&packB, transB, b, ldb, k0, kb, j0, jb)
-			for i0 := mLo; i0 < mHi; i0 += blockM {
-				ib := min(blockM, mHi-i0)
-				packAPanel(&packA, transA, a, lda, i0, ib, k0, kb, alpha)
-				microKernel(&packA, &packB, ib, jb, kb, c, ldc, i0, j0)
-			}
-		}
+func sgemmRows(rec bool, transA, transB bool, mLo, mHi, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	var packA [mc * kc]float32
+	var packB [kc * nc]float32
+	// One continuous Enter/Next chain: every phase window ends exactly
+	// where the next begins, so the whole walk is attributed with no
+	// internal gaps (loop bookkeeping lands in the adjacent phase).
+	var t int64
+	if rec {
+		t = prof.Enter()
 	}
-}
-
-// packBPanel copies op(B)[k0:k0+kb, j0:j0+jb] into pack, row-major kb x jb.
-//
-//ucudnn:hotpath
-func packBPanel(pack *[blockK * blockN]float32, transB bool, b []float32, ldb int, k0, kb, j0, jb int) {
-	if !transB {
-		for p := 0; p < kb; p++ {
-			copy(pack[p*jb:(p+1)*jb], b[(k0+p)*ldb+j0:(k0+p)*ldb+j0+jb])
-		}
-	} else {
-		for p := 0; p < kb; p++ {
-			for j := 0; j < jb; j++ {
-				pack[p*jb+j] = b[(j0+j)*ldb+(k0+p)]
+	for j0 := 0; j0 < n; j0 += nc {
+		jb := min(nc, n-j0)
+		for k0 := 0; k0 < k; k0 += kc {
+			kb := min(kc, k-k0)
+			packBPanels(packB[:], transB, b, ldb, k0, kb, j0, jb)
+			if rec {
+				t = prof.Next(phSgemmPack, t)
 			}
-		}
-	}
-}
-
-// packAPanel copies alpha*op(A)[i0:i0+ib, k0:k0+kb] into pack, row-major
-// ib x kb.
-//
-//ucudnn:hotpath
-func packAPanel(pack *[blockM * blockK]float32, transA bool, a []float32, lda int, i0, ib, k0, kb int, alpha float32) {
-	if !transA {
-		for i := 0; i < ib; i++ {
-			src := a[(i0+i)*lda+k0 : (i0+i)*lda+k0+kb]
-			dst := pack[i*kb : (i+1)*kb]
-			if alpha == 1 {
-				copy(dst, src)
-			} else {
-				for p := range src {
-					dst[p] = alpha * src[p]
+			first := k0 == 0
+			for i0 := mLo; i0 < mHi; i0 += mc {
+				ib := min(mc, mHi-i0)
+				packAPanels(packA[:], transA, a, lda, i0, ib, k0, kb, alpha)
+				if rec {
+					t = prof.Next(phSgemmPack, t)
+				}
+				kernelBlock(packA[:], packB[:], ib, jb, kb, first, beta, c, i0*ldc+j0, ldc)
+				if rec {
+					t = prof.Next(phSgemmKernel, t)
 				}
 			}
 		}
-	} else {
-		for i := 0; i < ib; i++ {
-			for p := 0; p < kb; p++ {
-				pack[i*kb+p] = alpha * a[(k0+p)*lda+(i0+i)]
+	}
+}
+
+// sgemmPackedRows is sgemmRows over a pre-packed A (PackA layout): the
+// A-pack is skipped entirely and panels are read at their global
+// offsets. mLo must be a multiple of mr.
+//
+//ucudnn:hotpath
+func sgemmPackedRows(rec bool, pa []float32, mLo, mHi, m, n, k int, transB bool, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	pm := ((m + mr - 1) / mr) * mr
+	var packB [kc * nc]float32
+	var t int64
+	if rec {
+		t = prof.Enter()
+	}
+	for j0 := 0; j0 < n; j0 += nc {
+		jb := min(nc, n-j0)
+		for k0 := 0; k0 < k; k0 += kc {
+			kb := min(kc, k-k0)
+			packBPanels(packB[:], transB, b, ldb, k0, kb, j0, jb)
+			if rec {
+				t = prof.Next(phSgemmPack, t)
+			}
+			first := k0 == 0
+			for i0 := mLo; i0 < mHi; i0 += mc {
+				ib := min(mc, mHi-i0)
+				kernelBlock(pa[pm*k0+(i0/mr)*(kb*mr):], packB[:], ib, jb, kb, first, beta, c, i0*ldc+j0, ldc)
+				if rec {
+					t = prof.Next(phSgemmKernel, t)
+				}
 			}
 		}
 	}
 }
 
-// microKernel accumulates packA (ib x kb) * packB (kb x jb) into
-// C[i0:i0+ib, j0:j0+jb]. The inner loop is over j so it vectorizes.
-//
-// Rows are processed in pairs so each loaded B element feeds two C rows,
-// halving B-panel bandwidth. Each C element still sees the exact k-pair
-// accumulation order of the single-row kernel, so results are unchanged
-// bit for bit.
+// packBPanels packs op(B)[k0:k0+kb, j0:j0+jb] into column panels of nr:
+// panel jp holds columns [jp*nr, jp*nr+nr) stored [kb][nr], zero-padded
+// past jb so the micro-kernel never branches on column width.
 //
 //ucudnn:hotpath
-func microKernel(packA *[blockM * blockK]float32, packB *[blockK * blockN]float32, ib, jb, kb int, c []float32, ldc, i0, j0 int) {
-	i := 0
-	for ; i+1 < ib; i += 2 {
-		crow0 := c[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+jb]
-		crow1 := c[(i0+i+1)*ldc+j0 : (i0+i+1)*ldc+j0+jb]
-		arow0 := packA[i*kb : (i+1)*kb]
-		arow1 := packA[(i+1)*kb : (i+2)*kb]
-		p := 0
-		for ; p+1 < kb; p += 2 {
-			a00, a01 := arow0[p], arow0[p+1]
-			a10, a11 := arow1[p], arow1[p+1]
-			b0 := packB[p*jb : (p+1)*jb]
-			b1 := packB[(p+1)*jb : (p+2)*jb]
-			crow1 := crow1[:len(b0)]
-			for j, c0 := range crow0 {
-				crow0[j] = c0 + a00*b0[j] + a01*b1[j]
-				crow1[j] += a10*b0[j] + a11*b1[j]
+func packBPanels(pack []float32, transB bool, b []float32, ldb int, k0, kb, j0, jb int) {
+	for jt := 0; jt < jb; jt += nr {
+		dst := pack[(jt/nr)*(kb*nr):]
+		jw := min(nr, jb-jt)
+		if !transB && jw == nr {
+			for p := 0; p < kb; p++ {
+				src := (*[nr]float32)(b[(k0+p)*ldb+j0+jt:])
+				d := (*[nr]float32)(dst[p*nr:])
+				d[0] = src[0]
+				d[1] = src[1]
+				d[2] = src[2]
+				d[3] = src[3]
+				d[4] = src[4]
+				d[5] = src[5]
+				d[6] = src[6]
+				d[7] = src[7]
 			}
-		}
-		if p < kb {
-			a00 := arow0[p]
-			a10 := arow1[p]
-			b0 := packB[p*jb : (p+1)*jb]
-			crow1 := crow1[:len(b0)]
-			for j, c0 := range crow0 {
-				crow0[j] = c0 + a00*b0[j]
-				crow1[j] += a10 * b0[j]
+		} else if !transB {
+			for p := 0; p < kb; p++ {
+				src := b[(k0+p)*ldb+j0+jt:]
+				d := dst[p*nr : p*nr+nr]
+				for j := 0; j < jw; j++ {
+					d[j] = src[j]
+				}
+				for j := jw; j < nr; j++ {
+					d[j] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kb; p++ {
+				d := dst[p*nr : p*nr+nr]
+				for j := 0; j < jw; j++ {
+					d[j] = b[(j0+jt+j)*ldb+(k0+p)]
+				}
+				for j := jw; j < nr; j++ {
+					d[j] = 0
+				}
 			}
 		}
 	}
-	if i < ib {
-		crow := c[(i0+i)*ldc+j0 : (i0+i)*ldc+j0+jb]
-		arow := packA[i*kb : (i+1)*kb]
-		p := 0
-		for ; p+1 < kb; p += 2 {
-			a0, a1 := arow[p], arow[p+1]
-			b0 := packB[p*jb : (p+1)*jb]
-			b1 := packB[(p+1)*jb : (p+2)*jb]
-			for j := range crow {
-				crow[j] += a0*b0[j] + a1*b1[j]
+}
+
+// packAPanels packs alpha * op(A)[i0:i0+ib, k0:k0+kb] into row panels of
+// mr: panel ip holds rows [ip*mr, ip*mr+mr) stored [kb][mr], zero-padded
+// past ib. The padded lanes make the micro-kernel's FMA body width-
+// independent; alpha is fused here so the kernel never multiplies by it.
+//
+//ucudnn:hotpath
+func packAPanels(pack []float32, transA bool, a []float32, lda int, i0, ib, k0, kb int, alpha float32) {
+	for it := 0; it < ib; it += mr {
+		dst := pack[(it/mr)*(kb*mr):]
+		iw := min(mr, ib-it)
+		if !transA {
+			for i := 0; i < iw; i++ {
+				src := a[(i0+it+i)*lda+k0:]
+				for p := 0; p < kb; p++ {
+					dst[p*mr+i] = alpha * src[p]
+				}
+			}
+			for i := iw; i < mr; i++ {
+				for p := 0; p < kb; p++ {
+					dst[p*mr+i] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kb; p++ {
+				row := a[(k0+p)*lda+i0+it:]
+				d := dst[p*mr : p*mr+mr]
+				for i := 0; i < iw; i++ {
+					d[i] = alpha * row[i]
+				}
+				for i := iw; i < mr; i++ {
+					d[i] = 0
+				}
 			}
 		}
-		if p < kb {
-			a0 := arow[p]
-			b0 := packB[p*jb : (p+1)*jb]
-			for j := range crow {
-				crow[j] += a0 * b0[j]
+	}
+}
+
+// kernelBlock walks the mr x nr register-tile grid of one (ib x jb) C
+// block, multiplying packed A panels (base pa, panel stride kb*mr)
+// against packed B panels. Each tile is accumulated from zero over the
+// whole kb extent (AVX kernel when available, generic quarters
+// otherwise — bitwise-identical), then stored once, fusing beta on the
+// first k-block and masking the zero-padded edge lanes. Each C element's
+// accumulation is a single strict k-order chain, so results do not
+// depend on how rows are chunked across workers.
+//
+//ucudnn:hotpath
+func kernelBlock(pa, pb []float32, ib, jb, kb int, first bool, beta float32, c []float32, off, ldc int) {
+	var acc [mr * nr]float32
+	for jt := 0; jt < jb; jt += nr {
+		bp := pb[(jt/nr)*(kb*nr):]
+		jw := min(nr, jb-jt)
+		for it := 0; it < ib; it += mr {
+			ap := pa[(it/mr)*(kb*mr):]
+			if useAVX {
+				sgemmTileAVX(&ap[0], &bp[0], kb, &acc)
+			} else {
+				sgemmTileGeneric(ap, bp, kb, &acc)
 			}
+			co := off + it*ldc + jt
+			if ib-it >= mr && jw == nr {
+				if !first || beta == 1 {
+					for i := 0; i < mr; i++ {
+						row := (*[nr]float32)(c[co+i*ldc:])
+						av := (*[nr]float32)(acc[i*nr:])
+						for j := 0; j < nr; j++ {
+							row[j] += av[j]
+						}
+					}
+				} else if beta == 0 {
+					for i := 0; i < mr; i++ {
+						row := (*[nr]float32)(c[co+i*ldc:])
+						av := (*[nr]float32)(acc[i*nr:])
+						for j := 0; j < nr; j++ {
+							row[j] = av[j]
+						}
+					}
+				} else {
+					for i := 0; i < mr; i++ {
+						row := (*[nr]float32)(c[co+i*ldc:])
+						av := (*[nr]float32)(acc[i*nr:])
+						for j := 0; j < nr; j++ {
+							row[j] = beta*row[j] + av[j]
+						}
+					}
+				}
+				continue
+			}
+			iw := min(mr, ib-it)
+			for i := 0; i < iw; i++ {
+				row := c[co+i*ldc : co+i*ldc+jw]
+				for j := 0; j < jw; j++ {
+					v := acc[i*nr+j]
+					if !first || beta == 1 {
+						row[j] += v
+					} else if beta == 0 {
+						row[j] = v
+					} else {
+						row[j] = beta*row[j] + v
+					}
+				}
+			}
+		}
+	}
+}
+
+// sgemmTileGeneric is the pure-Go form of sgemmTileAVX: one mr x nr tile
+// accumulated from zero, computed as 2x4 quarters so the accumulators
+// stay in the gc register allocator's 15 usable XMM registers. Every C
+// element sees the same strict k-order mul-then-add chain as the AVX
+// kernel, so the two paths are bitwise-identical.
+//
+//ucudnn:hotpath
+func sgemmTileGeneric(ap, bp []float32, kb int, acc *[mr * nr]float32) {
+	for ro := 0; ro < mr; ro += 2 {
+		for co := 0; co < nr; co += 4 {
+			var c00, c01, c02, c03 float32
+			var c10, c11, c12, c13 float32
+			qa, qb := ro, co
+			for p := 0; p < kb; p++ {
+				av := (*[2]float32)(ap[qa:])
+				bv := (*[4]float32)(bp[qb:])
+				a0, a1 := av[0], av[1]
+				b0, b1 := bv[0], bv[1]
+				c00 += a0 * b0
+				c10 += a1 * b0
+				c01 += a0 * b1
+				c11 += a1 * b1
+				b2, b3 := bv[2], bv[3]
+				c02 += a0 * b2
+				c12 += a1 * b2
+				c03 += a0 * b3
+				c13 += a1 * b3
+				qa += mr
+				qb += nr
+			}
+			acc[ro*nr+co], acc[ro*nr+co+1], acc[ro*nr+co+2], acc[ro*nr+co+3] = c00, c01, c02, c03
+			acc[(ro+1)*nr+co], acc[(ro+1)*nr+co+1], acc[(ro+1)*nr+co+2], acc[(ro+1)*nr+co+3] = c10, c11, c12, c13
 		}
 	}
 }

@@ -92,14 +92,144 @@ func TestSgemmSmall(t *testing.T) {
 }
 
 func TestSgemmBlockBoundaries(t *testing.T) {
-	// Exercise sizes straddling the blocking parameters.
-	sizes := []int{blockM - 1, blockM, blockM + 1, blockK + 3, blockN + 5}
-	for _, m := range []int{blockM - 1, blockM + 1} {
-		for _, k := range []int{blockK - 1, blockK + 1} {
+	// Exercise sizes straddling the cache-blocking parameters.
+	for _, m := range []int{mc - 1, mc, mc + 1} {
+		for _, k := range []int{kc - 1, kc, kc + 1} {
 			checkGemmCase(t, false, false, m, 33, k, 1, 0)
 		}
 	}
-	checkGemmCase(t, false, false, 5, sizes[4], 5, 1, 0)
+	checkGemmCase(t, false, false, 5, nc+5, 5, 1, 0)
+	checkGemmCase(t, false, false, 5, nc-1, kc+3, 1, 0)
+}
+
+// TestSgemmRegisterTileBoundaries covers every remainder class of the
+// mr x nr register tiling (±1 around multiples of mr, nr, and kc) for
+// all transpose combinations and the three beta fast paths — the edge
+// lanes the micro-kernel masks out must not leak into C.
+func TestSgemmRegisterTileBoundaries(t *testing.T) {
+	dims := []int{mr - 1, mr, mr + 1, 2*mr + 1, nr - 1, nr, nr + 1, 3*nr - 1}
+	ks := []int{1, mr, kc - 1, kc, kc + 1}
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for _, beta := range []float32{0, 1, 0.75} {
+				for _, m := range dims {
+					checkGemmCase(t, ta, tb, m, 2*nr+1, 9, 1.5, beta)
+				}
+				for _, k := range ks {
+					checkGemmCase(t, ta, tb, mr+1, nr+2, k, 1, beta)
+				}
+			}
+		}
+	}
+}
+
+func packACopy(transA bool, m, k int, alpha float32, a []float32, lda int) []float32 {
+	pa := make([]float32, PackAFloats(m, k))
+	PackA(pa, transA, m, k, alpha, a, lda)
+	return pa
+}
+
+// TestSgemmPackedAMatchesSgemm: the pack-once path must be bit-identical
+// to the general entry point (same kernels, same accumulation order) on
+// shapes covering panel remainders and both B orientations.
+func TestSgemmPackedAMatchesSgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		transA, transB bool
+		m, n, k        int
+		alpha, beta    float32
+	}{
+		{false, false, 32, 784, 144, 1.25, 0},
+		{true, false, 144, 784, 32, 1, 0.75},
+		{false, true, mr + 1, nr + 3, kc + 2, 0.5, 1},
+		{false, false, mc + mr - 1, 2*nr + 1, 7, 1, 0},
+		{true, true, 5, 3, 9, -1, 0.25},
+	} {
+		lda, ldb := tc.k, tc.n
+		if tc.transA {
+			lda = tc.m
+		}
+		if tc.transB {
+			ldb = tc.k
+		}
+		arows, brows := tc.m, tc.k
+		if tc.transA {
+			arows = tc.k
+		}
+		if tc.transB {
+			brows = tc.n
+		}
+		a := randSlice(rng, arows*lda)
+		b := randSlice(rng, brows*ldb)
+		c1 := randSlice(rng, tc.m*tc.n)
+		c2 := append([]float32(nil), c1...)
+		pa := packACopy(tc.transA, tc.m, tc.k, tc.alpha, a, lda)
+		for _, workers := range []int{1, 3} {
+			copy(c1, c2)
+			SgemmPackedA(workers, pa, tc.transB, tc.m, tc.n, tc.k, b, ldb, tc.beta, c1, tc.n)
+			want := append([]float32(nil), c2...)
+			Sgemm(tc.transA, tc.transB, tc.m, tc.n, tc.k, tc.alpha, a, lda, b, ldb, tc.beta, want, tc.n)
+			for i := range c1 {
+				if c1[i] != want[i] {
+					t.Fatalf("%+v workers=%d: packed path diverges at %d: %v vs %v", tc, workers, i, c1[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSgemmWorkerCountInvariance: identical bits at every worker count,
+// for both the general and the packed-A entry points.
+func TestSgemmWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, n, k := 61, 95, 131
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	c0 := randSlice(rng, m*n)
+	var ref []float32
+	pa := packACopy(false, m, k, 1.5, a, k)
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		c := append([]float32(nil), c0...)
+		SgemmWorkers(workers, false, false, m, n, k, 1.5, a, k, b, n, 0.75, c, n)
+		if ref == nil {
+			ref = c
+		} else {
+			for i := range c {
+				if c[i] != ref[i] {
+					t.Fatalf("workers=%d: elem %d differs: %v vs %v", workers, i, c[i], ref[i])
+				}
+			}
+		}
+		cp := append([]float32(nil), c0...)
+		SgemmPackedA(workers, pa, false, m, n, k, b, n, 0.75, cp, n)
+		for i := range cp {
+			if cp[i] != ref[i] {
+				t.Fatalf("packed workers=%d: elem %d differs: %v vs %v", workers, i, cp[i], ref[i])
+			}
+		}
+	}
+}
+
+// The packed serial paths are on the engine's zero-allocation steady
+// state: repacking and multiplying must not allocate.
+func TestSgemmZeroAllocSteadyState(t *testing.T) {
+	m, n, k := 32, 784, 144
+	rng := rand.New(rand.NewSource(3))
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	pa := make([]float32, PackAFloats(m, k))
+	if avg := testing.AllocsPerRun(10, func() {
+		PackA(pa, false, m, k, 1, a, k)
+		SgemmPackedA(1, pa, false, m, n, k, b, n, 0, c, n)
+	}); avg != 0 {
+		t.Fatalf("packed path allocates %v/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		SgemmWorkers(1, false, false, m, n, k, 1, a, k, b, n, 0, c, n)
+	}); avg != 0 {
+		t.Fatalf("serial Sgemm allocates %v/op, want 0", avg)
+	}
 }
 
 func TestSgemmParallelLarge(t *testing.T) {
@@ -222,16 +352,43 @@ func TestSaxpySdot(t *testing.T) {
 	}
 }
 
-func BenchmarkSgemm256(b *testing.B) {
-	n := 256
+func benchSgemm(b *testing.B, m, n, k int) {
 	rng := rand.New(rand.NewSource(7))
-	a := randSlice(rng, n*n)
-	bm := randSlice(rng, n*n)
-	c := make([]float32, n*n)
-	b.SetBytes(int64(2 * n * n * n * 4))
+	a := randSlice(rng, m*k)
+	bm := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	b.SetBytes(int64(2) * int64(m) * int64(n) * int64(k) * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Sgemm(false, false, n, n, n, 1, a, n, bm, n, 0, c, n)
+		Sgemm(false, false, m, n, k, 1, a, k, bm, n, 0, c, n)
+	}
+}
+
+func BenchmarkSgemm256(b *testing.B) { benchSgemm(b, 256, 256, 256) }
+
+// The shapes conv actually emits are nothing like square: the forward
+// im2col GEMM is skinny (m = K output channels, n = output pixels), and
+// the Winograd spectral GEMM is a small panel. Track both so benchdiff
+// catches regressions on the shapes that matter.
+func BenchmarkSgemmSkinny32x784x144(b *testing.B) { benchSgemm(b, 32, 784, 144) }
+
+func BenchmarkSgemmPanel64x196x16(b *testing.B) { benchSgemm(b, 64, 196, 16) }
+
+// BenchmarkSgemmPackedA measures the conv forward inner loop once the
+// weight matrix has been packed per Run: the A-pack cost disappears from
+// the per-sample path.
+func BenchmarkSgemmPackedA32x784x144(b *testing.B) {
+	m, n, k := 32, 784, 144
+	rng := rand.New(rand.NewSource(7))
+	a := randSlice(rng, m*k)
+	bm := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	pa := make([]float32, PackAFloats(m, k))
+	PackA(pa, false, m, k, 1, a, k)
+	b.SetBytes(int64(2) * int64(m) * int64(n) * int64(k) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SgemmPackedA(1, pa, false, m, n, k, bm, n, 0, c, n)
 	}
 }
 

@@ -1,0 +1,101 @@
+// AVX micro-kernel for the packed SGEMM tile walk. Lanes vectorize
+// across the nr C columns while every C element keeps the exact
+// mul-then-add k-order chain of the pure-Go tile (VMULPS + VADDPS, never
+// FMA — fusing would skip the intermediate rounding and change bits), so
+// the asm and generic paths produce bitwise-identical results.
+
+#include "textflag.h"
+
+// func sgemmTileAVX(pa, pb *float32, kb int, acc *[32]float32)
+//
+// Computes acc[i][j] = sum_p pa[p*4+i] * pb[p*8+j] for one 4x8 tile:
+// pa is one packed A row-panel ([kb][4], alpha fused), pb one packed B
+// column-panel ([kb][8]). Rows live in Y0-Y3 across the whole k extent;
+// the k loop is unrolled by two.
+TEXT ·sgemmTileAVX(SB), NOSPLIT, $0-32
+	MOVQ pa+0(FP), SI
+	MOVQ pb+8(FP), DI
+	MOVQ kb+16(FP), CX
+	MOVQ acc+24(FP), DX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	SUBQ $2, CX
+	JL   tail
+
+pair:
+	VMOVUPS      (DI), Y12
+	VMOVUPS      32(DI), Y13
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS 4(SI), Y15
+	VMULPS       Y12, Y14, Y14
+	VADDPS       Y14, Y0, Y0
+	VMULPS       Y12, Y15, Y15
+	VADDPS       Y15, Y1, Y1
+	VBROADCASTSS 8(SI), Y14
+	VBROADCASTSS 12(SI), Y15
+	VMULPS       Y12, Y14, Y14
+	VADDPS       Y14, Y2, Y2
+	VMULPS       Y12, Y15, Y15
+	VADDPS       Y15, Y3, Y3
+	VBROADCASTSS 16(SI), Y14
+	VBROADCASTSS 20(SI), Y15
+	VMULPS       Y13, Y14, Y14
+	VADDPS       Y14, Y0, Y0
+	VMULPS       Y13, Y15, Y15
+	VADDPS       Y15, Y1, Y1
+	VBROADCASTSS 24(SI), Y14
+	VBROADCASTSS 28(SI), Y15
+	VMULPS       Y13, Y14, Y14
+	VADDPS       Y14, Y2, Y2
+	VMULPS       Y13, Y15, Y15
+	VADDPS       Y15, Y3, Y3
+	ADDQ $32, SI
+	ADDQ $64, DI
+	SUBQ $2, CX
+	JGE  pair
+
+tail:
+	ADDQ $2, CX
+	JZ   done
+	VMOVUPS      (DI), Y12
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS 4(SI), Y15
+	VMULPS       Y12, Y14, Y14
+	VADDPS       Y14, Y0, Y0
+	VMULPS       Y12, Y15, Y15
+	VADDPS       Y15, Y1, Y1
+	VBROADCASTSS 8(SI), Y14
+	VBROADCASTSS 12(SI), Y15
+	VMULPS       Y12, Y14, Y14
+	VADDPS       Y14, Y2, Y2
+	VMULPS       Y12, Y15, Y15
+	VADDPS       Y15, Y3, Y3
+
+done:
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidLow(arg1, arg2 uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLow(SB), NOSPLIT, $0-24
+	MOVL arg1+0(FP), AX
+	MOVL arg2+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

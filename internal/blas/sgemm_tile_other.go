@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package blas
+
+const useAVX = false
+
+func sgemmTileAVX(pa, pb *float32, kb int, acc *[mr * nr]float32) {
+	panic("blas: sgemmTileAVX without amd64")
+}

@@ -209,9 +209,9 @@ func workspaceSize(op Op, algo Algo, cs tensor.ConvShape, minimal bool) (int64, 
 	case AlgoGemm:
 		return gemmWorkspace(op, cs, minimal), true
 	case AlgoFFT:
-		return fftWorkspace(op, cs), true
+		return fftWorkspace(op, cs, minimal), true
 	case AlgoFFTTiling:
-		return fftTilingWorkspace(op, cs), true
+		return fftTilingWorkspace(op, cs, minimal), true
 	case AlgoWinograd:
 		return winogradWorkspace(op, cs, true, minimal), true
 	case AlgoWinogradNonfused:

@@ -20,6 +20,9 @@ var testShapes = []tensor.ConvShape{
 	{In: tensor.Shape{N: 2, C: 3, H: 10, W: 10}, Filt: tensor.Filter{K: 3, C: 3, R: 3, S: 3}, Params: tensor.ConvParams{PadH: 2, PadW: 2, StrideH: 1, StrideW: 1, DilationH: 2, DilationW: 2}},
 	{In: tensor.Shape{N: 2, C: 2, H: 13, W: 9}, Filt: tensor.Filter{K: 3, C: 2, R: 4, S: 2}, Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1}},
 	{In: tensor.Shape{N: 4, C: 2, H: 7, W: 7}, Filt: tensor.Filter{K: 3, C: 2, R: 3, S: 3}, Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1}},
+	// Output extents >= winogradLargeTileMin: the non-fused Winograd path
+	// selects F(6x6,3x3) here, so the whole matrix exercises it.
+	{In: tensor.Shape{N: 2, C: 3, H: 16, W: 16}, Filt: tensor.Filter{K: 4, C: 3, R: 3, S: 3}, Params: tensor.ConvParams{PadH: 1, PadW: 1, StrideH: 1, StrideW: 1}},
 }
 
 func randomProblem(cs tensor.ConvShape, seed int64) (*tensor.Tensor, *tensor.FilterTensor, *tensor.Tensor) {

@@ -45,7 +45,7 @@ func ExampleWorkspace() {
 	gemmMin, _ := conv.MinWorkspace(conv.Forward, conv.AlgoGemm, cs)
 	fft, _ := conv.Workspace(conv.Forward, conv.AlgoFFT, cs)
 	fmt.Printf("GEMM %d MiB (floor %d MiB), FFT %d MiB\n", gemm>>20, gemmMin>>20, fft>>20)
-	// Output: GEMM 17 MiB (floor 4 MiB), FFT 280 MiB
+	// Output: GEMM 18 MiB (floor 5 MiB), FFT 280 MiB
 }
 
 // ExampleAlgosFor lists the algorithm sets per operation.

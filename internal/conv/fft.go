@@ -28,67 +28,55 @@ func newSpectralPlan(rows, cols int) spectralPlan {
 // planeFloats returns the number of float32 elements per stored plane.
 func (pl spectralPlan) planeFloats() int { return 2 * pl.p * pl.hw }
 
-// scratchBlock returns one full-plane complex work buffer per engine
-// worker, as a single backing allocation; scratchFor slices out worker
-// wk's plane. Allocating the block once per Run (instead of one plane
-// per task) keeps the FFT kernels' steady-state allocation count flat in
-// the tile and plane counts.
-func (pl spectralPlan) scratchBlock(workers int) []complex128 {
-	return make([]complex128, workers*pl.p*pl.q)
-}
+// tableFloats returns the float32 elements of the plan's precomputed
+// twiddle tables, carved from the workspace once per Run.
+func (pl spectralPlan) tableFloats() int { return fftpkg.PlanFloats(pl.p, pl.q) }
 
-//ucudnn:hotpath
-func (pl spectralPlan) scratchFor(block []complex128, wk int) []complex128 {
-	n := pl.p * pl.q
-	return block[wk*n : (wk+1)*n]
-}
+// scratchFloats returns the float32 elements of one worker's transform
+// scratch (a real p x q plane plus a complex column buffer).
+func (pl spectralPlan) scratchFloats() int { return fftpkg.ScratchFloats(pl.p, pl.q) }
 
-// fwdInto transforms a real rows x cols gather into dst's half-spectrum.
-// gather(r, c) is only called for r < rows, c < cols; the rest is zero.
+// embedPlane zero-fills the real p x q scratch plane re (row stride q)
+// and writes the source element data[base + ih*sh + iw*sw] into
+// re[r*q+c] for r < rows, c < cols, where (ih, iw) = (r-offH, c-offW);
+// source coordinates outside [0, limH) x [0, limW) are the zero padding
+// and are skipped. Negative strides express the rotated-filter reads of
+// BackwardData.
 //
 //ucudnn:hotpath
-func (pl spectralPlan) fwdInto(dst []float32, rows, cols int, gather func(r, c int) float32, scratch []complex128) {
-	for i := range scratch {
-		scratch[i] = 0
+func embedPlane(re []float32, q, rows, cols int, data []float32, base, sh, sw, offH, offW, limH, limW int) {
+	// Only the first rows*q elements are filled; FwdReal is told the rest
+	// of the plane is zero and never reads it.
+	for i := range re[:rows*q] {
+		re[i] = 0
 	}
 	for r := 0; r < rows; r++ {
-		base := r * pl.q
-		for c := 0; c < cols; c++ {
-			scratch[base+c] = complex(float64(gather(r, c)), 0)
+		ih := r - offH
+		if ih < 0 || ih >= limH {
+			continue
 		}
-	}
-	fftpkg.Forward2D(scratch, pl.p, pl.q)
-	for r := 0; r < pl.p; r++ {
-		for c := 0; c < pl.hw; c++ {
-			v := scratch[r*pl.q+c]
-			dst[2*(r*pl.hw+c)] = float32(real(v))
-			dst[2*(r*pl.hw+c)+1] = float32(imag(v))
+		dst := re[r*q : r*q+cols]
+		for c := range dst {
+			iw := c - offW
+			if iw < 0 || iw >= limW {
+				continue
+			}
+			dst[c] = data[base+ih*sh+iw*sw]
 		}
 	}
 }
 
-// invFrom reconstructs the full Hermitian spectrum from src and inverse-
-// transforms it; the real result is left in scratch (row stride pl.q).
+// blendRows blends the top-left rows x cols corner of the real scratch
+// plane re (row stride q) into the output at data[base + oh*sh + ow].
 //
 //ucudnn:hotpath
-func (pl spectralPlan) invFrom(src []float32, scratch []complex128) {
-	for r := 0; r < pl.p; r++ {
-		for c := 0; c < pl.hw; c++ {
-			scratch[r*pl.q+c] = complex(
-				float64(src[2*(r*pl.hw+c)]),
-				float64(src[2*(r*pl.hw+c)+1]))
+func blendRows(data []float32, base, sh int, re []float32, q, rows, cols int, alpha, beta float32) {
+	for oh := 0; oh < rows; oh++ {
+		src := re[oh*q : oh*q+cols]
+		for ow := range src {
+			blend(&data[base+oh*sh+ow], src[ow], alpha, beta)
 		}
 	}
-	// Second pass: the mirror source (mc < hw) is now filled for all rows.
-	for r := 0; r < pl.p; r++ {
-		for c := pl.hw; c < pl.q; c++ {
-			mr := (pl.p - r) % pl.p
-			mc := pl.q - c
-			v := scratch[mr*pl.q+mc]
-			scratch[r*pl.q+c] = complex(real(v), -imag(v))
-		}
-	}
-	fftpkg.Inverse2D(scratch, pl.p, pl.q)
 }
 
 // zeroPlane clears one stored plane.
@@ -153,181 +141,362 @@ func fftChunkPlanes(op Op, cs tensor.ConvShape) int {
 	return imin(k, fftFilterChunk) * c
 }
 
+// fftOverheadFloats is the non-plane part of the FFT workspace: the
+// twiddle tables plus one transform scratch arena per worker.
+func fftOverheadFloats(pl spectralPlan, workers int) int64 {
+	return int64(pl.tableFloats()) + int64(workers)*int64(pl.scratchFloats())
+}
+
 // fftWorkspace returns the full-plane FFT workspace: one chunk of filter
 // spectra plus spectra for every input and output plane — the
 // (chunk + N*C + N*K) structure that makes FFT the memory-hungry,
-// batch-proportional algorithm in the paper.
-func fftWorkspace(op Op, cs tensor.ConvShape) int64 {
+// batch-proportional algorithm in the paper — plus the twiddle tables
+// and per-worker transform scratch. With minimal set, scratch for a
+// single worker: the floor at which Run degrades to the serial walk.
+func fftWorkspace(op Op, cs tensor.ConvShape, minimal bool) int64 {
 	pl := fftPlanFor(op, cs)
 	n, c, k := int64(cs.In.N), int64(cs.In.C), int64(cs.Filt.K)
 	planes := int64(fftChunkPlanes(op, cs)) + n*c + n*k
-	return planes * int64(pl.planeFloats()) * 4
+	workers := 1
+	if !minimal {
+		workers = MaxWorkers()
+	}
+	return (planes*int64(pl.planeFloats()) + fftOverheadFloats(pl, workers)) * 4
 }
 
 // fftTilingWorkspace returns the tiled-FFT workspace: filter spectra at
 // the fixed tile size plus one tile's worth of input/output spectra,
-// reused across tiles.
-func fftTilingWorkspace(op Op, cs tensor.ConvShape) int64 {
+// reused across tiles, plus tables and per-worker scratch.
+func fftTilingWorkspace(op Op, cs tensor.ConvShape, minimal bool) int64 {
 	pl := newSpectralPlan(fftTile, fftTile)
 	n, c, k := int64(cs.In.N), int64(cs.In.C), int64(cs.Filt.K)
 	planes := k*c + n*c + n*k
-	return planes * int64(pl.planeFloats()) * 4
+	workers := 1
+	if !minimal {
+		workers = MaxWorkers()
+	}
+	return (planes*int64(pl.planeFloats()) + fftOverheadFloats(pl, workers)) * 4
+}
+
+// fftStage identifies one fan-out stage of the FFT kernels; fftCtx.stageTask
+// dispatches on it so the serial path runs as plain method calls with no
+// closures (the zero-allocation steady state), while the parallel path
+// wraps the same dispatch in one escaping closure per launch.
+type fftStage int
+
+const (
+	stFullFwdX         fftStage = iota // padded input planes -> xspec
+	stFullFwdW                         // filter chunk planes -> wspec
+	stFullFwdWRot                      // rotated filter chunk -> wspec (BackwardData)
+	stFullFwdDYPad                     // padded dY planes -> yspec (BackwardData)
+	stFullFwdDY                        // unpadded dY planes -> yspec (BackwardFilter)
+	stFullCombineFwd                   // accumulate+inverse+blend into y
+	stFullCombineBwd                   // accumulate+inverse+blend into dX
+	stFullCombineWgrad                 // accumulate+inverse+blend into dW
+
+	stTileFwdW        // filter planes at tile size -> wspec
+	stTileBwdW        // rotated filter planes -> wspec
+	stTileFwdX        // input tile planes -> xspec
+	stTileBwdDY       // padded dY tile planes -> yspec
+	stTileWgradDY     // output-tile dY planes -> yspec (BackwardFilter)
+	stTileZeroW       // clear the wspec accumulators
+	stTileWgradAcc    // accumulate one tile's contribution into wspec
+	stTileWgradFinish // inverse+blend wspec into dW
+	stTileCombineFwd  // accumulate+inverse+blend one tile into y
+	stTileCombineBwd  // accumulate+inverse+blend one tile into dX
+)
+
+// fftCtx carries the FFT kernel state: the spectral plan and its
+// workspace-carved twiddle tables, the three spectrum regions, and the
+// per-worker transform scratch. Stage parameters (filter-chunk base,
+// tile origin) are plain fields set between stages.
+type fftCtx struct {
+	x           *tensor.Tensor
+	w           *tensor.FilterTensor
+	y           *tensor.Tensor
+	alpha, beta float32
+
+	in           tensor.Shape
+	out          tensor.Shape
+	f            tensor.Filter
+	n, c, k      int
+	padH, padW   int // forward input padding
+	padBH, padBW int // BackwardData dY padding: R-1-padH, S-1-padW
+
+	pl                  spectralPlan
+	plan                fftpkg.Plan2D
+	pf                  int // floats per stored plane
+	wspec, xspec, yspec []float32
+	scr                 []float32
+	sf                  int // scratch floats per worker
+	workers             int
+
+	fb, fc       int // filter-chunk base and count (k0/kc or c0/ccnt)
+	baseH, baseW int // tile origin (FFT_TILING)
+	toH, toW     int // usable tile output extents (FFT_TILING)
+}
+
+// newFFTCtx carves ws into the spectrum regions, the twiddle tables, and
+// as many per-worker scratch arenas as the granted workspace holds (at
+// least one: Run has validated the MinWorkspace floor), so a smaller
+// grant degrades parallelism without changing any result bit.
+func newFFTCtx(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32, tiling bool) fftCtx {
+	p := cs.Params.Normalized()
+	in, out, f := cs.In, cs.OutShape(), cs.Filt
+	var pl spectralPlan
+	var wplanes int
+	if tiling {
+		pl = newSpectralPlan(fftTile, fftTile)
+		wplanes = f.K * in.C
+	} else {
+		pl = fftPlanFor(op, cs)
+		wplanes = fftChunkPlanes(op, cs)
+	}
+	g := fftCtx{
+		x: x, w: w, y: y, alpha: alpha, beta: beta,
+		in: in, out: out, f: f,
+		n: in.N, c: in.C, k: f.K,
+		padH: p.PadH, padW: p.PadW,
+		padBH: f.R - 1 - p.PadH, padBW: f.S - 1 - p.PadW,
+		pl: pl, pf: pl.planeFloats(),
+	}
+	planes := wplanes + g.n*g.c + g.n*g.k
+	g.wspec = ws[:wplanes*g.pf]
+	g.xspec = ws[wplanes*g.pf : (wplanes+g.n*g.c)*g.pf]
+	g.yspec = ws[(wplanes+g.n*g.c)*g.pf : planes*g.pf]
+	off := planes * g.pf
+	tf := pl.tableFloats()
+	g.plan = fftpkg.NewPlan2D(pl.p, pl.q, ws[off:off+tf])
+	off += tf
+	g.sf = pl.scratchFloats()
+	g.workers = imin(MaxWorkers(), (len(ws)-off)/g.sf)
+	if g.workers < 1 {
+		g.workers = 1
+	}
+	g.scr = ws[off : off+g.workers*g.sf]
+	return g
+}
+
+// scrFor returns worker wk's real plane and spectrum-row swap scratch.
+//
+//ucudnn:hotpath
+func (g *fftCtx) scrFor(wk int) (re, tmp []float32) {
+	s := g.scr[wk*g.sf : (wk+1)*g.sf]
+	pq := g.pl.p * g.pl.q
+	return s[:pq], s[pq:]
+}
+
+// fwdPlane embeds one real source plane into worker wk's scratch and
+// forward-transforms it into the stored half-spectrum dst. Only the
+// embedded rows are transformed: the plan treats the rest as exact
+// zeros, which makes small-filter planes (3 nonzero rows in a 32-row
+// tile) much cheaper than full transforms.
+//
+//ucudnn:hotpath
+func (g *fftCtx) fwdPlane(wk int, dst, data []float32, base, sh, sw, rows, cols, offH, offW, limH, limW int) {
+	re, tmp := g.scrFor(wk)
+	embedPlane(re, g.pl.q, rows, cols, data, base, sh, sw, offH, offW, limH, limW)
+	g.plan.FwdReal(dst, re, tmp, rows)
+}
+
+// invBlend inverse-transforms the accumulated half-spectrum acc
+// (destroyed) in worker wk's scratch and blends its top-left rows x cols
+// corner into data at base with row stride sh.
+//
+//ucudnn:hotpath
+func (g *fftCtx) invBlend(wk int, acc, data []float32, base, sh, rows, cols int) {
+	re, tmp := g.scrFor(wk)
+	g.plan.InvReal(re, acc, tmp)
+	blendRows(data, base, sh, re, g.pl.q, rows, cols, g.alpha, g.beta)
+}
+
+// stageTask executes task i of stage st in worker wk's scratch. The
+// combine stages time their own pointwise/inverse split; the transform
+// stages are timed chunk-level by forEach.
+//
+//ucudnn:hotpath
+func (g *fftCtx) stageTask(st fftStage, wk, i int) {
+	pf := g.pf
+	switch st {
+	case stFullFwdX:
+		nn, cc := i/g.c, i%g.c
+		g.fwdPlane(wk, g.xspec[i*pf:(i+1)*pf], g.x.Data, g.x.Index(nn, cc, 0, 0), g.in.W, 1,
+			g.in.H+2*g.padH, g.in.W+2*g.padW, g.padH, g.padW, g.in.H, g.in.W)
+	case stFullFwdW:
+		dk, cc := i/g.c, i%g.c
+		g.fwdPlane(wk, g.wspec[i*pf:(i+1)*pf], g.w.Data, g.w.Index(g.fb+dk, cc, 0, 0), g.f.S, 1,
+			g.f.R, g.f.S, 0, 0, g.f.R, g.f.S)
+	case stFullFwdWRot:
+		dc, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.wspec[i*pf:(i+1)*pf], g.w.Data, g.w.Index(kk, g.fb+dc, g.f.R-1, g.f.S-1), -g.f.S, -1,
+			g.f.R, g.f.S, 0, 0, g.f.R, g.f.S)
+	case stFullFwdDYPad:
+		nn, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.yspec[i*pf:(i+1)*pf], g.y.Data, g.y.Index(nn, kk, 0, 0), g.out.W, 1,
+			g.out.H+2*g.padBH, g.out.W+2*g.padBW, g.padBH, g.padBW, g.out.H, g.out.W)
+	case stFullFwdDY:
+		nn, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.yspec[i*pf:(i+1)*pf], g.y.Data, g.y.Index(nn, kk, 0, 0), g.out.W, 1,
+			g.out.H, g.out.W, 0, 0, g.out.H, g.out.W)
+	case stFullCombineFwd:
+		nn, dk := i/g.fc, i%g.fc
+		kk := g.fb + dk
+		acc := g.yspec[(nn*g.k+kk)*pf : (nn*g.k+kk+1)*pf]
+		t := prof.Enter()
+		zeroPlane(acc)
+		for cc := 0; cc < g.c; cc++ {
+			accumMulConj(acc, g.xspec[(nn*g.c+cc)*pf:(nn*g.c+cc+1)*pf], g.wspec[(dk*g.c+cc)*pf:(dk*g.c+cc+1)*pf])
+		}
+		t = prof.Next(phRFFTPointwise, t)
+		g.invBlend(wk, acc, g.y.Data, g.y.Index(nn, kk, 0, 0), g.out.W, g.out.H, g.out.W)
+		prof.Exit(phRFFTInverse, t)
+	case stFullCombineBwd:
+		nn, dc := i/g.fc, i%g.fc
+		cc := g.fb + dc
+		acc := g.xspec[(nn*g.c+cc)*pf : (nn*g.c+cc+1)*pf]
+		t := prof.Enter()
+		zeroPlane(acc)
+		for kk := 0; kk < g.k; kk++ {
+			accumMulConj(acc, g.yspec[(nn*g.k+kk)*pf:(nn*g.k+kk+1)*pf], g.wspec[(dc*g.k+kk)*pf:(dc*g.k+kk+1)*pf])
+		}
+		t = prof.Next(phRFFTPointwise, t)
+		g.invBlend(wk, acc, g.x.Data, g.x.Index(nn, cc, 0, 0), g.in.W, g.in.H, g.in.W)
+		prof.Exit(phRFFTInverse, t)
+	case stFullCombineWgrad:
+		dk, cc := i/g.c, i%g.c
+		kk := g.fb + dk
+		acc := g.wspec[i*pf : (i+1)*pf]
+		t := prof.Enter()
+		zeroPlane(acc)
+		for nn := 0; nn < g.n; nn++ {
+			accumMulConj(acc, g.xspec[(nn*g.c+cc)*pf:(nn*g.c+cc+1)*pf], g.yspec[(nn*g.k+kk)*pf:(nn*g.k+kk+1)*pf])
+		}
+		t = prof.Next(phRFFTPointwise, t)
+		g.invBlend(wk, acc, g.w.Data, g.w.Index(kk, cc, 0, 0), g.f.S, g.f.R, g.f.S)
+		prof.Exit(phRFFTInverse, t)
+
+	case stTileFwdW:
+		kk, cc := i/g.c, i%g.c
+		g.fwdPlane(wk, g.wspec[i*pf:(i+1)*pf], g.w.Data, g.w.Index(kk, cc, 0, 0), g.f.S, 1,
+			g.f.R, g.f.S, 0, 0, g.f.R, g.f.S)
+	case stTileBwdW:
+		cc, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.wspec[i*pf:(i+1)*pf], g.w.Data, g.w.Index(kk, cc, g.f.R-1, g.f.S-1), -g.f.S, -1,
+			g.f.R, g.f.S, 0, 0, g.f.R, g.f.S)
+	case stTileFwdX:
+		nn, cc := i/g.c, i%g.c
+		g.fwdPlane(wk, g.xspec[i*pf:(i+1)*pf], g.x.Data, g.x.Index(nn, cc, 0, 0), g.in.W, 1,
+			fftTile, fftTile, g.padH-g.baseH, g.padW-g.baseW, g.in.H, g.in.W)
+	case stTileBwdDY:
+		nn, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.yspec[i*pf:(i+1)*pf], g.y.Data, g.y.Index(nn, kk, 0, 0), g.out.W, 1,
+			fftTile, fftTile, g.padBH-g.baseH, g.padBW-g.baseW, g.out.H, g.out.W)
+	case stTileWgradDY:
+		nn, kk := i/g.k, i%g.k
+		g.fwdPlane(wk, g.yspec[i*pf:(i+1)*pf], g.y.Data, g.y.Index(nn, kk, 0, 0), g.out.W, 1,
+			g.toH, g.toW, -g.baseH, -g.baseW, g.out.H, g.out.W)
+	case stTileZeroW:
+		zeroPlane(g.wspec[i*pf : (i+1)*pf])
+	case stTileWgradAcc:
+		kk, cc := i/g.c, i%g.c
+		acc := g.wspec[i*pf : (i+1)*pf]
+		for nn := 0; nn < g.n; nn++ {
+			accumMulConj(acc, g.xspec[(nn*g.c+cc)*pf:(nn*g.c+cc+1)*pf], g.yspec[(nn*g.k+kk)*pf:(nn*g.k+kk+1)*pf])
+		}
+	case stTileWgradFinish:
+		kk, cc := i/g.c, i%g.c
+		g.invBlend(wk, g.wspec[i*pf:(i+1)*pf], g.w.Data, g.w.Index(kk, cc, 0, 0), g.f.S, g.f.R, g.f.S)
+	case stTileCombineFwd:
+		nn, kk := i/g.k, i%g.k
+		acc := g.yspec[i*pf : (i+1)*pf]
+		t := prof.Enter()
+		zeroPlane(acc)
+		for cc := 0; cc < g.c; cc++ {
+			accumMulConj(acc, g.xspec[(nn*g.c+cc)*pf:(nn*g.c+cc+1)*pf], g.wspec[(kk*g.c+cc)*pf:(kk*g.c+cc+1)*pf])
+		}
+		t = prof.Next(phRFFTPointwise, t)
+		g.invBlend(wk, acc, g.y.Data, g.y.Index(nn, kk, g.baseH, g.baseW), g.out.W,
+			imin(g.toH, g.out.H-g.baseH), imin(g.toW, g.out.W-g.baseW))
+		prof.Exit(phRFFTInverse, t)
+	case stTileCombineBwd:
+		nn, cc := i/g.c, i%g.c
+		acc := g.xspec[i*pf : (i+1)*pf]
+		t := prof.Enter()
+		zeroPlane(acc)
+		for kk := 0; kk < g.k; kk++ {
+			accumMulConj(acc, g.yspec[(nn*g.k+kk)*pf:(nn*g.k+kk+1)*pf], g.wspec[(cc*g.k+kk)*pf:(cc*g.k+kk+1)*pf])
+		}
+		t = prof.Next(phRFFTPointwise, t)
+		g.invBlend(wk, acc, g.x.Data, g.x.Index(nn, cc, g.baseH, g.baseW), g.in.W,
+			imin(g.toH, g.in.H-g.baseH), imin(g.toW, g.in.W-g.baseW))
+		prof.Exit(phRFFTInverse, t)
+	}
+}
+
+// forEach runs stage st over n tasks with the chunk timed as phase ph.
+// The serial path (one worker or one task) is plain calls — no closure,
+// no allocation; the parallel path captures a copy of the context in
+// one escaping closure per launch.
+func (g *fftCtx) forEach(ph prof.Kind, n int, st fftStage) {
+	workers := imin(g.workers, n)
+	if workers <= 1 {
+		t := prof.Enter()
+		for i := 0; i < n; i++ {
+			g.stageTask(st, 0, i)
+		}
+		prof.Exit(ph, t)
+		return
+	}
+	gc := *g
+	phaseForW(ph, workers, n, func(wk, i int) { gc.stageTask(st, wk, i) })
+}
+
+// forEachRaw is forEach for the self-timing combine stages, whose tasks
+// split their own time between the pointwise and inverse phases.
+func (g *fftCtx) forEachRaw(n int, st fftStage) {
+	workers := imin(g.workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			g.stageTask(st, 0, i)
+		}
+		return
+	}
+	gc := *g
+	parallelForW(workers, n, func(wk, i int) { gc.stageTask(st, wk, i) })
 }
 
 // runFFT executes the full-plane FFT convolution.
 func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
-	p := cs.Params.Normalized()
-	out := cs.OutShape()
-	in := cs.In
-	f := cs.Filt
-	pl := fftPlanFor(op, cs)
-	pf := pl.planeFloats()
-
-	n, c, k := in.N, in.C, f.K
-	chunk := fftChunkPlanes(op, cs)
-	wspec := ws[:chunk*pf]
-	xspec := ws[chunk*pf : (chunk+n*c)*pf]
-	yspec := ws[(chunk+n*c)*pf : (chunk+n*c+n*k)*pf]
-	workers := MaxWorkers()
-	scrBlock := pl.scratchBlock(workers)
-
+	g := newFFTCtx(op, cs, x, w, y, alpha, beta, ws, false)
 	switch op {
 	case Forward:
-		kch := imin(k, fftFilterChunk)
-		// Padded-input spectra (resident for all chunks).
-		phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
-			nn, cc := i/c, i%c
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
-				ih, iw := r-p.PadH, s-p.PadW
-				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
-					return 0
-				}
-				return x.At(nn, cc, ih, iw)
-			}, scr)
-		})
-		for k0 := 0; k0 < k; k0 += kch {
-			kc := imin(kch, k-k0)
-			// Filter spectra for this chunk of output channels.
-			phaseForW(phFFTForward, workers, kc*c, func(wk, i int) {
-				dk, cc := i/c, i%c
-				scr := pl.scratchFor(scrBlock, wk)
-				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
-					return w.At(k0+dk, cc, r, s)
-				}, scr)
-			})
-			// Pointwise accumulate over channels, inverse, blend. The task
-			// mixes two phases, so the split is per task rather than per
-			// chunk (each half is FFT-plane-sized, far above timer cost).
-			parallelForW(workers, n*kc, func(wk, i int) {
-				nn, dk := i/kc, i%kc
-				kk := k0 + dk
-				acc := yspec[(nn*k+kk)*pf : (nn*k+kk+1)*pf]
-				t := prof.Enter()
-				zeroPlane(acc)
-				for cc := 0; cc < c; cc++ {
-					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(dk*c+cc)*pf:(dk*c+cc+1)*pf])
-				}
-				t = prof.Next(phFFTPointwise, t)
-				scr := pl.scratchFor(scrBlock, wk)
-				pl.invFrom(acc, scr)
-				for oh := 0; oh < out.H; oh++ {
-					for ow := 0; ow < out.W; ow++ {
-						blend(&y.Data[y.Index(nn, kk, oh, ow)], float32(real(scr[oh*pl.q+ow])), alpha, beta)
-					}
-				}
-				prof.Exit(phFFTInverse, t)
-			})
+		// Padded-input spectra (resident for all chunks), then per chunk
+		// of output channels: filter spectra, pointwise accumulate over
+		// input channels, inverse, blend.
+		g.forEach(phRFFTForward, g.n*g.c, stFullFwdX)
+		kch := imin(g.k, fftFilterChunk)
+		for k0 := 0; k0 < g.k; k0 += kch {
+			g.fb, g.fc = k0, imin(kch, g.k-k0)
+			g.forEach(phRFFTForward, g.fc*g.c, stFullFwdW)
+			g.forEachRaw(g.n*g.fc, stFullCombineFwd)
 		}
 	case BackwardData:
-		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
-		cch := imin(c, fftFilterChunk)
-		// Padded dY spectra, stored in yspec [n][k], resident.
-		phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
-			nn, kk := i/k, i%k
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H+2*padB, out.W+2*padBW, func(r, s int) float32 {
-				oh, ow := r-padB, s-padBW
-				if oh < 0 || oh >= out.H || ow < 0 || ow >= out.W {
-					return 0
-				}
-				return y.At(nn, kk, oh, ow)
-			}, scr)
-		})
-		for c0 := 0; c0 < c; c0 += cch {
-			ccnt := imin(cch, c-c0)
-			// Rotated-filter spectra for this chunk of input channels,
-			// indexed [dc][k].
-			phaseForW(phFFTForward, workers, ccnt*k, func(wk, i int) {
-				dc, kk := i/k, i%k
-				scr := pl.scratchFor(scrBlock, wk)
-				pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
-					return w.At(kk, c0+dc, f.R-1-r, f.S-1-s)
-				}, scr)
-			})
-			// dX[n,c] = sum_k corr(padded dY[n,k], rot(w[k,c])).
-			parallelForW(workers, n*ccnt, func(wk, i int) {
-				nn, dc := i/ccnt, i%ccnt
-				cc := c0 + dc
-				acc := xspec[(nn*c+cc)*pf : (nn*c+cc+1)*pf]
-				t := prof.Enter()
-				zeroPlane(acc)
-				for kk := 0; kk < k; kk++ {
-					accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(dc*k+kk)*pf:(dc*k+kk+1)*pf])
-				}
-				t = prof.Next(phFFTPointwise, t)
-				scr := pl.scratchFor(scrBlock, wk)
-				pl.invFrom(acc, scr)
-				for ih := 0; ih < in.H; ih++ {
-					for iw := 0; iw < in.W; iw++ {
-						blend(&x.Data[x.Index(nn, cc, ih, iw)], float32(real(scr[ih*pl.q+iw])), alpha, beta)
-					}
-				}
-				prof.Exit(phFFTInverse, t)
-			})
+		// dX[n,c] = sum_k corr(padded dY[n,k], rot(w[k,c])).
+		g.forEach(phRFFTForward, g.n*g.k, stFullFwdDYPad)
+		cch := imin(g.c, fftFilterChunk)
+		for c0 := 0; c0 < g.c; c0 += cch {
+			g.fb, g.fc = c0, imin(cch, g.c-c0)
+			g.forEach(phRFFTForward, g.fc*g.k, stFullFwdWRot)
+			g.forEachRaw(g.n*g.fc, stFullCombineBwd)
 		}
 	case BackwardFilter:
-		kch := imin(k, fftFilterChunk)
 		// dW[k,c] = sum_n corr(padded X[n,c], dY[n,k])[0:R, 0:S].
-		phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
-			nn, cc := i/c, i%c
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(xspec[i*pf:(i+1)*pf], in.H+2*p.PadH, in.W+2*p.PadW, func(r, s int) float32 {
-				ih, iw := r-p.PadH, s-p.PadW
-				if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
-					return 0
-				}
-				return x.At(nn, cc, ih, iw)
-			}, scr)
-		})
-		phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
-			nn, kk := i/k, i%k
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(yspec[i*pf:(i+1)*pf], out.H, out.W, func(r, s int) float32 {
-				return y.At(nn, kk, r, s)
-			}, scr)
-		})
-		for k0 := 0; k0 < k; k0 += kch {
-			kc := imin(kch, k-k0)
-			parallelForW(workers, kc*c, func(wk, i int) {
-				dk, cc := i/c, i%c
-				kk := k0 + dk
-				acc := wspec[i*pf : (i+1)*pf]
-				t := prof.Enter()
-				zeroPlane(acc)
-				for nn := 0; nn < n; nn++ {
-					accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
-				}
-				t = prof.Next(phFFTPointwise, t)
-				scr := pl.scratchFor(scrBlock, wk)
-				pl.invFrom(acc, scr)
-				for r := 0; r < f.R; r++ {
-					for s := 0; s < f.S; s++ {
-						blend(&w.Data[w.Index(kk, cc, r, s)], float32(real(scr[r*pl.q+s])), alpha, beta)
-					}
-				}
-				prof.Exit(phFFTInverse, t)
-			})
+		g.forEach(phRFFTForward, g.n*g.c, stFullFwdX)
+		g.forEach(phRFFTForward, g.n*g.k, stFullFwdDY)
+		kch := imin(g.k, fftFilterChunk)
+		for k0 := 0; k0 < g.k; k0 += kch {
+			g.fb, g.fc = k0, imin(kch, g.k-k0)
+			g.forEachRaw(g.fc*g.c, stFullCombineWgrad)
 		}
 	}
 }
@@ -337,163 +506,44 @@ func runFFT(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor
 // while input/output tile spectra are recomputed per tile, bounding the
 // workspace independently of the spatial extent.
 func runFFTTiling(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32) {
-	p := cs.Params.Normalized()
-	out := cs.OutShape()
-	in := cs.In
-	f := cs.Filt
-	pl := newSpectralPlan(fftTile, fftTile)
-	pf := pl.planeFloats()
-	n, c, k := in.N, in.C, f.K
-	wspec := ws[:k*c*pf]
-	xspec := ws[k*c*pf : (k*c+n*c)*pf]
-	yspec := ws[(k*c+n*c)*pf : (k*c+n*c+n*k)*pf]
-	workers := MaxWorkers()
-	scrBlock := pl.scratchBlock(workers)
-
+	g := newFFTCtx(op, cs, x, w, y, alpha, beta, ws, true)
+	g.toH, g.toW = fftTile-g.f.R+1, fftTile-g.f.S+1
 	switch op {
 	case Forward:
-		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
-		tilesH, tilesW := ceilDiv(out.H, tileOutH), ceilDiv(out.W, tileOutW)
-		phaseForW(phFFTForward, workers, k*c, func(wk, i int) {
-			kk, cc := i/c, i%c
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
-				return w.At(kk, cc, r, s)
-			}, scr)
-		})
+		tilesH, tilesW := ceilDiv(g.out.H, g.toH), ceilDiv(g.out.W, g.toW)
+		g.forEach(phRFFTForward, g.k*g.c, stTileFwdW)
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
-				baseH, baseW := th*tileOutH, tw*tileOutW
-				phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
-					nn, cc := i/c, i%c
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
-						ih := baseH + r - p.PadH
-						iw := baseW + s - p.PadW
-						if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
-							return 0
-						}
-						return x.At(nn, cc, ih, iw)
-					}, scr)
-				})
-				parallelForW(workers, n*k, func(wk, i int) {
-					nn, kk := i/k, i%k
-					acc := yspec[i*pf : (i+1)*pf]
-					t := prof.Enter()
-					zeroPlane(acc)
-					for cc := 0; cc < c; cc++ {
-						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], wspec[(kk*c+cc)*pf:(kk*c+cc+1)*pf])
-					}
-					t = prof.Next(phFFTPointwise, t)
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.invFrom(acc, scr)
-					for dh := 0; dh < tileOutH && baseH+dh < out.H; dh++ {
-						for dw := 0; dw < tileOutW && baseW+dw < out.W; dw++ {
-							blend(&y.Data[y.Index(nn, kk, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
-						}
-					}
-					prof.Exit(phFFTInverse, t)
-				})
+				g.baseH, g.baseW = th*g.toH, tw*g.toW
+				g.forEach(phRFFTForward, g.n*g.c, stTileFwdX)
+				g.forEachRaw(g.n*g.k, stTileCombineFwd)
 			}
 		}
 	case BackwardData:
 		// Same structure on the rotated filter and padded dY, tiled over dX.
-		padB, padBW := f.R-1-p.PadH, f.S-1-p.PadW
-		tileOutH, tileOutW := fftTile-f.R+1, fftTile-f.S+1
-		tilesH, tilesW := ceilDiv(in.H, tileOutH), ceilDiv(in.W, tileOutW)
-		phaseForW(phFFTForward, workers, c*k, func(wk, i int) {
-			cc, kk := i/k, i%k
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.fwdInto(wspec[i*pf:(i+1)*pf], f.R, f.S, func(r, s int) float32 {
-				return w.At(kk, cc, f.R-1-r, f.S-1-s)
-			}, scr)
-		})
+		tilesH, tilesW := ceilDiv(g.in.H, g.toH), ceilDiv(g.in.W, g.toW)
+		g.forEach(phRFFTForward, g.c*g.k, stTileBwdW)
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
-				baseH, baseW := th*tileOutH, tw*tileOutW
-				phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
-					nn, kk := i/k, i%k
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.fwdInto(yspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
-						oh := baseH + r - padB
-						ow := baseW + s - padBW
-						if oh < 0 || oh >= out.H || ow < 0 || ow >= out.W {
-							return 0
-						}
-						return y.At(nn, kk, oh, ow)
-					}, scr)
-				})
-				parallelForW(workers, n*c, func(wk, i int) {
-					nn, cc := i/c, i%c
-					acc := xspec[i*pf : (i+1)*pf]
-					t := prof.Enter()
-					zeroPlane(acc)
-					for kk := 0; kk < k; kk++ {
-						accumMulConj(acc, yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf], wspec[(cc*k+kk)*pf:(cc*k+kk+1)*pf])
-					}
-					t = prof.Next(phFFTPointwise, t)
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.invFrom(acc, scr)
-					for dh := 0; dh < tileOutH && baseH+dh < in.H; dh++ {
-						for dw := 0; dw < tileOutW && baseW+dw < in.W; dw++ {
-							blend(&x.Data[x.Index(nn, cc, baseH+dh, baseW+dw)], float32(real(scr[dh*pl.q+dw])), alpha, beta)
-						}
-					}
-					prof.Exit(phFFTInverse, t)
-				})
+				g.baseH, g.baseW = th*g.toH, tw*g.toW
+				g.forEach(phRFFTForward, g.n*g.k, stTileBwdDY)
+				g.forEachRaw(g.n*g.c, stTileCombineBwd)
 			}
 		}
 	case BackwardFilter:
 		// Tile the summation domain: each tile contributes a partial
 		// correlation of the padded input patch with the dY patch;
 		// contributions accumulate in spectral space in wspec.
-		tileH, tileW := fftTile-f.R+1, fftTile-f.S+1
-		tilesH, tilesW := ceilDiv(out.H, tileH), ceilDiv(out.W, tileW)
-		phaseForW(phFFTPointwise, workers, k*c, func(_, i int) { zeroPlane(wspec[i*pf : (i+1)*pf]) })
+		tilesH, tilesW := ceilDiv(g.out.H, g.toH), ceilDiv(g.out.W, g.toW)
+		g.forEach(phRFFTPointwise, g.k*g.c, stTileZeroW)
 		for th := 0; th < tilesH; th++ {
 			for tw := 0; tw < tilesW; tw++ {
-				baseH, baseW := th*tileH, tw*tileW
-				phaseForW(phFFTForward, workers, n*c, func(wk, i int) {
-					nn, cc := i/c, i%c
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.fwdInto(xspec[i*pf:(i+1)*pf], fftTile, fftTile, func(r, s int) float32 {
-						ih := baseH + r - p.PadH
-						iw := baseW + s - p.PadW
-						if ih < 0 || ih >= in.H || iw < 0 || iw >= in.W {
-							return 0
-						}
-						return x.At(nn, cc, ih, iw)
-					}, scr)
-				})
-				phaseForW(phFFTForward, workers, n*k, func(wk, i int) {
-					nn, kk := i/k, i%k
-					scr := pl.scratchFor(scrBlock, wk)
-					pl.fwdInto(yspec[i*pf:(i+1)*pf], tileH, tileW, func(r, s int) float32 {
-						oh, ow := baseH+r, baseW+s
-						if oh >= out.H || ow >= out.W {
-							return 0
-						}
-						return y.At(nn, kk, oh, ow)
-					}, scr)
-				})
-				phaseForW(phFFTPointwise, workers, k*c, func(_, i int) {
-					kk, cc := i/c, i%c
-					acc := wspec[i*pf : (i+1)*pf]
-					for nn := 0; nn < n; nn++ {
-						accumMulConj(acc, xspec[(nn*c+cc)*pf:(nn*c+cc+1)*pf], yspec[(nn*k+kk)*pf:(nn*k+kk+1)*pf])
-					}
-				})
+				g.baseH, g.baseW = th*g.toH, tw*g.toW
+				g.forEach(phRFFTForward, g.n*g.c, stTileFwdX)
+				g.forEach(phRFFTForward, g.n*g.k, stTileWgradDY)
+				g.forEach(phRFFTPointwise, g.k*g.c, stTileWgradAcc)
 			}
 		}
-		phaseForW(phFFTInverse, workers, k*c, func(wk, i int) {
-			kk, cc := i/c, i%c
-			scr := pl.scratchFor(scrBlock, wk)
-			pl.invFrom(wspec[i*pf:(i+1)*pf], scr)
-			for r := 0; r < f.R; r++ {
-				for s := 0; s < f.S; s++ {
-					blend(&w.Data[w.Index(kk, cc, r, s)], float32(real(scr[r*pl.q+s])), alpha, beta)
-				}
-			}
-		})
+		g.forEach(phRFFTInverse, g.k*g.c, stTileWgradFinish)
 	}
 }

@@ -23,17 +23,38 @@ func gemmStripFloats(op Op, cs tensor.ConvShape) int {
 	return strip
 }
 
+// gemmPackFloats returns the float32 elements of the packed weight
+// region at the front of the workspace. Forward and BackwardData
+// multiply the same weight matrix against every sample, so the weights
+// are packed into SGEMM panel layout once per Run and reused across the
+// whole batch; BackwardFilter's A operand is the per-sample dY, so it
+// has no shared pack.
+//
+//ucudnn:hotpath
+func gemmPackFloats(op Op, cs tensor.ConvShape) int {
+	crs := cs.Filt.C * cs.Filt.R * cs.Filt.S
+	switch op {
+	case Forward:
+		return blas.PackAFloats(cs.Filt.K, crs)
+	case BackwardData:
+		return blas.PackAFloats(crs, cs.Filt.K)
+	}
+	return 0
+}
+
 // gemmWorkspace returns the scratch bytes for the explicit-GEMM
-// algorithm: one workspace strip per engine worker (min(MaxWorkers, N)),
-// so the batch can be striped across workers with each worker owning a
-// disjoint lowering buffer. With minimal set, it returns the single-strip
-// floor at which runGemm degrades to the serial batch walk.
+// algorithm: the shared packed-weight region plus one workspace strip
+// per engine worker (min(MaxWorkers, N)), so the batch can be striped
+// across workers with each worker owning a disjoint lowering buffer.
+// With minimal set, it returns the single-strip floor at which runGemm
+// degrades to the serial batch walk.
 func gemmWorkspace(op Op, cs tensor.ConvShape, minimal bool) int64 {
 	strip := int64(gemmStripFloats(op, cs))
+	pack := int64(gemmPackFloats(op, cs))
 	if minimal {
-		return strip * 4
+		return (pack + strip) * 4
 	}
-	return int64(batchStripes(cs.In.N)) * strip * 4
+	return (pack + int64(batchStripes(cs.In.N))*strip) * 4
 }
 
 // im2col lowers sample xn (C x H x W, sample-local) into col, a
@@ -126,8 +147,9 @@ type gemmCtx struct {
 	w           *tensor.FilterTensor
 	y           *tensor.Tensor
 	alpha, beta float32
-	ws          []float32
-	strip       int // floats per worker strip
+	ws          []float32 // per-worker strips (packW already carved off)
+	packW       []float32 // weights in SGEMM panel layout, shared read-only
+	strip       int       // floats per worker strip
 	crs, pixels int
 	inPlane     int
 	outPlane    int
@@ -151,30 +173,31 @@ func (g gemmCtx) partFor(wk int) []float32 {
 }
 
 // forwardSample computes Y[n] = alpha * Wmat * im2col(X[n]) + beta*Y[n]
-// in worker wk's strip. sgemmWorkers caps the inner GEMM's parallelism.
+// in worker wk's strip, reusing the per-Run weight pack (alpha fused).
+// sgemmWorkers caps the inner GEMM's parallelism. The SGEMM records its
+// own pack/kernel phases.
 //
 //ucudnn:hotpath
 func (g gemmCtx) forwardSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
 	t := prof.Enter()
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
-	t = prof.Next(phGemmIm2col, t)
-	blas.SgemmWorkers(sgemmWorkers, false, false, g.k, g.pixels, g.crs,
-		g.alpha, g.w.Data, g.crs, col, g.pixels, g.beta,
+	prof.Exit(phGemmIm2col, t)
+	blas.SgemmPackedA(sgemmWorkers, g.packW, false, g.k, g.pixels, g.crs,
+		col, g.pixels, g.beta,
 		g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels)
-	prof.Exit(phGemmSgemm, t)
 }
 
-// backwardDataSample computes dX[n] from dY[n] in worker wk's strip.
+// backwardDataSample computes dX[n] from dY[n] in worker wk's strip,
+// reusing the per-Run Wᵀ pack (alpha applied in the col2im scatter).
 //
 //ucudnn:hotpath
 func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
-	t := prof.Enter()
-	blas.SgemmWorkers(sgemmWorkers, true, false, g.crs, g.pixels, g.k,
-		1, g.w.Data, g.crs, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, 0,
+	blas.SgemmPackedA(sgemmWorkers, g.packW, false, g.crs, g.pixels, g.k,
+		g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, 0,
 		col, g.pixels)
-	t = prof.Next(phGemmSgemm, t)
+	t := prof.Enter()
 	dx := g.x.Data[n*g.inPlane : (n+1)*g.inPlane]
 	if g.beta == 0 {
 		for i := range dx {
@@ -190,18 +213,18 @@ func (g gemmCtx) backwardDataSample(wk, n, sgemmWorkers int) {
 }
 
 // filterPartial computes strip wk's raw per-sample filter-gradient
-// contribution: part = dY[n] * im2col(X[n])ᵀ, unscaled, beta=0.
+// contribution: part = dY[n] * im2col(X[n])ᵀ, unscaled, beta=0. The A
+// operand is the per-sample dY, so there is no shared pack here.
 //
 //ucudnn:hotpath
 func (g gemmCtx) filterPartial(wk, n, sgemmWorkers int) {
 	col := g.colFor(wk)
 	t := prof.Enter()
 	im2col(g.cs, g.x.Data[n*g.inPlane:(n+1)*g.inPlane], col)
-	t = prof.Next(phGemmIm2col, t)
+	prof.Exit(phGemmIm2col, t)
 	blas.SgemmWorkers(sgemmWorkers, false, true, g.k, g.crs, g.pixels,
 		1, g.y.Data[n*g.outPlane:(n+1)*g.outPlane], g.pixels, col, g.pixels, 0,
 		g.partFor(wk), g.crs)
-	prof.Exit(phGemmSgemm, t)
 }
 
 // runGemm executes the explicit im2col + SGEMM algorithm, striping the
@@ -212,15 +235,26 @@ func runGemm(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTenso
 	out := cs.OutShape()
 	in := cs.In
 	f := cs.Filt
+	pack := gemmPackFloats(op, cs)
 	g := gemmCtx{
-		cs: cs, x: x, w: w, y: y, alpha: alpha, beta: beta, ws: ws,
+		cs: cs, x: x, w: w, y: y, alpha: alpha, beta: beta,
+		packW: ws[:pack], ws: ws[pack:],
 		strip:   gemmStripFloats(op, cs),
 		crs:     f.C * f.R * f.S,
 		pixels:  out.H * out.W,
 		inPlane: in.C * in.H * in.W, outPlane: out.C * out.H * out.W,
 		k: f.K,
 	}
-	workers := fitStripes(batchStripes(in.N), len(ws), g.strip)
+	// Pack the weights once per Run: Forward multiplies Wmat (alpha
+	// fused into the pack), BackwardData multiplies Wmatᵀ (alpha stays
+	// out, applied in the col2im scatter).
+	switch op {
+	case Forward:
+		blas.PackA(g.packW, false, g.k, g.crs, alpha, w.Data, g.crs)
+	case BackwardData:
+		blas.PackA(g.packW, true, g.crs, g.k, 1, w.Data, g.crs)
+	}
+	workers := fitStripes(batchStripes(in.N), len(g.ws), g.strip)
 	flight.Rec(evStripe, int64(op), int64(workers), int64(g.strip), int64(len(ws)))
 
 	switch op {

@@ -9,10 +9,10 @@ import "ucudnn/internal/prof"
 // analyzer, like flight's ucudnn_ev_* events).
 const (
 	// GEMM algorithm: im2col/col2im patch packing (including the
-	// zero/scale passes fused into it), the SGEMM itself, and the
-	// deterministic partial-dW reduction of BackwardFilter.
+	// zero/scale passes fused into it) and the deterministic partial-dW
+	// reduction of BackwardFilter. The SGEMM itself self-reports
+	// ucudnn_ph_sgemm_pack / ucudnn_ph_sgemm_kernel from internal/blas.
 	PhGemmIm2col prof.Phase = "ucudnn_ph_gemm_im2col"
-	PhGemmSgemm  prof.Phase = "ucudnn_ph_gemm_sgemm"
 	PhGemmReduce prof.Phase = "ucudnn_ph_gemm_reduce"
 
 	// Winograd algorithm: input/filter tile transforms in, the
@@ -22,12 +22,13 @@ const (
 	PhWinogradElementwise  prof.Phase = "ucudnn_ph_winograd_elementwise"
 	PhWinogradTransformOut prof.Phase = "ucudnn_ph_winograd_transform_out"
 
-	// FFT algorithm: forward transforms, the pointwise spectral
-	// multiply-accumulate, and the inverse transforms (including the
-	// final blend into the output tensor).
-	PhFFTForward   prof.Phase = "ucudnn_ph_fft_forward"
-	PhFFTPointwise prof.Phase = "ucudnn_ph_fft_pointwise"
-	PhFFTInverse   prof.Phase = "ucudnn_ph_fft_inverse"
+	// FFT algorithm: real-to-complex forward transforms (embed + rfft),
+	// the pointwise spectral multiply-accumulate over the stored
+	// Hermitian half-spectra, and the complex-to-real inverse transforms
+	// (including the final blend into the output tensor).
+	PhRFFTForward   prof.Phase = "ucudnn_ph_rfft_forward"
+	PhRFFTPointwise prof.Phase = "ucudnn_ph_rfft_pointwise"
+	PhRFFTInverse   prof.Phase = "ucudnn_ph_rfft_inverse"
 
 	// Direct and implicit-GEMM algorithms: one main loop each, plus the
 	// implicit-precomp variant's index-table build.
@@ -38,16 +39,15 @@ const (
 
 var (
 	phGemmIm2col = prof.Register(PhGemmIm2col)
-	phGemmSgemm  = prof.Register(PhGemmSgemm)
 	phGemmReduce = prof.Register(PhGemmReduce)
 
 	phWinogradTransformIn  = prof.Register(PhWinogradTransformIn)
 	phWinogradElementwise  = prof.Register(PhWinogradElementwise)
 	phWinogradTransformOut = prof.Register(PhWinogradTransformOut)
 
-	phFFTForward   = prof.Register(PhFFTForward)
-	phFFTPointwise = prof.Register(PhFFTPointwise)
-	phFFTInverse   = prof.Register(PhFFTInverse)
+	phRFFTForward   = prof.Register(PhRFFTForward)
+	phRFFTPointwise = prof.Register(PhRFFTPointwise)
+	phRFFTInverse   = prof.Register(PhRFFTInverse)
 
 	phDirectMain      = prof.Register(PhDirectMain)
 	phImplicitMain    = prof.Register(PhImplicitMain)

@@ -19,21 +19,47 @@ var (
 	wtCache = map[[2]int]*winograd.Transform{}
 )
 
-// winogradTransformFor returns the cached transform for the variant:
-// fused uses F(2x2,3x3); non-fused uses the larger-tile F(4x4,3x3) and
-// supports 5x5 kernels via F(2x2,5x5), mirroring cuDNN.
-func winogradTransformFor(fused bool, r int) *winograd.Transform {
-	var m int
+// winogradLargeTileMin is the smallest tiled extent at which the
+// non-fused 3x3 path steps up from F(4x4,3x3) to F(6x6,3x3): two full
+// 6-wide tiles per dimension, so the halo and tail waste of the larger
+// tile is amortized. Below it F(4,3) wastes less work and carries less
+// FP32 transform error.
+const winogradLargeTileMin = 12
+
+// winogradM returns the Winograd output-tile size m for op on cs — a
+// pure function of the shape, so every worker count and workspace grant
+// (and the device cost model, which mirrors this rule) agrees on the
+// transform. Fused is always F(2x2,3x3); non-fused 5x5 is F(2x2,5x5);
+// non-fused 3x3 picks F(6x6,3x3) on large output planes and F(4x4,3x3)
+// otherwise.
+func winogradM(op Op, cs tensor.ConvShape, fused bool) int {
+	r := cs.Filt.R
 	switch {
 	case fused && r == 3:
-		m = 2
-	case !fused && r == 3:
-		m = 4
+		return 2
 	case !fused && r == 5:
-		m = 2
-	default:
-		panic(fmt.Sprintf("conv: no winograd transform for fused=%v r=%d", fused, r))
+		return 2
+	case !fused && r == 3:
+		// The tiled extents: dX for BackwardData (the transformed
+		// problem's output), the forward output otherwise.
+		rows, cols := cs.OutShape().H, cs.OutShape().W
+		if op == BackwardData {
+			rows, cols = cs.In.H, cs.In.W
+		}
+		if rows >= winogradLargeTileMin && cols >= winogradLargeTileMin {
+			return 6
+		}
+		return 4
 	}
+	panic(fmt.Sprintf("conv: no winograd transform for fused=%v r=%d", fused, r))
+}
+
+// winogradTransformFor returns the cached transform for op on cs:
+// fused uses F(2x2,3x3); non-fused picks F(4x4,3x3) or F(6x6,3x3) by
+// output extent (see winogradM) and supports 5x5 kernels via
+// F(2x2,5x5), mirroring cuDNN.
+func winogradTransformFor(op Op, cs tensor.ConvShape, fused bool) *winograd.Transform {
+	m, r := winogradM(op, cs, fused), cs.Filt.R
 	key := [2]int{m, r}
 	wtMu.Lock()
 	defer wtMu.Unlock()
@@ -93,7 +119,7 @@ func winogradBaseFloats(op Op, cs tensor.ConvShape, tr *winograd.Transform, fuse
 // arena per engine worker (or a single arena with minimal set — the floor
 // at which the tile loops run serially).
 func winogradWorkspace(op Op, cs tensor.ConvShape, fused, minimal bool) int64 {
-	tr := winogradTransformFor(fused, cs.Filt.R)
+	tr := winogradTransformFor(op, cs, fused)
 	workers := MaxWorkers()
 	if minimal {
 		workers = 1
@@ -114,7 +140,7 @@ func winogradWorkers(tr *winograd.Transform, base int, ws []float32) int {
 }
 
 func runWinograd(op Op, cs tensor.ConvShape, x *tensor.Tensor, w *tensor.FilterTensor, y *tensor.Tensor, alpha, beta float32, ws []float32, fused bool) error {
-	tr := winogradTransformFor(fused, cs.Filt.R)
+	tr := winogradTransformFor(op, cs, fused)
 	switch op {
 	case Forward:
 		winogradCorrelate(tr, cs, x, w, y, alpha, beta, ws, fused, false)
@@ -253,7 +279,7 @@ func (g wgCtx) inputTile(wk, i, p0, cnt int) {
 //ucudnn:hotpath
 func (g wgCtx) spectralGemm(e, cnt, sgemmWorkers int) {
 	k, c, bp := g.k, g.c, g.bp
-	blas.SgemmWorkers(sgemmWorkers, false, false, k, cnt, c,
+	blas.SgemmWorkersQuiet(sgemmWorkers, false, false, k, cnt, c,
 		1, g.u[e*k*c:(e+1)*k*c], c, g.v[e*c*bp:e*c*bp+c*bp], bp, 0,
 		g.mm[e*k*bp:e*k*bp+k*bp], bp)
 }
@@ -444,7 +470,7 @@ func (g wgCtx) outputAdjointTile(wk, i, total int) {
 //ucudnn:hotpath
 func (g wgCtx) spectralAdjointGemm(e, total, sgemmWorkers int) {
 	k, c := g.k, g.c
-	blas.SgemmWorkers(sgemmWorkers, false, true, k, c, total,
+	blas.SgemmWorkersQuiet(sgemmWorkers, false, true, k, c, total,
 		1, g.mm[e*k*total:(e+1)*k*total], total, g.v[e*c*total:(e+1)*c*total], total, 0,
 		g.u[e*k*c:(e+1)*k*c], c)
 }

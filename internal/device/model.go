@@ -151,21 +151,24 @@ func (s Spec) ModelTime(op conv.Op, algo conv.Algo, cs tensor.ConvShape) (time.D
 		}
 		eff *= quant(gn, 64) // output-pixel quantization of the final store
 	case conv.AlgoWinograd, conv.AlgoWinogradNonfused:
-		var m int
-		if algo == conv.AlgoWinograd {
-			m = 2
-		} else if cs.Filt.R == 3 {
-			m = 4
-		} else {
-			m = 2
-		}
-		a := int64(m + cs.Filt.R - 1)
 		var rows, cols int
 		if op == conv.BackwardData {
 			rows, cols = cs.In.H, cs.In.W
 		} else {
 			rows, cols = out.H, out.W
 		}
+		// Tile-size rule mirrors conv's winogradM: fused is F(2,3),
+		// non-fused 5x5 is F(2,5), non-fused 3x3 steps up to F(6,3)
+		// when both tiled extents reach 12.
+		var m int
+		if algo == conv.AlgoWinograd || cs.Filt.R != 3 {
+			m = 2
+		} else if rows >= 12 && cols >= 12 {
+			m = 6
+		} else {
+			m = 4
+		}
+		a := int64(m + cs.Filt.R - 1)
 		tiles := int64((rows+m-1)/m) * int64((cols+m-1)/m)
 		c, k := int64(cs.In.C), int64(cs.Filt.K)
 		gemm := 2 * float64(a*a) * float64(k*c) * float64(tiles*nTot)

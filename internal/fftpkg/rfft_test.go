@@ -1,0 +1,184 @@
+package fftpkg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests of the float32 real-transform kernel against the complex128
+// reference in fft.go: forward half-spectrum values, the Hermitian
+// reconstruction of the discarded half, roundtrip, and the bitwise
+// exactness of the zero-row pruning the conv embedding relies on.
+
+func newTestPlan(p, q int) Plan2D {
+	return NewPlan2D(p, q, make([]float32, PlanFloats(p, q)))
+}
+
+func randPlane(rng *rand.Rand, p, q int) []float32 {
+	re := make([]float32, p*q)
+	for i := range re {
+		re[i] = rng.Float32()*2 - 1
+	}
+	return re
+}
+
+// fwd runs FwdReal over a copy of plane (FwdReal destroys its input) and
+// returns the interleaved half-spectrum.
+func fwd(pl Plan2D, p, q int, plane []float32, nz int) []float32 {
+	hw := pl.HalfWidth()
+	dst := make([]float32, 2*p*hw)
+	scratch := make([]float32, ScratchFloats(p, q))
+	re, tmp := scratch[:p*q], scratch[p*q:]
+	copy(re, plane)
+	pl.FwdReal(dst, re, tmp, nz)
+	return dst
+}
+
+var rfftSizes = [][2]int{
+	{1, 1}, {1, 2}, {2, 1}, {2, 2}, {1, 8}, {8, 1},
+	{4, 8}, {8, 4}, {8, 8}, {16, 32}, {32, 32},
+}
+
+// Forward output must match the complex128 full-spectrum reference on the
+// stored columns, across degenerate and square sizes.
+func TestFwdRealMatchesComplexReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sz := range rfftSizes {
+		p, q := sz[0], sz[1]
+		pl := newTestPlan(p, q)
+		plane := randPlane(rng, p, q)
+		got := fwd(pl, p, q, plane, p)
+		want := RealForward2D(plane, p, q, q, p, q)
+		hw := pl.HalfWidth()
+		for r := 0; r < p; r++ {
+			for k := 0; k < hw; k++ {
+				w := want[r*q+k]
+				gr := float64(got[2*(r*hw+k)])
+				gi := float64(got[2*(r*hw+k)+1])
+				scale := float64(p * q)
+				if math.Abs(gr-real(w)) > 1e-5*scale || math.Abs(gi-imag(w)) > 1e-5*scale {
+					t.Fatalf("%dx%d: X[%d][%d] = (%g, %g), reference %v", p, q, r, k, gr, gi, w)
+				}
+			}
+		}
+	}
+}
+
+// Hermitian exactness: the stored half determines the discarded columns.
+// Reconstructing column c > q/2 as conj(X[(p-r)%p][q-c]) from the float32
+// half-spectrum must match the complex128 reference's full spectrum.
+func TestFwdRealHermitianReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, sz := range [][2]int{{4, 8}, {8, 8}, {16, 16}, {2, 4}} {
+		p, q := sz[0], sz[1]
+		pl := newTestPlan(p, q)
+		plane := randPlane(rng, p, q)
+		got := fwd(pl, p, q, plane, p)
+		want := RealForward2D(plane, p, q, q, p, q)
+		hw := pl.HalfWidth()
+		for r := 0; r < p; r++ {
+			for c := hw; c < q; c++ {
+				// Mirror into the stored half and conjugate.
+				mr := (p - r) % p
+				mc := q - c
+				gr := float64(got[2*(mr*hw+mc)])
+				gi := -float64(got[2*(mr*hw+mc)+1])
+				w := want[r*q+c]
+				scale := float64(p * q)
+				if math.Abs(gr-real(w)) > 1e-5*scale || math.Abs(gi-imag(w)) > 1e-5*scale {
+					t.Fatalf("%dx%d: reconstructed X[%d][%d] = (%g, %g), reference %v",
+						p, q, r, c, gr, gi, w)
+				}
+			}
+		}
+		// The reference itself must be Hermitian: conj-symmetry is a
+		// property of real input, not of our storage convention.
+		for r := 0; r < p; r++ {
+			for c := 0; c < q; c++ {
+				a := want[r*q+c]
+				b := want[((p-r)%p)*q+(q-c)%q]
+				if math.Abs(real(a)-real(b)) > 1e-9 || math.Abs(imag(a)+imag(b)) > 1e-9 {
+					t.Fatalf("%dx%d: reference not Hermitian at [%d][%d]", p, q, r, c)
+				}
+			}
+		}
+	}
+}
+
+// FwdReal then InvReal must reproduce the plane: the pair carries the full
+// 1/(p*q) normalization.
+func TestRfftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, sz := range rfftSizes {
+		p, q := sz[0], sz[1]
+		pl := newTestPlan(p, q)
+		plane := randPlane(rng, p, q)
+		spec := fwd(pl, p, q, plane, p)
+		scratch := make([]float32, ScratchFloats(p, q))
+		re, tmp := scratch[:p*q], scratch[p*q:]
+		pl.InvReal(re, spec, tmp)
+		for i := range plane {
+			if d := math.Abs(float64(re[i] - plane[i])); d > 1e-5 {
+				t.Fatalf("%dx%d: roundtrip elem %d off by %g", p, q, i, d)
+			}
+		}
+	}
+}
+
+// The nz zero-row pruning must be bit-identical to transforming the
+// explicit zeros — the conv filter embedding (3 live rows of a 32-row
+// plane) depends on this for worker-count invariance.
+func TestFwdRealZeroRowPruningBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, sz := range [][2]int{{8, 8}, {16, 16}, {32, 32}, {4, 2}} {
+		p, q := sz[0], sz[1]
+		pl := newTestPlan(p, q)
+		for _, nz := range []int{0, 1, 3, p / 2, p} {
+			plane := randPlane(rng, p, q)
+			for i := nz * q; i < p*q; i++ {
+				plane[i] = 0
+			}
+			full := fwd(pl, p, q, plane, p)
+			pruned := fwd(pl, p, q, plane, nz)
+			for i := range full {
+				if math.Float32bits(full[i]) != math.Float32bits(pruned[i]) {
+					t.Fatalf("%dx%d nz=%d: spectra diverge at %d (%x vs %x)",
+						p, q, nz, i, math.Float32bits(full[i]), math.Float32bits(pruned[i]))
+				}
+			}
+		}
+	}
+}
+
+// Plan tables are a pure function of (p, q): two plans over separate
+// tables must be bit-identical, so every worker and every run sees the
+// same twiddles.
+func TestPlanTablesDeterministic(t *testing.T) {
+	a := make([]float32, PlanFloats(16, 32))
+	b := make([]float32, PlanFloats(16, 32))
+	NewPlan2D(16, 32, a)
+	NewPlan2D(16, 32, b)
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("plan tables differ at %d", i)
+		}
+	}
+}
+
+func TestNewPlan2DPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-pow2 p":      func() { NewPlan2D(3, 4, make([]float32, 64)) },
+		"non-pow2 q":      func() { NewPlan2D(4, 6, make([]float32, 64)) },
+		"table too small": func() { NewPlan2D(16, 16, make([]float32, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

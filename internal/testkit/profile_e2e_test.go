@@ -56,8 +56,17 @@ func TestProfileE2EAttribution(t *testing.T) {
 
 	rep := core.BuildProfileReport()
 	byLayer := map[string]bool{}
-	var attributed, measured int64
+	var attributed, measured, orphaned int64
 	for _, k := range rep.Kernels {
+		if k.Kernel == "(unattributed)" {
+			// Framework work outside any kernel bracket — the
+			// fully-connected layers' SGEMMs, which self-report
+			// ucudnn_ph_sgemm_* phases from internal/blas. The row has no
+			// measured window by construction, so the per-row bound below
+			// does not apply; it is asserted separately after the loop.
+			orphaned += k.AttributedNS
+			continue
+		}
 		byLayer[k.Layer] = true
 		attributed += k.AttributedNS
 		measured += k.MeasuredNS
@@ -80,8 +89,21 @@ func TestProfileE2EAttribution(t *testing.T) {
 	if measured <= 0 {
 		t.Fatal("report measured no kernel time")
 	}
-	if cov := float64(attributed) / float64(measured); cov < 0.95 {
-		t.Errorf("aggregate coverage = %.3f, want >= 0.95", cov)
+	// AlexNet has FC layers, so the framework-GEMM orphan row must have
+	// picked up their blas-level phase time.
+	if orphaned <= 0 {
+		t.Error("no unattributed framework-GEMM phase time recorded")
+	}
+	// Race instrumentation inflates the serial dispatch segments (plan
+	// join, validation, workspace carving) that no phase window claims
+	// far more than the phased compute, so the attribution bar scales
+	// with it.
+	bar := 0.95
+	if raceEnabled {
+		bar = 0.90
+	}
+	if cov := float64(attributed) / float64(measured); cov < bar {
+		t.Errorf("aggregate coverage = %.3f, want >= %.2f", cov, bar)
 	}
 	// A striped run at P=4 must actually have recorded parallel launches
 	// somewhere — otherwise the imbalance check above is vacuous.

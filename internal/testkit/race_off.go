@@ -1,0 +1,5 @@
+//go:build !race
+
+package testkit
+
+const raceEnabled = false

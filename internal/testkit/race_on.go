@@ -1,0 +1,7 @@
+//go:build race
+
+package testkit
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions scale their expectations to its instrumentation overhead.
+const raceEnabled = true

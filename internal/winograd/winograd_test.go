@@ -119,7 +119,7 @@ func TestUnsupported(t *testing.T) {
 // 2-D nested identity: Y = AT [ (G g GT) ⊙ (BT d B) ] A equals the direct
 // 2-D valid correlation.
 func TestNested2D(t *testing.T) {
-	for _, mr := range [][2]int{{2, 3}, {4, 3}, {2, 5}} {
+	for _, mr := range [][2]int{{2, 3}, {4, 3}, {6, 3}, {2, 5}} {
 		m, r := mr[0], mr[1]
 		tr, err := NewTransform(m, r)
 		if err != nil {
