@@ -27,11 +27,13 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
-// An Analyzer describes one static check.
+// An Analyzer describes one static check. Per-package analyzers set
+// Run; interprocedural analyzers set RunProgram and see every loaded
+// package (and the module call graph) at once. Exactly one of the two
+// must be non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //ucudnn:allow directives.
@@ -41,6 +43,8 @@ type Analyzer struct {
 	// Run inspects the package in pass and reports findings via
 	// pass.Reportf.
 	Run func(pass *Pass) error
+	// RunProgram inspects a whole Program at once.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // A Pass provides one analyzer run over one type-checked package.
@@ -118,77 +122,16 @@ var allowRe = regexp.MustCompile(`^([a-z][a-z0-9]*)\s*--\s*(.*)$`)
 // Run executes the analyzers over a loaded package and returns the
 // surviving diagnostics sorted by position: findings not covered by a
 // valid //ucudnn:allow directive, plus one diagnostic for every malformed
-// or justification-free directive.
+// or justification-free directive. It is AnalyzeProgram over a
+// single-package program — interprocedural analyzers see a call graph
+// restricted to that package, which is exactly what the analysistest
+// fixtures want.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			TypesInfo:  pkg.Info,
-			ImportPath: pkg.ImportPath,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
-		}
-		diags = append(diags, pass.diags...)
+	res, err := AnalyzeProgram(NewProgram([]*Package{pkg}), analyzers)
+	if err != nil {
+		return nil, err
 	}
-
-	// allowed maps analyzer name -> file -> set of covered lines. A
-	// directive covers its own line (trailing-comment form) and the next
-	// line (comment-above form).
-	allowed := map[string]map[string]map[int]bool{}
-	for _, d := range parseDirectives(pkg.Fset, pkg.Files) {
-		if d.verb != "allow" {
-			continue
-		}
-		m := allowRe.FindStringSubmatch(d.args)
-		if m == nil || strings.TrimSpace(m[2]) == "" {
-			diags = append(diags, Diagnostic{
-				Analyzer: "directive",
-				Pos:      d.pos,
-				Message:  "malformed //ucudnn:allow directive: want \"//ucudnn:allow <analyzer> -- <justification>\" with a non-empty justification",
-			})
-			continue
-		}
-		name := m[1]
-		byFile := allowed[name]
-		if byFile == nil {
-			byFile = map[string]map[int]bool{}
-			allowed[name] = byFile
-		}
-		lines := byFile[d.pos.Filename]
-		if lines == nil {
-			lines = map[int]bool{}
-			byFile[d.pos.Filename] = lines
-		}
-		lines[d.pos.Line] = true
-		lines[d.pos.Line+1] = true
-	}
-
-	kept := diags[:0]
-	for _, d := range diags {
-		if allowed[d.Analyzer][d.Pos.Filename][d.Pos.Line] {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return kept, nil
+	return res.Diags, nil
 }
 
 // funcDirectives returns the //ucudnn: verbs attached to a function

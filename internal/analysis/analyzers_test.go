@@ -16,6 +16,10 @@ func TestFaultPoint(t *testing.T)          { RunFixture(t, FaultPoint, "probe") 
 func TestFaultPointExemptPkg(t *testing.T) { RunFixture(t, FaultPoint, "faults") }
 func TestPhaseName(t *testing.T)           { RunFixture(t, PhaseName, "kern") }
 func TestPhaseNameExemptPkg(t *testing.T)  { RunFixture(t, PhaseName, "prof") }
+func TestHotpathCall(t *testing.T)         { RunFixture(t, HotpathCall, "chain") }
+func TestAtomicLint(t *testing.T)          { RunFixture(t, AtomicLint, "counters") }
+func TestLockOrder(t *testing.T)           { RunFixture(t, LockOrder, "locks") }
+func TestPhasePair(t *testing.T)           { RunFixture(t, PhasePair, "pairs") }
 
 // TestMalformedDirective checks that justification-free //ucudnn:allow
 // directives are themselves reported, by any analyzer selection.

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicLint enforces all-or-nothing atomicity on struct fields: a
+// field whose address is passed to a sync/atomic operation anywhere in
+// the module must be accessed through sync/atomic everywhere — one
+// plain `f++` next to a hundred atomic.AddInt64(&f, 1) calls is a data
+// race the race detector only catches if a test happens to interleave
+// it. The analyzer is interprocedural because the two halves of such a
+// race are usually in different files or packages (a counter bumped in
+// internal/prof, reset in a test helper).
+//
+// Two rules:
+//
+//   - mixed access: every read or write of an atomically-used field
+//     must be a sync/atomic call on its address; plain reads, writes,
+//     ++/--, and taking the address for anything other than a
+//     sync/atomic call are flagged, with the location of one atomic
+//     use for context;
+//   - no copies: values of sync/atomic's typed wrappers (atomic.Int64,
+//     atomic.Value, ...) must be shared by pointer and used through
+//     their methods; assigning, passing, or returning one by value
+//     forks its state.
+//
+// Composite-literal field keys are exempt — construction happens
+// before the value is shared.
+var AtomicLint = &Analyzer{
+	Name:       "atomiclint",
+	Doc:        "fields used with sync/atomic must be accessed atomically everywhere; atomic wrapper values must not be copied",
+	RunProgram: runAtomicLint,
+}
+
+func runAtomicLint(pass *ProgramPass) error {
+	// Pass 1: find every field whose address feeds a sync/atomic
+	// function, and remember the sanctioned selector nodes so pass 2
+	// does not flag the atomic uses themselves.
+	atomicAt := map[*types.Var]token.Pos{} // field -> earliest atomic use
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFunc(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := arg.(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fv := fieldOf(pkg.Info, sel)
+					if fv == nil {
+						continue
+					}
+					sanctioned[sel] = true
+					if at, ok := atomicAt[fv]; !ok || sel.Pos() < at {
+						atomicAt[fv] = sel.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag every other access to those fields, and every
+	// by-value copy of a sync/atomic wrapper type.
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					fv := fieldOf(pkg.Info, n)
+					if fv == nil || sanctioned[n] {
+						return true
+					}
+					at, ok := atomicAt[fv]
+					if !ok {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"field %s is accessed with sync/atomic (e.g. at %s) and must be accessed atomically everywhere; plain access races",
+						fieldDesc(pkg, pkg.Info, n, fv), shortPos(pass.Prog.Fset, at))
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// Assigning to _ evaluates and discards; no
+						// second copy of the state escapes.
+						if len(n.Lhs) == len(n.Rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						flagAtomicCopy(pass, pkg, rhs)
+					}
+				case *ast.ValueSpec:
+					for _, v := range n.Values {
+						flagAtomicCopy(pass, pkg, v)
+					}
+				case *ast.ReturnStmt:
+					for _, r := range n.Results {
+						flagAtomicCopy(pass, pkg, r)
+					}
+				case *ast.CallExpr:
+					if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+						return true // conversion, not a call
+					}
+					for _, arg := range n.Args {
+						flagAtomicCopy(pass, pkg, arg)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether call invokes a package-level sync/atomic
+// function (AddInt64, LoadUint64, ...). Methods on the typed wrappers
+// have a receiver and are not matched.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldOf returns the struct field a selector resolves to, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s := info.Selections[sel]; s != nil {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldDesc renders a field as pkg.Type.name from the selector's
+// receiver type. The package is always named — mixed-access findings
+// routinely pair code from two packages, so "S.n" alone is ambiguous.
+func fieldDesc(pkg *Package, info *types.Info, sel *ast.SelectorExpr, fv *types.Var) string {
+	if t := info.TypeOf(sel.X); t != nil {
+		s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+		s = strings.TrimPrefix(s, "*")
+		return s + "." + fv.Name()
+	}
+	return fv.Name()
+}
+
+// shortPos renders a position as base-filename:line.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// flagAtomicCopy reports e if evaluating it copies a sync/atomic typed
+// wrapper by value. Composite literals are fresh zero values and pass.
+func flagAtomicCopy(pass *ProgramPass, pkg *Package, e ast.Expr) {
+	if _, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		return
+	}
+	t := pkg.Info.TypeOf(e)
+	if t == nil || !isAtomicWrapper(t) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"%s copied by value; sync/atomic wrapper types must be shared by pointer and used through their methods",
+		types.TypeString(t, types.RelativeTo(pkg.Types)))
+}
+
+// isAtomicWrapper reports whether t is a named struct type declared in
+// sync/atomic (Int64, Uint32, Bool, Pointer[T], Value, ...).
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}

@@ -1,0 +1,488 @@
+// Package callgraph builds a conservative module-wide call graph over
+// type-checked packages, for the interprocedural analyzers in
+// internal/analysis (hotpathcall's transitive zero-alloc contract,
+// lockorder's held-lock propagation).
+//
+// Resolution is sound-by-overapproximation for the dynamic call forms:
+//
+//   - static calls (package functions, concrete methods, promoted
+//     methods) resolve to exactly their callee;
+//   - calls through an interface method resolve to every method in the
+//     module whose receiver type implements the interface;
+//   - calls through function-typed values resolve to every
+//     address-taken function or function literal in the module with an
+//     identical signature.
+//
+// Function literals are first-class nodes (named f$1, f$2, ... within
+// their enclosing declaration), since parallel dispatch in this module
+// routinely passes closures into fork-join helpers that invoke them
+// through function-typed parameters.
+//
+// Callees outside the module (standard library) get body-less stub
+// nodes, so analyzers can apply per-package policies (fmt allocates,
+// net blocks) without loading GOROOT function bodies.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Unit is one type-checked package handed to Build.
+type Unit struct {
+	// Path is the unit's import path.
+	Path string
+	// Pkg and Info are the type-checker's outputs; Files the parsed
+	// syntax the info maps into.
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// EdgeKind says how a call site was resolved.
+type EdgeKind int
+
+const (
+	// Static is a direct call to a package function or concrete method.
+	Static EdgeKind = iota
+	// Interface is a call through an interface method, resolved to each
+	// implementing method in the module.
+	Interface
+	// FuncValue is a call through a function-typed value, resolved to
+	// each address-taken function with an identical signature.
+	FuncValue
+)
+
+// An Edge is one resolved (caller, site, callee) triple.
+type Edge struct {
+	// Site is the call expression; Pos its position.
+	Site *ast.CallExpr
+	Pos  token.Pos
+	// Callee is the resolved target.
+	Callee *Node
+	// Kind records the resolution form.
+	Kind EdgeKind
+	// Go and Deferred mark call sites under a go or defer statement:
+	// the call runs asynchronously / at function exit, which
+	// order-sensitive analyzers treat differently from inline calls.
+	Go       bool
+	Deferred bool
+}
+
+// A DynSite is one call through a function-typed value.
+type DynSite struct {
+	Site *ast.CallExpr
+	Pos  token.Pos
+	// Go and Deferred mirror Edge's flags.
+	Go       bool
+	Deferred bool
+}
+
+// A Node is one function in the graph: a declared function or method, a
+// function literal, or a body-less stub for a callee outside the module.
+type Node struct {
+	// Obj is the function object; nil for function literals.
+	Obj *types.Func
+	// Decl is the declaration, nil for literals and external stubs.
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Enclosing is the node whose body lexically contains a literal
+	// (nil for declared functions), used for naming and diagnostics.
+	Enclosing *Node
+	// Unit is the defining package; nil for external stubs.
+	Unit *Unit
+	// Out are the node's resolved call edges, in source order.
+	Out []Edge
+	// Dynamic lists the node's calls through function-typed values, one
+	// entry per call site regardless of how many (possibly zero)
+	// candidate targets the FuncValue edges over-approximate them with.
+	// Analyzers that cannot trust the over-approximation report these
+	// sites directly.
+	Dynamic []DynSite
+
+	name    string
+	litSeq  int
+	addrPos token.Pos // first address-taken reference, 0 if none
+}
+
+// Name renders the node for diagnostics: pkgname.Func,
+// pkgname.(*T).Method, or enclosing$N for literals.
+func (n *Node) Name() string { return n.name }
+
+// External reports whether the node is a body-less stub for a function
+// outside the module.
+func (n *Node) External() bool { return n.Unit == nil && n.Lit == nil }
+
+// Body returns the function's body, nil for external stubs.
+func (n *Node) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Pos returns the function's declaration position (token.NoPos for
+// external stubs).
+func (n *Node) Pos() token.Pos {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Pos()
+	case n.Lit != nil:
+		return n.Lit.Pos()
+	case n.Obj != nil:
+		return n.Obj.Pos()
+	}
+	return token.NoPos
+}
+
+// AddressTaken reports whether the function is referenced anywhere
+// outside call position (assigned, passed, returned), making it a
+// candidate target for function-value calls.
+func (n *Node) AddressTaken() bool { return n.addrPos != token.NoPos }
+
+// A Graph is the module call graph.
+type Graph struct {
+	// Nodes lists every node with a body (declared functions and
+	// literals), in deterministic order: units as given, files in
+	// order, declarations top to bottom, literals inside their
+	// enclosing function in source order.
+	Nodes []*Node
+
+	byObj map[*types.Func]*Node
+	byLit map[*ast.FuncLit]*Node
+}
+
+// NodeOf returns the node of a function object (declared in the module
+// or an external stub created during Build), or nil if the object never
+// appeared.
+func (g *Graph) NodeOf(obj *types.Func) *Node { return g.byObj[obj] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Build constructs the call graph of the units.
+func Build(fset *token.FileSet, units []*Unit) *Graph {
+	b := &gbuilder{
+		fset:  fset,
+		graph: &Graph{byObj: map[*types.Func]*Node{}, byLit: map[*ast.FuncLit]*Node{}},
+	}
+	// Pass 1: nodes for every declared function and literal, the named
+	// types of the module (interface-call resolution), and address-taken
+	// references.
+	for _, u := range units {
+		b.collectTypes(u)
+	}
+	sort.Slice(b.named, func(i, j int) bool {
+		return b.named[i].Obj().Pos() < b.named[j].Obj().Pos()
+	})
+	for _, u := range units {
+		b.collectNodes(u)
+	}
+	// Pass 2: resolve call sites. Dynamic forms need the complete
+	// address-taken set, which pass 1 gathered.
+	for _, n := range b.graph.Nodes {
+		b.resolveBody(n)
+	}
+	return b.graph
+}
+
+type gbuilder struct {
+	fset  *token.FileSet
+	graph *Graph
+	named []*types.Named
+}
+
+// collectTypes gathers the unit's named (non-interface) types, the
+// candidate receivers for interface-call resolution.
+func (b *gbuilder) collectTypes(u *Unit) {
+	for _, obj := range u.Info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		b.named = append(b.named, named)
+	}
+}
+
+// collectNodes creates the unit's declared-function and literal nodes
+// and records address-taken references.
+func (b *gbuilder) collectNodes(u *Unit) {
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &Node{Obj: obj, Decl: fd, Unit: u, name: funcName(obj)}
+			b.graph.byObj[obj] = n
+			b.graph.Nodes = append(b.graph.Nodes, n)
+			if fd.Body != nil {
+				b.collectLits(u, n, fd.Body)
+			}
+		}
+	}
+	// Address-taken: every use of a function identifier outside the
+	// Fun position of a call.
+	b.sweepTaken(u)
+}
+
+// collectLits creates nodes for the literals inside body (excluding
+// nested literal bodies, which recurse through their own node).
+func (b *gbuilder) collectLits(u *Unit, parent *Node, body *ast.BlockStmt) {
+	seq := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		seq++
+		ln := &Node{
+			Lit:       lit,
+			Enclosing: parent,
+			Unit:      u,
+			litSeq:    seq,
+			name:      fmt.Sprintf("%s$%d", parent.name, seq),
+			addrPos:   lit.Pos(), // literals are values by construction
+		}
+		b.graph.byLit[lit] = ln
+		b.graph.Nodes = append(b.graph.Nodes, ln)
+		b.collectLits(u, ln, lit.Body)
+		return false // nested lits handled by the recursive call
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+	}
+}
+
+// sweepTaken marks every function-denoting identifier in the unit as
+// address-taken unless it is the outermost Fun of a call expression.
+func (b *gbuilder) sweepTaken(u *Unit) {
+	callFuns := map[*ast.Ident]bool{}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callFuns[fun] = true
+			case *ast.SelectorExpr:
+				callFuns[fun.Sel] = true
+			}
+			return true
+		})
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callFuns[id] {
+				return true
+			}
+			b.takeIdent(u, id)
+			return true
+		})
+	}
+}
+
+func (b *gbuilder) takeIdent(u *Unit, id *ast.Ident) {
+	obj, _ := u.Info.Uses[id].(*types.Func)
+	if obj == nil {
+		return
+	}
+	if n := b.graph.byObj[obj]; n != nil && n.addrPos == token.NoPos {
+		n.addrPos = id.Pos()
+	}
+}
+
+// resolveBody resolves every call site lexically inside n's own body
+// (literal bodies belong to the literal's node).
+func (b *gbuilder) resolveBody(n *Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	u := n.Unit
+	var inspect func(node ast.Node, inGo, inDefer bool)
+	inspect = func(node ast.Node, inGo, inDefer bool) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false // separate node
+			case *ast.GoStmt:
+				inspect(x.Call, true, inDefer)
+				return false
+			case *ast.DeferStmt:
+				inspect(x.Call, inGo, true)
+				return false
+			case *ast.CallExpr:
+				b.resolveCall(u, n, x, inGo, inDefer)
+			}
+			return true
+		})
+	}
+	inspect(body, false, false)
+}
+
+func (b *gbuilder) resolveCall(u *Unit, caller *Node, call *ast.CallExpr, inGo, inDefer bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions and builtins are not calls.
+	if tv, ok := u.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+
+	addEdge := func(callee *Node, kind EdgeKind) {
+		if callee == nil {
+			return
+		}
+		caller.Out = append(caller.Out, Edge{
+			Site: call, Pos: call.Pos(), Callee: callee, Kind: kind,
+			Go: inGo, Deferred: inDefer,
+		})
+	}
+
+	// Immediately invoked literal: (func(){...})().
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		addEdge(b.graph.byLit[lit], Static)
+		return
+	}
+
+	// Identified function object (package function, method expression,
+	// concrete method through a selector)?
+	if obj := calleeObj(u.Info, fun); obj != nil {
+		// Interface method: resolve to module implementations.
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if selection := u.Info.Selections[sel]; selection != nil {
+				if iface, ok := selection.Recv().Underlying().(*types.Interface); ok {
+					for _, m := range b.implementations(iface, obj) {
+						addEdge(m, Interface)
+					}
+					return
+				}
+			}
+		}
+		addEdge(b.stub(obj), Static)
+		return
+	}
+
+	// Function-typed value: resolve to address-taken functions with an
+	// identical signature.
+	sig, ok := u.Info.TypeOf(fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	caller.Dynamic = append(caller.Dynamic, DynSite{
+		Site: call, Pos: call.Pos(), Go: inGo, Deferred: inDefer,
+	})
+	for _, cand := range b.graph.Nodes {
+		if !cand.AddressTaken() {
+			continue
+		}
+		if types.Identical(nodeSig(cand), sig) {
+			addEdge(cand, FuncValue)
+		}
+	}
+}
+
+// implementations returns the module methods corresponding to abstract
+// method decl on types that implement iface. The lookup carries decl's
+// package so unexported interface methods resolve within it.
+func (b *gbuilder) implementations(iface *types.Interface, decl *types.Func) []*Node {
+	var out []*Node
+	seen := map[*types.Func]bool{}
+	for _, named := range b.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, decl.Pkg(), decl.Name())
+		m, ok := obj.(*types.Func)
+		if !ok || seen[m] {
+			continue
+		}
+		seen[m] = true
+		if n := b.graph.byObj[m]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// stub returns the node of obj, creating a body-less external stub if
+// the module does not declare it.
+func (b *gbuilder) stub(obj *types.Func) *Node {
+	if n := b.graph.byObj[obj]; n != nil {
+		return n
+	}
+	n := &Node{Obj: obj, name: funcName(obj)}
+	b.graph.byObj[obj] = n
+	return n
+}
+
+// calleeObj extracts the *types.Func a call's Fun denotes, nil for
+// dynamic calls.
+func calleeObj(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := info.Uses[fun.Sel].(*types.Func)
+		return obj
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return calleeObj(info, fun.X)
+	}
+	return nil
+}
+
+// nodeSig returns the node's signature type.
+func nodeSig(n *Node) *types.Signature {
+	switch {
+	case n.Obj != nil:
+		return n.Obj.Type().(*types.Signature)
+	case n.Lit != nil:
+		if t, ok := n.Unit.Info.TypeOf(n.Lit).(*types.Signature); ok {
+			return t
+		}
+	}
+	return types.NewSignatureType(nil, nil, nil, nil, nil, false)
+}
+
+// funcName renders a function object for diagnostics: pkg.Func or
+// pkg.(*T).Method.
+func funcName(obj *types.Func) string {
+	name := obj.Name()
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		return fmt.Sprintf("%s.%s", types.TypeString(rt, func(p *types.Package) string {
+			return p.Name()
+		}), name)
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,246 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check type-checks src as a single package and returns its Unit.
+func check(t *testing.T, src string) (*token.FileSet, *Unit) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return fset, &Unit{Path: "p", Pkg: pkg, Info: info, Files: []*ast.File{f}}
+}
+
+// node finds a node by Name, failing the test if absent.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q; have %v", name, names(g))
+	return nil
+}
+
+func names(g *Graph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+// callees returns the names of n's callees, with duplicates.
+func callees(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		out = append(out, e.Callee.Name())
+	}
+	return out
+}
+
+func has(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticCalls(t *testing.T) {
+	_, u := check(t, `package p
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+`)
+	g := Build(nil, []*Unit{u})
+	a := node(t, g, "p.a")
+	if got := callees(a); !has(got, "p.b") || !has(got, "p.c") {
+		t.Fatalf("a calls %v, want b and c", got)
+	}
+	if got := callees(node(t, g, "p.c")); len(got) != 0 {
+		t.Fatalf("c calls %v, want none", got)
+	}
+}
+
+func TestMethodCalls(t *testing.T) {
+	_, u := check(t, `package p
+type T struct{}
+func (t *T) M() { t.helper() }
+func (t *T) helper() {}
+func use(t *T) { t.M() }
+`)
+	g := Build(nil, []*Unit{u})
+	if got := callees(node(t, g, "p.use")); !has(got, "*p.T.M") {
+		t.Fatalf("use calls %v, want *p.T.M", got)
+	}
+	if got := callees(node(t, g, "*p.T.M")); !has(got, "*p.T.helper") {
+		t.Fatalf("M calls %v, want *p.T.helper", got)
+	}
+}
+
+func TestInterfaceDispatch(t *testing.T) {
+	_, u := check(t, `package p
+type I interface{ Do() }
+type A struct{}
+func (A) Do() {}
+type B struct{}
+func (*B) Do() {}
+type C struct{} // does not implement I
+func (C) Other() {}
+func dispatch(i I) { i.Do() }
+`)
+	g := Build(nil, []*Unit{u})
+	got := callees(node(t, g, "p.dispatch"))
+	if !has(got, "p.A.Do") || !has(got, "*p.B.Do") {
+		t.Fatalf("dispatch calls %v, want A.Do and (*B).Do", got)
+	}
+	for _, e := range node(t, g, "p.dispatch").Out {
+		if e.Kind != Interface {
+			t.Fatalf("edge kind = %v, want Interface", e.Kind)
+		}
+	}
+	if has(got, "p.C.Other") {
+		t.Fatalf("dispatch must not call C.Other: %v", got)
+	}
+}
+
+func TestInterfaceDispatchUnexported(t *testing.T) {
+	_, u := check(t, `package p
+type sink interface{ consume() }
+type impl struct{}
+func (impl) consume() {}
+func dispatch(s sink) { s.consume() }
+`)
+	g := Build(nil, []*Unit{u})
+	got := callees(node(t, g, "p.dispatch"))
+	if !has(got, "p.impl.consume") {
+		t.Fatalf("dispatch calls %v, want p.impl.consume (unexported method lookup)", got)
+	}
+}
+
+func TestFuncValueCalls(t *testing.T) {
+	_, u := check(t, `package p
+func taken(i int) {}
+func alsoTaken(i int) {}
+func notTaken(i int) {}
+func differentSig(s string) {}
+func run(f func(int)) { f(0) }
+func main() { run(taken); g := alsoTaken; _ = g; differentSig("x") }
+`)
+	g := Build(nil, []*Unit{u})
+	got := callees(node(t, g, "p.run"))
+	if !has(got, "p.taken") || !has(got, "p.alsoTaken") {
+		t.Fatalf("run's dynamic call resolves to %v, want taken and alsoTaken", got)
+	}
+	if has(got, "p.notTaken") || has(got, "p.differentSig") {
+		t.Fatalf("dynamic call over-resolved: %v", got)
+	}
+}
+
+func TestFuncLitNodes(t *testing.T) {
+	_, u := check(t, `package p
+func run(f func(int)) { f(0) }
+func outer() {
+	run(func(w int) { inner() })
+}
+func inner() {}
+`)
+	g := Build(nil, []*Unit{u})
+	lit := node(t, g, "p.outer$1")
+	if got := callees(lit); !has(got, "p.inner") {
+		t.Fatalf("literal calls %v, want p.inner", got)
+	}
+	// The literal is address-taken, so run's dynamic call reaches it.
+	if got := callees(node(t, g, "p.run")); !has(got, "p.outer$1") {
+		t.Fatalf("run resolves to %v, want the literal", got)
+	}
+}
+
+func TestImmediatelyInvokedLit(t *testing.T) {
+	_, u := check(t, `package p
+func f() { func() { g() }() }
+func g() {}
+`)
+	g := Build(nil, []*Unit{u})
+	if got := callees(node(t, g, "p.f")); !has(got, "p.f$1") {
+		t.Fatalf("f calls %v, want its literal", got)
+	}
+}
+
+func TestGoAndDeferFlags(t *testing.T) {
+	_, u := check(t, `package p
+func f() {
+	go worker()
+	defer cleanup()
+	plain()
+}
+func worker()  {}
+func cleanup() {}
+func plain()   {}
+`)
+	g := Build(nil, []*Unit{u})
+	for _, e := range node(t, g, "p.f").Out {
+		switch e.Callee.Name() {
+		case "p.worker":
+			if !e.Go {
+				t.Error("worker edge not marked Go")
+			}
+		case "p.cleanup":
+			if !e.Deferred {
+				t.Error("cleanup edge not marked Deferred")
+			}
+		case "p.plain":
+			if e.Go || e.Deferred {
+				t.Error("plain edge wrongly marked")
+			}
+		}
+	}
+}
+
+func TestConversionNotACall(t *testing.T) {
+	_, u := check(t, `package p
+type myInt int
+func f() { _ = myInt(3); _ = len("x") }
+`)
+	g := Build(nil, []*Unit{u})
+	if got := callees(node(t, g, "p.f")); len(got) != 0 {
+		t.Fatalf("f calls %v, want none (conversion and builtin)", got)
+	}
+}
+
+func TestNestedLits(t *testing.T) {
+	_, u := check(t, `package p
+func f() {
+	_ = func() {
+		_ = func() { leaf() }
+	}
+}
+func leaf() {}
+`)
+	g := Build(nil, []*Unit{u})
+	if got := callees(node(t, g, "p.f$1$1")); !has(got, "p.leaf") {
+		t.Fatalf("nested literal calls %v, want p.leaf", got)
+	}
+}

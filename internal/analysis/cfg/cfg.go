@@ -1,0 +1,394 @@
+// Package cfg builds intra-function control-flow graphs over go/ast
+// function bodies, for the path-sensitive analyzers in internal/analysis
+// (phasepair's all-paths span pairing, lockorder's held-lock sets).
+//
+// The graph is statement-granular: every basic block holds a sequence of
+// ast.Node values that execute straight-line — simple statements plus the
+// decomposed heads of control statements (an if condition, a range
+// operand, switch case expressions) — so a dataflow transfer function can
+// inspect each node without accidentally descending into nested bodies,
+// which appear in their own blocks.
+//
+// Control constructs covered: if/else chains, for (all three clauses),
+// range, switch and type switch (including fallthrough), select, labeled
+// statements with goto / labeled break / labeled continue, and return.
+// A call to the panic builtin terminates its block with no successor:
+// panic paths unwind through defers, so analyzers that must see
+// function exits model them via the deferred statements the graph
+// records, not via an edge to Exit.
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Block is one basic block: nodes that execute consecutively, then a
+// transfer of control to one of Succs. A block whose Succs is empty ends
+// the function (return paths instead have the synthetic Exit block as
+// their single successor; panic blocks have none).
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, build order).
+	Index int
+	// Nodes are the straight-line statements and decomposed control
+	// heads, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is a synthetic, empty block reached by every return statement
+	// and by falling off the end of the body. Panic terminators do not
+	// reach it.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+	// Defers lists every defer statement in the body, in source order,
+	// regardless of the block it sits in. Deferred calls run at every
+	// function exit (including panics), so path-sensitive analyzers
+	// treat them as a per-exit epilogue rather than ordinary nodes.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of body. info may be nil; when set
+// it is used to recognize the panic builtin precisely (shadowed panic
+// identifiers are then not treated as terminators).
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{info: info}
+	b.graph = &Graph{}
+	entry := b.newBlock()
+	b.graph.Entry = entry
+	exit := &Block{}
+	b.graph.Exit = exit
+
+	last := b.stmtList(entry, body.List)
+	if last != nil {
+		b.edge(last, exit)
+	}
+	// Resolve gotos now that every label has a block.
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	exit.Index = len(b.graph.Blocks)
+	b.graph.Blocks = append(b.graph.Blocks, exit)
+	return b.graph
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type loopFrame struct {
+	label         string // enclosing label, "" if none
+	brk, cont     *Block
+	isSwitchOrSel bool
+}
+
+type builder struct {
+	info   *types.Info
+	graph  *Graph
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// nextLabel holds a pending label to attach to the next loop/switch,
+	// so `L: for ...` routes `break L` / `continue L` correctly.
+	nextLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList threads the statements through cur, returning the live block
+// after the last statement (nil when control cannot fall through).
+func (b *builder) stmtList(cur *Block, stmts []ast.Stmt) *Block {
+	for _, s := range stmts {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds one statement to the graph starting at cur; the result is
+// the block where control continues (nil if the statement never falls
+// through, e.g. return, panic, goto).
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		// Dead code after a terminator still gets blocks (so its nodes
+		// exist in the graph) but no inbound edges.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(cur, target)
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = target
+		b.nextLabel = s.Label.Name
+		out := b.stmt(target, s.Stmt)
+		b.nextLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenOut := b.stmtList(thenB, s.Body.List)
+		join := b.newBlock()
+		b.edge(thenOut, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			b.edge(b.stmt(elseB, s.Else), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		b.edge(post, head)
+		if s.Post != nil {
+			b.stmt(post, s.Post)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.push(loopFrame{label: label, brk: join, cont: post})
+		b.edge(b.stmtList(body, s.Body.List), post)
+		b.pop()
+		return join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		cur.Nodes = append(cur.Nodes, s.X)
+		head := b.newBlock()
+		b.edge(cur, head)
+		// Key/value assignment happens per iteration in the head.
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		join := b.newBlock()
+		b.edge(head, join)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(loopFrame{label: label, brk: join, cont: head})
+		b.edge(b.stmtList(body, s.Body.List), head)
+		b.pop()
+		return join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		return b.switchBody(cur, label, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		join := b.newBlock()
+		b.push(loopFrame{label: label, brk: join, isSwitchOrSel: true})
+		for _, clause := range s.Body.List {
+			c := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if c.Comm != nil {
+				blk = b.stmt(blk, c.Comm)
+			}
+			b.edge(b.stmtList(blk, c.Body), join)
+		}
+		b.pop()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			return nil
+		}
+		return join
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.graph.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.DeferStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.graph.Defers = append(b.graph.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isPanic(call) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Simple statements: assignments, declarations, send, incdec, go.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody builds the clause fan-out shared by switch and type switch.
+// assign, when non-nil, is the type switch's `x := y.(type)` statement,
+// re-evaluated per clause.
+func (b *builder) switchBody(cur *Block, label string, body *ast.BlockStmt, assign ast.Stmt) *Block {
+	join := b.newBlock()
+	b.push(loopFrame{label: label, brk: join, isSwitchOrSel: true})
+	clauses := body.List
+	hasDefault := false
+	// Build each clause body; record them so fallthrough can link.
+	starts := make([]*Block, len(clauses))
+	for i, clause := range clauses {
+		c := clause.(*ast.CaseClause)
+		blk := b.newBlock()
+		starts[i] = blk
+		b.edge(cur, blk)
+		if assign != nil {
+			blk.Nodes = append(blk.Nodes, assign)
+		}
+		for _, e := range c.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, clause := range clauses {
+		c := clause.(*ast.CaseClause)
+		out := b.stmtList(starts[i], bodyWithoutFallthrough(c.Body))
+		if endsInFallthrough(c.Body) && i+1 < len(clauses) {
+			b.edge(out, starts[i+1])
+		} else {
+			b.edge(out, join)
+		}
+	}
+	b.pop()
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+func endsInFallthrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	br, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func bodyWithoutFallthrough(stmts []ast.Stmt) []ast.Stmt {
+	if endsInFallthrough(stmts) {
+		return stmts[:len(stmts)-1]
+	}
+	return stmts
+}
+
+func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(cur, f.brk)
+				return nil
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isSwitchOrSel {
+				continue
+			}
+			if label == "" || f.label == label {
+				b.edge(cur, f.cont)
+				return nil
+			}
+		}
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: cur, label: label})
+		return nil
+	case "fallthrough":
+		// Handled structurally by switchBody; a stray fallthrough (would
+		// not compile) just terminates the block.
+		return nil
+	}
+	return nil
+}
+
+func (b *builder) push(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) pop()             { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+// isPanic reports whether call invokes the panic builtin.
+func (b *builder) isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info == nil {
+		return true
+	}
+	_, isBuiltin := b.info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

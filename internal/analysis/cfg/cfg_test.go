@@ -1,0 +1,280 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a file containing one function and returns its CFG.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body, nil)
+}
+
+// reachable returns the blocks reachable from g.Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable in straight-line function")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, `
+	x := 0
+	if x > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	_ = x`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after if/else")
+	}
+}
+
+func TestReturnReachesExit(t *testing.T) {
+	g := build(t, `
+	x := 0
+	if x > 0 {
+		return
+	}
+	_ = x`)
+	// Exit must be reachable both via the early return and fallthrough.
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("exit has %d predecessors, want 2 (early return + end)", preds)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, `panic("boom")`)
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit reachable through a panic-only body")
+	}
+}
+
+func TestPanicBranchStillFallsThroughElsewhere(t *testing.T) {
+	g := build(t, `
+	x := 0
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit must stay reachable via the non-panic path")
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+	}
+	_ = 1`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after loop")
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := build(t, `for {
+	}`)
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit reachable out of for{} with no break")
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := build(t, `
+	for {
+		break
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break must make exit reachable")
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, `
+	s := []int{1, 2}
+	for i := range s {
+		_ = i
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after range")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after switch")
+	}
+	// The fallthrough edge: some block holding `x = 10` must have a
+	// successor holding the case-2 clause expression.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if lit, ok2 := as.Rhs[0].(*ast.BasicLit); ok2 && lit.Value == "10" {
+					for _, s := range b.Succs {
+						for _, sn := range s.Nodes {
+							if l2, ok3 := sn.(*ast.BasicLit); ok3 && l2.Value == "2" {
+								found = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge from case 1 body to case 2 clause not found")
+	}
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	g := build(t, `
+	x := 1
+	switch x {
+	case 1:
+		return
+	}
+	_ = x`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("switch without default must have a skip edge to the join")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				break outer
+			}
+		}
+	}
+	_ = 1`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable via labeled break")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `
+	x := 0
+	if x == 0 {
+		goto done
+	}
+	x = 1
+done:
+	_ = x`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable with goto")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after select")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, `
+	defer func() {}()
+	x := 0
+	if x > 0 {
+		defer func() {}()
+	}
+	_ = x`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `
+	var v interface{} = 1
+	switch v.(type) {
+	case int:
+		_ = 1
+	case string:
+		return
+	}
+	_ = v`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after type switch")
+	}
+}
+
+func TestExitIsLastBlock(t *testing.T) {
+	g := build(t, "_ = 1")
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Fatal("exit must be the last block")
+	}
+	if g.Blocks[0] != g.Entry {
+		t.Fatal("entry must be the first block")
+	}
+}

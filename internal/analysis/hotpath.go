@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -18,9 +19,10 @@ import (
 //   - implicit or explicit conversions of non-constant values to
 //     interface types (boxing), which is how fmt-style calls allocate.
 //
-// The check is local: callees are not inspected, so annotate the leaf
-// compute functions rather than fork-join wrappers that legitimately
-// spawn goroutines.
+// The check is local: callees are not inspected here — the hotpathcall
+// analyzer propagates the same contract through the module call graph,
+// so annotate the leaf compute functions and let hotpathcall police
+// what they reach.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "forbid allocating constructs inside //ucudnn:hotpath functions",
@@ -34,65 +36,81 @@ func runHotpath(pass *Pass) error {
 			if !ok || fd.Body == nil || !hasFuncDirective(fd, "hotpath") {
 				continue
 			}
-			checkHotpathBody(pass, fd)
+			name := fd.Name.Name
+			for _, af := range allocSites(pass.TypesInfo, pass.Pkg, fd.Body) {
+				pass.Reportf(af.pos, "hot path %s: %s", name, af.msg)
+			}
 		}
 	}
 	return nil
 }
 
-func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// An allocFinding is one construct the compiler may lower to a heap
+// allocation, with the shared base message the hotpath and hotpathcall
+// analyzers both wrap.
+type allocFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// allocSites returns every allocating construct lexically inside root
+// (descending into nested function literals), in source order.
+func allocSites(info *types.Info, pkg *types.Package, root ast.Node) []allocFinding {
+	var out []allocFinding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, allocFinding{pos: pos, msg: msg})
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotpathCall(pass, name, n)
+			allocCall(info, pkg, n, report)
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(),
-				"hot path %s: function literal allocates its closure environment; move parallel dispatch outside //ucudnn:hotpath functions", name)
+			report(n.Pos(),
+				"function literal allocates its closure environment; move parallel dispatch outside //ucudnn:hotpath functions")
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(),
-				"hot path %s: go statement allocates a goroutine; fork-join belongs outside //ucudnn:hotpath functions", name)
+			report(n.Pos(),
+				"go statement allocates a goroutine; fork-join belongs outside //ucudnn:hotpath functions")
 		case *ast.CompositeLit:
-			t := pass.TypesInfo.TypeOf(n)
+			t := info.TypeOf(n)
 			if t != nil {
 				switch t.Underlying().(type) {
 				case *types.Slice:
-					pass.Reportf(n.Pos(), "hot path %s: slice literal allocates", name)
+					report(n.Pos(), "slice literal allocates")
 				case *types.Map:
-					pass.Reportf(n.Pos(), "hot path %s: map literal allocates", name)
+					report(n.Pos(), "map literal allocates")
 				}
 			}
 		}
 		return true
 	})
+	return out
 }
 
-func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
+func allocCall(info *types.Info, pkg *types.Package, call *ast.CallExpr, report func(token.Pos, string)) {
 	// Conversions: T(x) with T an interface type boxes x.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		if len(call.Args) == 1 && types.IsInterface(tv.Type) && boxes(pass, call.Args[0]) {
-			pass.Reportf(call.Pos(),
-				"hot path %s: conversion to interface %s allocates (boxing)",
-				name, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && boxes(info, call.Args[0]) {
+			report(call.Pos(),
+				"conversion to interface "+types.TypeString(tv.Type, types.RelativeTo(pkg))+" allocates (boxing)")
 		}
 		return
 	}
 	// Allocating builtins.
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
 			switch id.Name {
 			case "make":
-				pass.Reportf(call.Pos(), "hot path %s: make allocates; carve scratch from the workspace arena instead", name)
+				report(call.Pos(), "make allocates; carve scratch from the workspace arena instead")
 			case "new":
-				pass.Reportf(call.Pos(), "hot path %s: new allocates", name)
+				report(call.Pos(), "new allocates")
 			case "append":
-				pass.Reportf(call.Pos(), "hot path %s: append may grow its backing array; pre-size buffers outside the hot path", name)
+				report(call.Pos(), "append may grow its backing array; pre-size buffers outside the hot path")
 			}
 			return
 		}
 	}
 	// Boxing through interface-typed parameters (fmt-style calls).
-	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -114,12 +132,10 @@ func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
 		if pt == nil || !types.IsInterface(pt) {
 			continue
 		}
-		if boxes(pass, arg) {
-			pass.Reportf(arg.Pos(),
-				"hot path %s: argument boxes %s into interface %s (allocates)",
-				name,
-				types.TypeString(pass.TypesInfo.TypeOf(arg), types.RelativeTo(pass.Pkg)),
-				types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		if boxes(info, arg) {
+			report(arg.Pos(),
+				"argument boxes "+types.TypeString(info.TypeOf(arg), types.RelativeTo(pkg))+
+					" into interface "+types.TypeString(pt, types.RelativeTo(pkg))+" (allocates)")
 		}
 	}
 }
@@ -128,8 +144,8 @@ func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
 // true for non-constant, non-nil values of non-interface type. Constants
 // (including string literals, e.g. panic messages) are materialized in
 // static data, not boxed at run time.
-func boxes(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok || tv.IsNil() || tv.Value != nil {
 		return false
 	}

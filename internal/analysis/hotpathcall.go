@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"ucudnn/internal/analysis/callgraph"
+)
+
+// HotpathCall propagates the //ucudnn:hotpath zero-allocation contract
+// through the module call graph: a hot-path function's promise is only
+// as good as everything it reaches, so every function reachable from an
+// annotated root through static calls, concrete method calls, and
+// interface dispatch is held to the same no-alloc rules as the root
+// itself, and each violation is reported with the full call chain that
+// makes it hot.
+//
+// Rules applied to reachable, unannotated functions (annotated callees
+// are roots of their own and are covered by the local hotpath check):
+//
+//   - every allocating construct the local hotpath analyzer flags
+//     (make/new/append, slice and map literals, function literals and
+//     go statements, interface boxing);
+//   - calls through function-typed values, which cannot be resolved
+//     soundly and therefore cannot be proven allocation-free;
+//   - calls into standard-library packages outside a small trusted-
+//     silent set (math, math/bits, sync/atomic, time, unsafe, sync),
+//     since their bodies are not analyzed here and fmt-style APIs
+//     allocate by design.
+//
+// Reports land at the offending construct in the callee, so a
+// //ucudnn:allow hotpathcall suppression sits next to the code it
+// excuses; the chain in the message names the root and the path.
+var HotpathCall = &Analyzer{
+	Name:       "hotpathcall",
+	Doc:        "propagate the //ucudnn:hotpath zero-alloc contract transitively through the call graph",
+	RunProgram: runHotpathCall,
+}
+
+// hotpathTrusted are standard-library packages whose hot-path-relevant
+// entry points are allocation-free (atomic ops, monotonic clock
+// readings, pure math); calls into any other body-less package are
+// flagged as unverifiable.
+var hotpathTrusted = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+	"sync":        true,
+	"time":        true,
+	"unsafe":      true,
+}
+
+func runHotpathCall(pass *ProgramPass) error {
+	cg := pass.Prog.CallGraph()
+
+	// Roots: annotated declarations. The annotation set is also the
+	// traversal frontier's stop set — an annotated callee restarts the
+	// walk as its own root, so chains stay short and reports aren't
+	// duplicated along every path through an annotated helper.
+	annotated := map[*callgraph.Node]bool{}
+	var roots []*callgraph.Node
+	for _, n := range cg.Nodes {
+		if n.Decl != nil && n.Decl.Body != nil && hasFuncDirective(n.Decl, "hotpath") {
+			annotated[n] = true
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name() < roots[j].Name() })
+
+	type visit struct {
+		node  *callgraph.Node
+		chain []string // root ... caller, not including node
+	}
+	seen := map[*callgraph.Node]bool{}
+	var queue []visit
+	for _, r := range roots {
+		queue = append(queue, visit{node: r, chain: nil})
+	}
+
+	// pkgOf finds the analysis package a node was loaded from, for
+	// type-relative diagnostics.
+	pkgOf := func(n *callgraph.Node) *Package {
+		if n.Unit == nil {
+			return nil
+		}
+		for _, pkg := range pass.Prog.Pkgs {
+			if pkg.ImportPath == n.Unit.Path {
+				return pkg
+			}
+		}
+		return nil
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		n := v.node
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		chain := make([]string, len(v.chain), len(v.chain)+1)
+		copy(chain, v.chain)
+		chain = append(chain, n.Name())
+
+		isRoot := annotated[n]
+		pkg := pkgOf(n)
+		if !isRoot && pkg != nil && n.Decl != nil && n.Decl.Body != nil {
+			// Local allocating constructs, with the chain that makes
+			// this function hot. (Annotated roots are the local hotpath
+			// analyzer's job.)
+			via := strings.Join(chain, " → ")
+			for _, af := range allocSites(pkg.Info, pkg.Types, n.Decl.Body) {
+				pass.Reportf(af.pos,
+					"reachable from //ucudnn:hotpath via %s: %s", via, af.msg)
+			}
+		}
+
+		// Traverse edges of the function and of every literal it
+		// encloses (the literal bodies were alloc-checked above as part
+		// of the enclosing body; their callees still count as reachable).
+		for _, en := range withEnclosedLits(cg, n) {
+			via := strings.Join(chain, " → ")
+			// Calls through function-typed values cannot be resolved
+			// soundly, so they are flagged at the site rather than
+			// traversed through the over-approximated FuncValue edges.
+			for _, d := range en.Dynamic {
+				pass.Reportf(d.Pos,
+					"reachable from //ucudnn:hotpath via %s: call through a function value cannot be proven allocation-free; use a direct call or annotate the target", via)
+			}
+			for _, e := range en.Out {
+				callee := e.Callee
+				switch {
+				case e.Kind == callgraph.FuncValue:
+					// Flagged above via Dynamic; the candidate targets
+					// are a guess, so they are not enqueued.
+				case callee.External():
+					path := ""
+					if callee.Obj != nil && callee.Obj.Pkg() != nil {
+						path = callee.Obj.Pkg().Path()
+					}
+					if path != "" && !hotpathTrusted[path] {
+						pass.Reportf(e.Pos,
+							"reachable from //ucudnn:hotpath via %s: call into %s (package %s) is outside the trusted allocation-free set", via, callee.Name(), path)
+					}
+				case annotated[callee]:
+					// Its own root; stop here.
+				default:
+					queue = append(queue, visit{node: callee, chain: chain})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// withEnclosedLits returns n plus the literal nodes lexically inside
+// its body (transitively), whose edges belong to n's reachability.
+func withEnclosedLits(cg *callgraph.Graph, n *callgraph.Node) []*callgraph.Node {
+	out := []*callgraph.Node{n}
+	body := n.Body()
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			if ln := cg.LitNode(lit); ln != nil {
+				out = append(out, ln)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ucudnn/internal/analysis/callgraph"
+	"ucudnn/internal/analysis/cfg"
+)
+
+// LockOrder derives the module's lock-acquisition partial order and
+// enforces two disciplines the race detector cannot see:
+//
+//   - no cycles: if lock B is ever acquired while A is held, no path
+//     may acquire A while B is held — a cycle is a deadlock waiting for
+//     the right interleaving. Acquisitions are found flow-sensitively
+//     (CFG dataflow with may-hold sets) and propagated through the
+//     call graph, so "f locks A then calls g, g locks B" contributes
+//     the edge A→B even though no single function holds both;
+//   - no stalls in critical sections: while any lock is held, calls
+//     that block (time.Sleep, file and network I/O) or evaluate a
+//     fault-injection point (faults.Registry Err/Hit/Grant/Mangle —
+//     injected faults must not perturb lock hold times, or fault runs
+//     stop reproducing the schedules of clean runs) are flagged,
+//     directly or through callees.
+//
+// Lock identity is syntactic — pkg.Type.field for mutex fields,
+// pkg.var for package-level mutexes, pkg.func.var for locals — so two
+// instances of one struct share an identity; ordering between
+// same-typed instances needs an out-of-band rule either way. Edges
+// from go statements are excluded (a spawned goroutine does not inherit
+// the spawner's critical section), as are deferred calls (they run at
+// exit, interleaved with deferred unlocks).
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "derive the lock-acquisition partial order; flag cycles, and blocking or fault-point calls made under a lock",
+	RunProgram: runLockOrder,
+}
+
+// lockFacts summarizes one function for interprocedural propagation.
+type lockFacts struct {
+	// acquires are the lock keys the function may take (transitively,
+	// after the fixpoint).
+	acquires map[string]bool
+	// hazard describes one blocking or fault-point call the function
+	// may reach ("" if none): "blocking call time.Sleep", "fault point
+	// faults.Registry.Err".
+	hazard string
+}
+
+// orderEdge is one observed "acquired b while holding a".
+type orderEdge struct {
+	a, b string
+	pos  token.Pos
+}
+
+func runLockOrder(pass *ProgramPass) error {
+	cg := pass.Prog.CallGraph()
+
+	infoOf := map[*callgraph.Node]*Package{}
+	for _, n := range cg.Nodes {
+		if n.Unit == nil {
+			continue
+		}
+		for _, pkg := range pass.Prog.Pkgs {
+			if pkg.ImportPath == n.Unit.Path {
+				infoOf[n] = pkg
+			}
+		}
+	}
+
+	// Pass 1: local facts per function body.
+	local := map[*callgraph.Node]*lockFacts{}
+	for _, n := range cg.Nodes {
+		pkg := infoOf[n]
+		body := n.Body()
+		if pkg == nil || body == nil {
+			continue
+		}
+		facts := &lockFacts{acquires: map[string]bool{}}
+		walkLockCalls(pkg, n, body, func(call *ast.CallExpr) {
+			if key, acq := lockOp(pkg, n, call); key != "" {
+				if acq {
+					facts.acquires[key] = true
+				}
+				return
+			}
+			if hz := hazardCall(pkg.Info, call); hz != "" && facts.hazard == "" {
+				facts.hazard = hz
+			}
+		})
+		local[n] = facts
+	}
+
+	// Pass 2: fixpoint over the call graph. Static and interface edges
+	// propagate; go, deferred, and function-value edges do not.
+	summary := map[*callgraph.Node]*lockFacts{}
+	for n, f := range local {
+		cp := &lockFacts{acquires: map[string]bool{}, hazard: f.hazard}
+		for k := range f.acquires {
+			cp.acquires[k] = true
+		}
+		summary[n] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range cg.Nodes {
+			sn := summary[n]
+			if sn == nil {
+				continue
+			}
+			// n.Out only: an enclosed literal's calls run when the
+			// literal is invoked, not where it is written, so they do
+			// not belong to the parent's summary. (Immediately invoked
+			// literals have a static edge here and do propagate.)
+			for _, e := range n.Out {
+				if e.Go || e.Deferred || e.Kind == callgraph.FuncValue {
+					continue
+				}
+				sc := summary[e.Callee]
+				if sc == nil {
+					continue
+				}
+				for k := range sc.acquires {
+					if !sn.acquires[k] {
+						sn.acquires[k] = true
+						changed = true
+					}
+				}
+				if sn.hazard == "" && sc.hazard != "" {
+					sn.hazard = sc.hazard
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: flow-sensitive walk of every body with may-hold sets;
+	// record order edges and report hazards under a lock.
+	var edges []orderEdge
+	for _, n := range cg.Nodes {
+		pkg := infoOf[n]
+		body := n.Body()
+		if pkg == nil || body == nil {
+			continue
+		}
+		edges = append(edges, analyzeHeld(pass, pkg, cg, n, body, summary)...)
+	}
+
+	reportCycles(pass, edges)
+	return nil
+}
+
+// walkLockCalls visits every call expression lexically in body outside
+// nested function literals (their calls belong to the literal's own
+// node) and outside go/defer statements.
+func walkLockCalls(pkg *Package, n *callgraph.Node, body *ast.BlockStmt, f func(*ast.CallExpr)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			f(x)
+		}
+		return true
+	})
+}
+
+// analyzeHeld runs the may-hold dataflow over n's CFG, reporting
+// hazards encountered under a lock and returning the observed order
+// edges (both direct acquisitions and callee-summary acquisitions).
+func analyzeHeld(pass *ProgramPass, pkg *Package, cg *callgraph.Graph, n *callgraph.Node, body *ast.BlockStmt, summary map[*callgraph.Node]*lockFacts) []orderEdge {
+	g := cfg.New(body, pkg.Info)
+
+	in := map[*cfg.Block]map[string]bool{}
+	for _, b := range g.Blocks {
+		in[b] = map[string]bool{}
+	}
+
+	// transfer folds one block's calls over a held set; report is nil
+	// during the fixpoint and live during the final pass.
+	var edges []orderEdge
+	reported := map[token.Pos]bool{}
+	transfer := func(b *cfg.Block, held map[string]bool, final bool) map[string]bool {
+		out := map[string]bool{}
+		for k := range held {
+			out[k] = true
+		}
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ast.DeferStmt); ok {
+				continue
+			}
+			ast.Inspect(node, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.GoStmt, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					lockStep(pass, pkg, cg, n, x, out, summary, final, &edges, reported)
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	// Fixpoint: propagate may-hold sets forward until stable.
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b, in[b], false)
+		for _, s := range b.Succs {
+			if union(in[s], out) {
+				work = append(work, s)
+			}
+		}
+	}
+	// Final pass with stable in-sets emits reports and edges once.
+	for _, b := range g.Blocks {
+		transfer(b, in[b], true)
+	}
+	return edges
+}
+
+// lockStep interprets one call against the current held set.
+func lockStep(pass *ProgramPass, pkg *Package, cg *callgraph.Graph, n *callgraph.Node, call *ast.CallExpr, held map[string]bool, summary map[*callgraph.Node]*lockFacts, final bool, edges *[]orderEdge, reported map[token.Pos]bool) {
+	if key, acq := lockOp(pkg, n, call); key != "" {
+		if !acq {
+			delete(held, key)
+			return
+		}
+		if final {
+			for _, h := range sortedKeys(held) {
+				*edges = append(*edges, orderEdge{a: h, b: key, pos: call.Pos()})
+			}
+		}
+		held[key] = true
+		return
+	}
+
+	if !final || len(held) == 0 {
+		return
+	}
+	if reported[call.Pos()] {
+		return
+	}
+
+	if hz := hazardCall(pkg.Info, call); hz != "" {
+		reported[call.Pos()] = true
+		pass.Reportf(call.Pos(), "%s while holding %s", hz, holdList(held))
+		return
+	}
+
+	// Callee summaries: static / interface edges only.
+	for _, e := range calleeEdges(cg, n, call) {
+		sc := summary[e.Callee]
+		if sc == nil {
+			continue
+		}
+		for _, k := range sortedKeys(sc.acquires) {
+			if !held[k] {
+				for _, h := range sortedKeys(held) {
+					*edges = append(*edges, orderEdge{a: h, b: k, pos: call.Pos()})
+				}
+			}
+		}
+		if sc.hazard != "" && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "call to %s may reach %s while holding %s",
+				e.Callee.Name(), sc.hazard, holdList(held))
+		}
+	}
+}
+
+// calleeEdges returns n's resolved edges whose call site is call,
+// excluding go/deferred/function-value edges. Literal nodes carry their
+// own edges and are analyzed with their own CFGs.
+func calleeEdges(cg *callgraph.Graph, n *callgraph.Node, call *ast.CallExpr) []callgraph.Edge {
+	var out []callgraph.Edge
+	for _, e := range n.Out {
+		if e.Site != call || e.Go || e.Deferred || e.Kind == callgraph.FuncValue {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// lockOp classifies call as a mutex acquire/release on a trackable
+// lock: ("", false) if it is not a sync.Mutex/RWMutex operation or the
+// receiver has no stable identity. The second result is true for
+// Lock/RLock/TryLock, false for Unlock/RUnlock.
+func lockOp(pkg *Package, n *callgraph.Node, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", false
+	}
+	var acq bool
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false
+	}
+	key := lockKey(pkg, n, sel.X)
+	if key == "" {
+		return "", false
+	}
+	return key, acq
+}
+
+// lockKey gives a lock expression a stable, human-readable identity.
+func lockKey(pkg *Package, n *callgraph.Node, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return ""
+		}
+		if obj.Parent() == pkg.Types.Scope() {
+			return pkg.Types.Name() + "." + e.Name
+		}
+		return n.Name() + "." + e.Name
+	case *ast.SelectorExpr:
+		// Qualified package-level var: pkg.mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return id.Name + "." + e.Sel.Name
+			}
+		}
+		if t := pkg.Info.TypeOf(e.X); t != nil {
+			s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+			return strings.TrimPrefix(s, "*") + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// hazardCall describes call if it blocks or evaluates a fault point.
+func hazardCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Fault-injection points: Registry methods and their package-level
+	// wrappers in a faults package.
+	if pkgPathElem(path) == "faults" {
+		switch name {
+		case "Err", "Hit", "Grant", "Mangle":
+			if sig != nil && sig.Recv() != nil {
+				return "fault point faults.Registry." + name
+			}
+			return "fault point faults." + name
+		}
+	}
+
+	switch {
+	case path == "time" && name == "Sleep":
+		return "blocking call time.Sleep"
+	case path == "os" && sig != nil && sig.Recv() == nil &&
+		(name == "ReadFile" || name == "WriteFile"):
+		return "blocking call os." + name
+	case path == "os" && sig != nil && sig.Recv() != nil && recvIs(sig, "os", "File") &&
+		(name == "Read" || name == "Write" || name == "ReadAt" || name == "WriteAt" || name == "Sync"):
+		return "blocking call os.File." + name
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		return "blocking call " + path + "." + name
+	}
+	return ""
+}
+
+// calleeFunc resolves call's target function object, if static.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvIs reports whether sig's receiver (after deref) is the named type
+// pkgpath.name.
+func recvIs(sig *types.Signature, pkgElem, name string) bool {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name && named.Obj().Pkg() != nil &&
+		pkgPathElem(named.Obj().Pkg().Path()) == pkgElem
+}
+
+// union adds src's keys to dst, reporting whether dst grew.
+func union(dst, src map[string]bool) bool {
+	grew := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func holdList(held map[string]bool) string {
+	return strings.Join(sortedKeys(held), ", ")
+}
+
+// reportCycles finds order edges that participate in a cycle and
+// reports each once, with the cycle path for context.
+func reportCycles(pass *ProgramPass, edges []orderEdge) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.a] == nil {
+			adj[e.a] = map[string]bool{}
+		}
+		adj[e.a][e.b] = true
+	}
+	// reach[b][a]: a is reachable from b.
+	reach := func(from, to string) (bool, []string) {
+		type item struct {
+			key  string
+			path []string
+		}
+		seen := map[string]bool{from: true}
+		queue := []item{{key: from, path: []string{from}}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if it.key == to {
+				return true, it.path
+			}
+			for _, next := range sortedKeys(adj[it.key]) {
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				p := append(append([]string{}, it.path...), next)
+				queue = append(queue, item{key: next, path: p})
+			}
+		}
+		return false, nil
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].pos != edges[j].pos {
+			return edges[i].pos < edges[j].pos
+		}
+		return edges[i].a+edges[i].b < edges[j].a+edges[j].b
+	})
+	seen := map[string]bool{}
+	for _, e := range edges {
+		id := e.a + "→" + e.b
+		if seen[id] {
+			continue
+		}
+		if e.a == e.b {
+			seen[id] = true
+			pass.Reportf(e.pos,
+				"lock %s acquired while an instance of it is already held; same-identity locks need an explicit instance order", e.a)
+			continue
+		}
+		ok, path := reach(e.b, e.a)
+		if !ok {
+			continue
+		}
+		seen[id] = true
+		cycle := append([]string{e.a}, path...)
+		pass.Reportf(e.pos,
+			"acquiring %s while holding %s creates a lock-order cycle: %s", e.b, e.a, strings.Join(cycle, " → "))
+	}
+}

@@ -238,8 +238,12 @@ func labelCallName(pass *Pass, arg ast.Expr) (string, bool) {
 	return constant.StringVal(tv.Value), true
 }
 
-// All is the ucudnn-lint analyzer suite in execution order.
-var All = []*Analyzer{Detlint, Hotpath, WSFloor, MetricName, FaultPoint, PhaseName}
+// All is the ucudnn-lint analyzer suite in execution order: the
+// per-package checks first, then the interprocedural ones.
+var All = []*Analyzer{
+	Detlint, Hotpath, WSFloor, MetricName, FaultPoint, PhaseName,
+	HotpathCall, AtomicLint, LockOrder, PhasePair,
+}
 
 // ByName resolves a comma-separated analyzer list ("detlint,hotpath");
 // empty selects the whole suite.
@@ -256,7 +260,7 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname, faultpoint, phasename)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have detlint, hotpath, wsfloor, metricname, faultpoint, phasename, hotpathcall, atomiclint, lockorder, phasepair)", name)
 		}
 		out = append(out, a)
 	}

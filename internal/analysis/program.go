@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"ucudnn/internal/analysis/callgraph"
+)
+
+// A Program is a set of packages analyzed together, the unit of the
+// interprocedural analyzers (hotpathcall, atomiclint, lockorder). The
+// packages must come from one Loader, so type identity holds across
+// them and the call graph can resolve cross-package calls exactly.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cg *callgraph.Graph
+}
+
+// NewProgram groups pkgs (from one Loader) into a Program.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	return p
+}
+
+// CallGraph returns the module call graph, built on first use.
+func (p *Program) CallGraph() *callgraph.Graph {
+	if p.cg == nil {
+		units := make([]*callgraph.Unit, len(p.Pkgs))
+		for i, pkg := range p.Pkgs {
+			units[i] = &callgraph.Unit{
+				Path:  pkg.ImportPath,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+				Files: pkg.Files,
+			}
+		}
+		p.cg = callgraph.Build(p.Fset, units)
+	}
+	return p.cg
+}
+
+// A ProgramPass provides one program analyzer run over a whole Program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// An Allow is one parsed //ucudnn:allow directive, with the audit state
+// the run filled in: whether any diagnostic was actually suppressed by
+// it. Stale allows (Used == false after a full-suite run) are dead
+// suppressions whose justification no longer corresponds to a finding;
+// ucudnn-lint -audit-allows fails on them.
+type Allow struct {
+	// Analyzer is the analyzer the directive names.
+	Analyzer string
+	// Justification is the mandatory text after "--".
+	Justification string
+	// Pos is the directive's position.
+	Pos token.Position
+	// Used reports whether the run suppressed at least one diagnostic
+	// with this directive.
+	Used bool
+}
+
+// A Result is the outcome of analyzing a Program: surviving diagnostics
+// plus every suppression directive with its audit state.
+type Result struct {
+	Diags  []Diagnostic
+	Allows []Allow
+}
+
+// AnalyzeProgram executes the analyzers over the program: per-package
+// analyzers (Run) on every package, program analyzers (RunProgram) once
+// over the whole program. Suppression directives are collected from all
+// packages and applied to both, and each directive's Used state records
+// whether it suppressed anything — the input to the staleness audit.
+func AnalyzeProgram(prog *Program, analyzers []*Analyzer) (*Result, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range prog.Pkgs {
+				pass := &Pass{
+					Analyzer:   a,
+					Fset:       pkg.Fset,
+					Files:      pkg.Files,
+					Pkg:        pkg.Types,
+					TypesInfo:  pkg.Info,
+					ImportPath: pkg.ImportPath,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+				}
+				diags = append(diags, pass.diags...)
+			}
+		}
+		if a.RunProgram != nil {
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			diags = append(diags, pass.diags...)
+		}
+	}
+
+	res := &Result{}
+	// Parse the allow directives of every package; malformed ones are
+	// themselves diagnostics.
+	type cover struct{ allow int } // index into res.Allows
+	covered := map[string]map[string]map[int]cover{}
+	for _, pkg := range prog.Pkgs {
+		for _, d := range parseDirectives(pkg.Fset, pkg.Files) {
+			if d.verb != "allow" {
+				continue
+			}
+			m := allowRe.FindStringSubmatch(d.args)
+			if m == nil || strings.TrimSpace(m[2]) == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					Pos:      d.pos,
+					Message:  "malformed //ucudnn:allow directive: want \"//ucudnn:allow <analyzer> -- <justification>\" with a non-empty justification",
+				})
+				continue
+			}
+			name := m[1]
+			res.Allows = append(res.Allows, Allow{
+				Analyzer:      name,
+				Justification: strings.TrimSpace(m[2]),
+				Pos:           d.pos,
+			})
+			idx := len(res.Allows) - 1
+			byFile := covered[name]
+			if byFile == nil {
+				byFile = map[string]map[int]cover{}
+				covered[name] = byFile
+			}
+			lines := byFile[d.pos.Filename]
+			if lines == nil {
+				lines = map[int]cover{}
+				byFile[d.pos.Filename] = lines
+			}
+			// A directive covers its own line (trailing-comment form)
+			// and the next (comment-above form); first directive wins,
+			// matching the original per-package semantics.
+			if _, dup := lines[d.pos.Line]; !dup {
+				lines[d.pos.Line] = cover{allow: idx}
+			}
+			if _, dup := lines[d.pos.Line+1]; !dup {
+				lines[d.pos.Line+1] = cover{allow: idx}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if c, ok := covered[d.Analyzer][d.Pos.Filename][d.Pos.Line]; ok {
+			res.Allows[c.allow].Used = true
+			continue
+		}
+		res.Diags = append(res.Diags, d)
+	}
+	sortDiags(res.Diags)
+	sort.Slice(res.Allows, func(i, j int) bool {
+		a, b := res.Allows[i].Pos, res.Allows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

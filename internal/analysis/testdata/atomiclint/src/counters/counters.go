@@ -1,0 +1,62 @@
+// Package counters is an atomiclint fixture: fields touched by
+// sync/atomic must be accessed atomically everywhere, and the typed
+// wrappers must never be copied.
+package counters
+
+import "sync/atomic"
+
+// S mixes an atomically-used field (n), a purely-atomic one (m), and a
+// plain one; only n's non-atomic accesses are findings.
+type S struct {
+	n     int64
+	m     uint64
+	plain int
+}
+
+func good(s *S) {
+	atomic.AddInt64(&s.n, 1)
+	_ = atomic.LoadInt64(&s.n)
+	atomic.StoreUint64(&s.m, 7)
+	s.plain++
+}
+
+func bad(s *S) {
+	s.n++    // want `field counters.S.n is accessed with sync/atomic \(e.g. at counters.go:17\) and must be accessed atomically everywhere`
+	v := s.n // want `field counters.S.n is accessed with sync/atomic`
+	_ = v
+	s.n = 0   // want `field counters.S.n is accessed with sync/atomic`
+	p := &s.n // want `field counters.S.n is accessed with sync/atomic`
+	_ = p
+	_ = atomic.LoadUint64(&s.m)
+	s.plain = 3
+}
+
+func allowed(s *S) {
+	//ucudnn:allow atomiclint -- reset runs before any worker goroutine is spawned
+	s.n = 0
+}
+
+// construction is exempt: composite-literal keys initialize a value
+// nobody shares yet.
+func construct() *S {
+	return &S{n: 1, plain: 2}
+}
+
+// T holds a typed wrapper; methods are fine, copies are not.
+type T struct {
+	c atomic.Int64
+}
+
+func typed(t *T) {
+	t.c.Add(1)
+	_ = t.c.Load()
+	cp := t.c // want `atomic.Int64 copied by value`
+	_ = cp
+	sink(t.c) // want `atomic.Int64 copied by value`
+}
+
+func ret(t *T) atomic.Int64 {
+	return t.c // want `atomic.Int64 copied by value`
+}
+
+func sink(v atomic.Int64) { _ = v }

@@ -1,0 +1,118 @@
+// Package chain is a hotpathcall fixture: the //ucudnn:hotpath
+// zero-alloc contract propagates through the call graph, so helpers an
+// annotated kernel reaches are held to the same rules, with the call
+// chain in the diagnostic.
+package chain
+
+import "fmt"
+
+// kernel is an annotated root whose own body is clean; the violations
+// live in what it reaches.
+//
+//ucudnn:hotpath
+func kernel(dst []float32) {
+	helper(dst)
+	clean(dst)
+	annotatedHelper(dst)
+}
+
+// helper is reachable from kernel: its allocation and its dynamic call
+// are both flagged with the chain.
+func helper(dst []float32) {
+	deep(dst)
+	f := pick()
+	f(dst) // want `via chain.kernel → chain.helper: call through a function value`
+}
+
+// deep is two hops down the chain.
+func deep(dst []float32) {
+	buf := make([]float32, 4) // want `via chain.kernel → chain.helper → chain.deep: make allocates`
+	copy(dst, buf)
+	go spin() // want `via chain.kernel → chain.helper → chain.deep: go statement allocates`
+	format()
+}
+
+// format calls into a standard-library package outside the trusted set.
+func format() {
+	_ = fmt.Sprintf("x") // want `via chain.kernel → chain.helper → chain.deep → chain.format: call into fmt.Sprintf`
+}
+
+// clean stays within the contract: index math only.
+func clean(dst []float32) {
+	for i := range dst {
+		dst[i] *= 2
+	}
+}
+
+// annotatedHelper is itself annotated, so traversal from kernel stops
+// here and restarts with annotatedHelper as the root; its callee's
+// chain names annotatedHelper, not kernel.
+//
+//ucudnn:hotpath
+func annotatedHelper(dst []float32) {
+	fromAnnotated(dst)
+}
+
+func fromAnnotated(dst []float32) {
+	p := new(float32) // want `via chain.annotatedHelper → chain.fromAnnotated: new allocates`
+	_ = p
+	excused(dst)
+}
+
+// excused carries a justified suppression: no diagnostic survives.
+func excused(dst []float32) {
+	//ucudnn:allow hotpathcall -- scratch is reused across calls; measured 0 allocs/op in steady state
+	buf := make([]float32, 2)
+	copy(dst, buf)
+	s := []int{1} //ucudnn:allow hotpathcall -- trailing-comment form of the same excuse
+	_ = s
+}
+
+// sink dispatches through an interface; the contract follows every
+// module implementation.
+type sink interface {
+	consume(d []float32)
+}
+
+type impl struct{}
+
+func (impl) consume(d []float32) {
+	_ = append(d, 1) // want `via chain.kernelIface → chain.impl.consume: append may grow`
+}
+
+//ucudnn:hotpath
+func kernelIface(s sink, dst []float32) {
+	s.consume(dst)
+}
+
+// viaClosure passes a closure into a fork-join helper: the closure's
+// callees are reachable, and the helper's dynamic invocation is
+// unverifiable.
+func viaClosure(dst []float32) {
+	launch(func() { // want `via chain.kernelLits → chain.viaClosure: function literal allocates`
+		grow(dst)
+	})
+}
+
+//ucudnn:hotpath
+func kernelLits(dst []float32) {
+	viaClosure(dst)
+}
+
+func launch(f func()) {
+	f() // want `via chain.kernelLits → chain.viaClosure → chain.launch: call through a function value`
+}
+
+func grow(dst []float32) {
+	_ = make([]int, 1) // want `via chain.kernelLits → chain.viaClosure → chain.grow: make allocates`
+}
+
+// unreachable is never called from an annotated root: it may allocate
+// freely.
+func unreachable() []int {
+	return make([]int, 8)
+}
+
+func pick() func([]float32) { return clean }
+
+func spin() {}

@@ -1,0 +1,13 @@
+// Package faults is a miniature stand-in for ucudnn/internal/faults
+// with the Registry surface lockorder matches on, so the fixture does
+// not import the real module.
+package faults
+
+type Point string
+
+type Registry struct{}
+
+func (r *Registry) Err(p Point) error               { return nil }
+func (r *Registry) Hit(p Point) bool                { return false }
+func (r *Registry) Grant(p Point, b int64) int64    { return b }
+func (r *Registry) Mangle(p Point, d []byte) []byte { return d }

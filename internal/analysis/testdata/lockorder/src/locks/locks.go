@@ -1,0 +1,120 @@
+// Package locks is a lockorder fixture: lock-order cycles, and
+// blocking or fault-point calls made while a mutex is held.
+package locks
+
+import (
+	"faults"
+	"sync"
+	"time"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+// ab and ba acquire A and B in opposite orders: both edges of the
+// cycle are flagged at their acquisition sites.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring locks.B.mu while holding locks.A.mu creates a lock-order cycle`
+	defer b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `acquiring locks.A.mu while holding locks.B.mu creates a lock-order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// acFirst and acAgain take A before C consistently: a partial order,
+// no finding.
+func acFirst(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func acAgain(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// sleepy blocks inside the critical section; after the unlock the same
+// call is fine.
+func sleepy(a *A) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while holding locks.A.mu`
+	a.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// viaHelper reaches the blocking call through a callee.
+func helperSleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+func viaHelper(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	helperSleeps() // want `call to locks.helperSleeps may reach blocking call time.Sleep while holding locks.A.mu`
+}
+
+// faulty evaluates a fault-injection point under the lock.
+func faulty(a *A, reg *faults.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if reg.Hit(faults.Point("ucudnn_fp_lock_fixture")) { // want `fault point faults.Registry.Hit while holding locks.A.mu`
+		return
+	}
+}
+
+// D/E cycle closes through a callee summary: de never holds both
+// locks itself.
+type D struct{ mu sync.Mutex }
+
+type E struct{ mu sync.Mutex }
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func de(d *D, e *E) {
+	d.mu.Lock()
+	lockE(e) // want `acquiring locks.E.mu while holding locks.D.mu creates a lock-order cycle`
+	d.mu.Unlock()
+}
+
+func ed(d *D, e *E) {
+	e.mu.Lock()
+	d.mu.Lock() // want `acquiring locks.D.mu while holding locks.E.mu creates a lock-order cycle`
+	d.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// allowed carries a justified suppression.
+func allowed(a *A) {
+	a.mu.Lock()
+	//ucudnn:allow lockorder -- single-threaded setup path; lock taken only for the race detector's benefit
+	time.Sleep(time.Millisecond)
+	a.mu.Unlock()
+}
+
+// branchy releases on one path only: the join is may-hold, so the
+// sleep after the if is still flagged.
+func branchy(a *A, cond bool) {
+	a.mu.Lock()
+	if cond {
+		a.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while holding locks.A.mu`
+	a.mu.Unlock()
+}

@@ -106,6 +106,7 @@ func sgemmWorkers(rec bool, workers int, transA, transB bool, m, n, k int, alpha
 	}
 
 	if workers <= 0 {
+		//ucudnn:allow hotpathcall -- GOMAXPROCS(0) is a read-only scheduler query; it does not allocate
 		workers = runtime.GOMAXPROCS(0)
 		if int64(m)*int64(n)*int64(k) < parallelThreshold {
 			workers = 1
@@ -214,6 +215,7 @@ func SgemmPackedA(workers int, pa []float32, transB bool, m, n, k int, b []float
 	}
 	panels := (m + mr - 1) / mr
 	if workers <= 0 {
+		//ucudnn:allow hotpathcall -- GOMAXPROCS(0) is a read-only scheduler query; it does not allocate
 		workers = runtime.GOMAXPROCS(0)
 		if int64(m)*int64(n)*int64(k) < parallelThreshold {
 			workers = 1

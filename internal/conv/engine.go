@@ -37,6 +37,7 @@ func MaxWorkers() int {
 	if n := int(engineWorkers.Load()); n > 0 {
 		return n
 	}
+	//ucudnn:allow hotpathcall -- GOMAXPROCS(0) is a read-only scheduler query; it does not allocate
 	return runtime.GOMAXPROCS(0)
 }
 

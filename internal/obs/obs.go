@@ -130,6 +130,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	//ucudnn:allow hotpathcall -- SearchFloat64s is a pure binary search over the existing bounds slice; no allocation
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
