@@ -53,6 +53,7 @@ type runOpts struct {
 	Net       string
 	Batch     int
 	TotalMiB  int64
+	BlobMiB   int64
 	Metrics   string
 	Trace     string
 	Faults    string
@@ -80,6 +81,8 @@ func main() {
 	flag.StringVar(&o.Net, "net", "", "optimize a whole network under WD instead of one kernel (alexnet, resnet18, ...)")
 	flag.IntVar(&o.Batch, "batch", 256, "mini-batch size for -net mode")
 	flag.Int64Var(&o.TotalMiB, "total", 0, "WD total workspace (MiB; required for -net)")
+	flag.Int64Var(&o.BlobMiB, "blob-budget", 0,
+		"out-of-core blob budget (MiB) for -net mode: reserve the planned activation working set out of the WD pool (0 = off)")
 	flag.StringVar(&o.Metrics, "metrics", "", "write optimizer metrics at exit (\"-\" for stdout, .prom for Prometheus)")
 	flag.StringVar(&o.Trace, "trace", "", "write the chosen plans as a Chrome-trace micro-batch timeline (Fig. 3)")
 	flag.StringVar(&o.Faults, "faults", "", "arm a fault-injection schedule, e.g. \"ucudnn_fp_find=every:5;ucudnn_fp_cache_load=nth:1\"")
@@ -277,30 +280,51 @@ func runNet(o runOpts) error {
 	}
 	inner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
 	inner.Mem().Cap = 0
-	uc, err := core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
-		core.WithCachePath(o.DB), core.WithWorkers(o.Workers),
-		core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry))
+
+	// With a blob budget, plan out-of-core streaming against a probe
+	// instance first: the planned working set is then reserved out of the
+	// WD pool, making activations and workspace one joint budget.
+	var oocModel *dnn.OOCModel
+	var oocPlan dnn.OOCPlan
+	if o.BlobMiB > 0 {
+		probeInner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+		probeInner.Mem().Cap = 0
+		probeCtx := dnn.NewContext(probeInner, probeInner, core.DefaultWorkspaceLimit)
+		probeCtx.SkipCompute = true
+		probeNet, err := buildZooNet(probeCtx, o.Net, o.Batch)
+		if err != nil {
+			return err
+		}
+		if err := probeNet.Setup(); err != nil {
+			return fmt.Errorf("probing %s for the blob budget: %w", o.Net, err)
+		}
+		if oocModel, err = dnn.FootprintModel(probeNet); err != nil {
+			return err
+		}
+		if oocPlan, err = dnn.PlanOOC(oocModel, o.BlobMiB<<20); err != nil {
+			return err
+		}
+	}
+
+	opts := []core.Option{core.WithPolicy(pol), core.WithCachePath(o.DB),
+		core.WithWorkers(o.Workers), core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry)}
+	total := o.TotalMiB << 20
+	if oocModel != nil {
+		total += oocPlan.PeakBytes
+		opts = append(opts, core.WithBlobReserve(oocPlan.PeakBytes))
+	}
+	uc, err := core.New(inner, append(opts, core.WithWD(total))...)
 	if err != nil {
 		return err
 	}
 	ctx := dnn.NewContext(uc, inner, core.DefaultWorkspaceLimit)
 	ctx.SkipCompute = true
-	var net *dnn.Net
-	switch o.Net {
-	case "alexnet":
-		net, _ = zoo.AlexNet(ctx, o.Batch, 1000)
-	case "caffe-alexnet":
-		net, _ = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
-	case "resnet18":
-		net, _ = zoo.ResNet18(ctx, o.Batch, 1000)
-	case "resnet50":
-		net, _ = zoo.ResNet50(ctx, o.Batch, 1000)
-	case "densenet40":
-		net, _ = zoo.DenseNet40(ctx, o.Batch, 40, 10)
-	case "inception":
-		net = zoo.InceptionModule(ctx, o.Batch)
-	default:
-		return fmt.Errorf("unknown network %q", o.Net)
+	if oocModel != nil {
+		ctx.OOC = dnn.NewOOCState(oocModel, oocPlan)
+	}
+	net, err := buildZooNet(ctx, o.Net, o.Batch)
+	if err != nil {
+		return err
 	}
 	// Setup registers every convolution kernel through the virtual-algorithm
 	// Get* calls; finalization then runs the desirable-set DPs and the ILP.
@@ -324,6 +348,14 @@ func runNet(o runOpts) error {
 	fmt.Printf("ILP solve time:           %v\n", s.SolveTime)
 	fmt.Printf("assigned workspace:       %.1f MiB\n", float64(s.TotalWorkspace)/(1<<20))
 	fmt.Printf("predicted iteration conv: %v\n", s.TotalTime)
+	if s.BlobReserve > 0 {
+		fmt.Printf("joint pool:               %.1f MiB total, %.1f MiB reserved for blobs, %.1f MiB workspace-effective\n",
+			float64(o.TotalMiB<<20+s.BlobReserve)/(1<<20), float64(s.BlobReserve)/(1<<20), float64(s.EffectiveBudget)/(1<<20))
+	}
+	if oocModel != nil {
+		fmt.Printf("OOC plan:                 chunk %d (%d windows), peak %.1f MiB, floor=%v\n",
+			oocPlan.Chunk, oocPlan.Windows, float64(oocPlan.PeakBytes)/(1<<20), oocPlan.Floor)
+	}
 
 	plans := uc.Plans()
 	sort.Slice(plans, func(i, j int) bool { return plans[i].Kernel.String() < plans[j].Kernel.String() })
@@ -339,6 +371,31 @@ func runNet(o runOpts) error {
 		}
 	}
 	return uc.Flush()
+}
+
+// buildZooNet constructs the named zoo network over ctx (loss head
+// discarded: optimization only needs the kernel registrations).
+func buildZooNet(ctx *dnn.Context, name string, batch int) (*dnn.Net, error) {
+	switch name {
+	case "alexnet":
+		net, _ := zoo.AlexNet(ctx, batch, 1000)
+		return net, nil
+	case "caffe-alexnet":
+		net, _ := zoo.CaffeAlexNet(ctx, batch, 1000)
+		return net, nil
+	case "resnet18":
+		net, _ := zoo.ResNet18(ctx, batch, 1000)
+		return net, nil
+	case "resnet50":
+		net, _ := zoo.ResNet50(ctx, batch, 1000)
+		return net, nil
+	case "densenet40":
+		net, _ := zoo.DenseNet40(ctx, batch, 40, 10)
+		return net, nil
+	case "inception":
+		return zoo.InceptionModule(ctx, batch), nil
+	}
+	return nil, fmt.Errorf("unknown network %q", name)
 }
 
 // writePlanTrace synthesizes the paper's Fig. 3 view of the chosen plans:

@@ -40,6 +40,7 @@ type runOpts struct {
 	WSMiB    int64
 	TotalMiB int64
 	Iters    int
+	BlobMiB  int64
 	DB       string
 	Trace    string
 	Metrics  string
@@ -62,6 +63,8 @@ func main() {
 	flag.Int64Var(&o.WSMiB, "ws", 64, "per-kernel workspace limit (MiB)")
 	flag.Int64Var(&o.TotalMiB, "total", 0, "WD total workspace (MiB; required for -mode wd)")
 	flag.IntVar(&o.Iters, "iters", 3, "timed iterations")
+	flag.Int64Var(&o.BlobMiB, "blob-budget", 0,
+		"out-of-core blob budget (MiB): stream activations in micro-batch windows under this working-set bound (0 = off)")
 	flag.StringVar(&o.DB, "db", "", "benchmark database file (optional)")
 	flag.StringVar(&o.Trace, "trace", "", "write a Chrome trace (chrome://tracing) of the final iteration")
 	flag.StringVar(&o.Metrics, "metrics", "", "write µ-cuDNN metrics at exit (\"-\" for stdout, .prom for Prometheus; wr/wd modes)")
@@ -131,6 +134,30 @@ func run(o runOpts) error {
 		prof.SetMetrics(o.Registry)
 		defer prof.Disable()
 	}
+	// Out-of-core streaming plans against a probe instance of the network
+	// (shapes only, no compute): footprint model in, window plan out.
+	var oocModel *dnn.OOCModel
+	var oocPlan dnn.OOCPlan
+	if o.BlobMiB > 0 {
+		probeInner := cudnn.NewHandle(d, cudnn.ModelOnlyBackend)
+		probeInner.Mem().Cap = 0
+		probeCtx := dnn.NewContext(probeInner, probeInner, o.WSMiB<<20)
+		probeCtx.SkipCompute = true
+		probeNet, _, err := buildNet(probeCtx, o.Net, o.Batch)
+		if err != nil {
+			return err
+		}
+		if err := probeNet.Setup(); err != nil {
+			return fmt.Errorf("probing %s for the blob budget: %w", o.Net, err)
+		}
+		if oocModel, err = dnn.FootprintModel(probeNet); err != nil {
+			return err
+		}
+		if oocPlan, err = dnn.PlanOOC(oocModel, o.BlobMiB<<20); err != nil {
+			return err
+		}
+	}
+
 	inner := cudnn.NewHandle(d, backend)
 	inner.Mem().Cap = 0
 	var convH dnn.ConvHandle = inner
@@ -148,8 +175,17 @@ func run(o runOpts) error {
 		if o.TotalMiB <= 0 {
 			return fmt.Errorf("-mode wd requires -total")
 		}
-		uc, err = core.New(inner, core.WithPolicy(pol), core.WithWD(o.TotalMiB<<20),
-			core.WithCachePath(o.DB), core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry))
+		opts := []core.Option{core.WithPolicy(pol), core.WithCachePath(o.DB),
+			core.WithMetricsPath(o.Metrics), core.WithMetrics(o.Registry)}
+		total := o.TotalMiB << 20
+		if oocModel != nil {
+			// One joint pool: the planned blob working set is reserved out
+			// of the WD budget, so workspace and activations trade off
+			// against each other instead of competing unaccounted.
+			total += oocPlan.PeakBytes
+			opts = append(opts, core.WithBlobReserve(oocPlan.PeakBytes))
+		}
+		uc, err = core.New(inner, append(opts, core.WithWD(total))...)
 		if err != nil {
 			return err
 		}
@@ -163,23 +199,12 @@ func run(o runOpts) error {
 
 	ctx := dnn.NewContext(convH, inner, o.WSMiB<<20)
 	ctx.SkipCompute = o.Profile == ""
-	var net *dnn.Net
-	var loss *dnn.SoftmaxLoss
-	switch o.Net {
-	case "alexnet":
-		net, loss = zoo.AlexNet(ctx, o.Batch, 1000)
-	case "caffe-alexnet":
-		net, loss = zoo.CaffeAlexNet(ctx, o.Batch, 1000)
-	case "resnet18":
-		net, loss = zoo.ResNet18(ctx, o.Batch, 1000)
-	case "resnet50":
-		net, loss = zoo.ResNet50(ctx, o.Batch, 1000)
-	case "densenet40":
-		net, loss = zoo.DenseNet40(ctx, o.Batch, 40, 10)
-	case "inception":
-		net = zoo.InceptionModule(ctx, o.Batch)
-	default:
-		return fmt.Errorf("unknown network %q", o.Net)
+	if oocModel != nil {
+		ctx.OOC = dnn.NewOOCState(oocModel, oocPlan)
+	}
+	net, loss, err := buildNet(ctx, o.Net, o.Batch)
+	if err != nil {
+		return err
 	}
 	if !ctx.SkipCompute && loss != nil {
 		// Real compute runs the loss layer too; give it a label per sample.
@@ -234,11 +259,44 @@ func run(o runOpts) error {
 			return err
 		}
 	}
+	if ooc := ctx.OOC; ooc != nil {
+		r := ooc.Report()
+		fmt.Printf("OOC: budget %s MiB, chunk %d (%d windows), peak %s MiB, floor=%v, degraded=%d\n",
+			fmtMiB(oocPlan.Budget), r.Chunk, r.Windows, fmtMiB(oocPlan.PeakBytes), r.Floor, r.Degraded)
+		if err := ooc.Metrics().WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if err := core.WriteProfileFile(o.Profile); err != nil {
 		return err
 	}
 	_ = tensor.Shape{}
 	return nil
+}
+
+// buildNet constructs the named zoo network (with its loss head where the
+// zoo defines one) over ctx.
+func buildNet(ctx *dnn.Context, name string, batch int) (*dnn.Net, *dnn.SoftmaxLoss, error) {
+	switch name {
+	case "alexnet":
+		net, loss := zoo.AlexNet(ctx, batch, 1000)
+		return net, loss, nil
+	case "caffe-alexnet":
+		net, loss := zoo.CaffeAlexNet(ctx, batch, 1000)
+		return net, loss, nil
+	case "resnet18":
+		net, loss := zoo.ResNet18(ctx, batch, 1000)
+		return net, loss, nil
+	case "resnet50":
+		net, loss := zoo.ResNet50(ctx, batch, 1000)
+		return net, loss, nil
+	case "densenet40":
+		net, loss := zoo.DenseNet40(ctx, batch, 40, 10)
+		return net, loss, nil
+	case "inception":
+		return zoo.InceptionModule(ctx, batch), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown network %q", name)
 }
 
 func fmtMiB(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }

@@ -11,13 +11,20 @@
 // snapshot) and a Chrome trace of the training timeline
 // (training_trace.json, viewable in chrome://tracing or Perfetto). Both
 // paths can be overridden with UCUDNN_METRICS and UCUDNN_TRACE.
+//
+// A final run takes the same idea out of core: the device is capped
+// below the undivided activation footprint, the mini-batch streams
+// through in micro-batch windows under a blob budget, and every
+// per-step loss is still bitwise identical to an uncapped reference.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 
+	"ucudnn/internal/conv"
 	"ucudnn/internal/core"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
@@ -64,10 +71,11 @@ func makeBatch(rng *rand.Rand, in *tensor.Tensor, labels []int) {
 	}
 }
 
-func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle, rec *trace.Recorder) []float32 {
+func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle, rec *trace.Recorder, ooc *dnn.OOCState) []float32 {
 	ctx := dnn.NewContext(convH, inner, 1<<20)
 	ctx.RNG = rand.New(rand.NewSource(42))
 	ctx.Trace = rec
+	ctx.OOC = ooc
 	net, loss := buildNet(ctx)
 	if err := net.Setup(); err != nil {
 		log.Fatal(err)
@@ -95,7 +103,7 @@ func train(name string, convH dnn.ConvHandle, inner *cudnn.Handle, rec *trace.Re
 
 func main() {
 	plain := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
-	base := train("cuDNN", plain, plain, nil)
+	base := train("cuDNN", plain, plain, nil, nil)
 
 	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
 	uc, err := core.New(inner,
@@ -107,7 +115,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := train("µ-cuDNN", uc, inner, uc.TraceRecorder())
+	opt := train("µ-cuDNN", uc, inner, uc.TraceRecorder(), nil)
 
 	var maxDiff float64
 	for i := range base {
@@ -130,4 +138,72 @@ func main() {
 	}
 	o := uc.Options()
 	fmt.Printf("\nwrote metrics to %s and trace to %s\n", o.MetricsPath, o.TracePath)
+
+	trainOutOfCore()
+}
+
+// gemmOnly pins convolution to the GEMM algorithm so divided and
+// undivided runs share one arithmetic and can be compared bit for bit.
+func gemmOnly(op conv.Op, a conv.Algo) bool { return a == conv.AlgoGemm }
+
+// trainOutOfCore trains the same task on a device whose memory cannot
+// hold the undivided activations: the mini-batch streams through in
+// micro-batch windows under a blob budget, and every per-step loss is
+// bitwise identical to an uncapped reference run.
+func trainOutOfCore() {
+	fmt.Println("\nout-of-core training under a blob-memory budget:")
+
+	// Probe the activation footprint (shapes only, no compute).
+	probe := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	probe.SetAlgoFilter(gemmOnly)
+	probeCtx := dnn.NewContext(probe, probe, 1<<20)
+	probeCtx.SkipCompute = true
+	probeNet, _ := buildNet(probeCtx)
+	if err := probeNet.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	model, err := dnn.FootprintModel(probeNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capBytes := model.ActivationBytes() * 3 / 4
+	fmt.Printf("undivided activations %.1f KiB; device capped at %.1f KiB\n",
+		float64(model.ActivationBytes())/(1<<10), float64(capBytes)/(1<<10))
+
+	// Undivided training cannot even allocate its blobs under the cap.
+	small := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	small.Mem().Cap = capBytes
+	failNet, _ := buildNet(dnn.NewContext(small, small, 1<<20))
+	if err := failNet.Setup(); err == nil {
+		log.Fatal("undivided setup fit a device it must not fit")
+	} else {
+		fmt.Printf("undivided setup on the capped device: %v\n", err)
+	}
+
+	// Uncapped reference with the same pinned arithmetic.
+	ref := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	ref.SetAlgoFilter(gemmOnly)
+	refHist := train("ref", ref, ref, nil, nil)
+
+	// Out-of-core run: half the cap as the blob budget.
+	plan, err := dnn.PlanOOC(model, capBytes/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OOC plan: budget %.1f KiB, chunk %d (%d windows), peak %.1f KiB, floor=%v\n",
+		float64(plan.Budget)/(1<<10), plan.Chunk, plan.Windows, float64(plan.PeakBytes)/(1<<10), plan.Floor)
+	oocH := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	oocH.SetAlgoFilter(gemmOnly)
+	oocH.Mem().Cap = capBytes
+	state := dnn.NewOOCState(model, plan)
+	oocHist := train("OOC", oocH, oocH, nil, state)
+
+	for i := range refHist {
+		if math.Float32bits(refHist[i]) != math.Float32bits(oocHist[i]) {
+			log.Fatalf("step %d: OOC loss %g != reference %g (bitwise)", i, oocHist[i], refHist[i])
+		}
+	}
+	r := state.Report()
+	fmt.Printf("all %d per-step losses bitwise identical; streamed %.1f KiB in, %.1f KiB out\n",
+		len(refHist), float64(r.FetchBytes)/(1<<10), float64(r.SpillBytes)/(1<<10))
 }

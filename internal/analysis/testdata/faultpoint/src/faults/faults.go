@@ -8,6 +8,9 @@ type Point string
 const (
 	PointConvolve  Point = "ucudnn_fp_convolve"
 	PointArenaGrow Point = "ucudnn_fp_arena_grow"
+	PointOOCFetch  Point = "ucudnn_fp_ooc_fetch"
+	PointOOCSpill  Point = "ucudnn_fp_ooc_spill"
+	PointOOCPlan   Point = "ucudnn_fp_ooc_plan"
 	// PointLegacy predates the naming scheme; the fixture uses it to show
 	// that a bad constant is flagged at every use site.
 	PointLegacy Point = "fp-legacy"

@@ -13,6 +13,15 @@ func compliant() {
 	_ = faults.Rule{faults.PointArenaGrow, faults.Nth(2), 4}
 }
 
+// compliantOOC covers the out-of-core streaming points: a plan probe, a
+// shrinkable fetch grant and a failable spill.
+func compliantOOC() {
+	_ = faults.Hit(faults.PointOOCPlan)
+	_ = faults.Grant(faults.PointOOCFetch, 1<<16)
+	_ = faults.Err(faults.PointOOCSpill)
+	_ = faults.Rule{Point: faults.PointOOCFetch, Trigger: faults.Nth(4), Shrink: 2}
+}
+
 func dynamicPoints(p faults.Point, s string) {
 	_ = faults.Err(p)                    // want `compile-time faults.Point constant`
 	_ = faults.Hit(faults.Point(s))      // want `compile-time faults.Point constant`

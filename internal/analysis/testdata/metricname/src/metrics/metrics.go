@@ -14,6 +14,17 @@ func compliant() {
 	reg.Histogram("ucudnn_kernel_seconds", []float64{0.001, 0.01, 0.1}, obs.L("algo", "fft"))
 }
 
+// compliantOOC covers the out-of-core streaming series: transfer byte
+// counters, the per-stage degradation counter and working-set gauges.
+func compliantOOC() {
+	reg.Counter("ucudnn_ooc_fetch_bytes_total")
+	reg.Counter("ucudnn_ooc_spill_bytes_total")
+	reg.Counter("ucudnn_ooc_recompute_bytes_total")
+	reg.Counter("ucudnn_ooc_degraded_total", obs.L("stage", "fetch"))
+	reg.Gauge("ucudnn_ooc_micro_batches")
+	reg.Gauge("ucudnn_ooc_peak_bytes")
+}
+
 func badNames(dyn string) {
 	reg.Counter("ucudnn-conv-runs")                   // want `does not match` `must end in _total`
 	reg.Counter("conv_runs_total")                    // want `does not match`

@@ -15,6 +15,16 @@ func compliant() {
 	_ = prof.Describe(prof.PhaseGemmSgemm)
 }
 
+// The out-of-core transfer phases follow the same scheme.
+const phaseOOCFetch prof.Phase = "ucudnn_ph_ooc_fetch"
+
+var phOOC = prof.Register(phaseOOCFetch)
+
+func compliantOOC() {
+	_ = prof.Register("ucudnn_ph_ooc_spill")
+	_ = prof.Register("ucudnn_ph_ooc_recompute")
+}
+
 func dynamicPhases(p prof.Phase, s string) {
 	_ = prof.Register(p)             // want `compile-time prof.Phase constant`
 	_ = prof.Register(prof.Phase(s)) // want `compile-time prof.Phase constant`

@@ -32,6 +32,17 @@ func deferredClosure() {
 	work()
 }
 
+// oocCharge mirrors the out-of-core executor's transfer charge: early
+// return before Enter is fine, the opened window closes on the one path.
+func oocCharge(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	t := prof.Enter()
+	work()
+	prof.Exit(k, t)
+}
+
 // earlyReturn leaks on the error path.
 func earlyReturn() error {
 	t := prof.Enter() // want `prof.Enter token is open on a path to return; close it with prof.Exit/prof.Next on every path`

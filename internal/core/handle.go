@@ -59,6 +59,12 @@ type Options struct {
 	WorkspaceLimit int64
 	// TotalWorkspaceLimit is the network-wide budget for WD.
 	TotalWorkspaceLimit int64
+	// BlobReserve carves activation (blob) memory out of the WD budget,
+	// making TotalWorkspaceLimit a joint pool: the ILP assigns kernel
+	// workspaces only from what the out-of-core scheduler's peak working
+	// set leaves behind. Ignored in WR mode, where the caller folds the
+	// blob peak into the per-kernel limit instead.
+	BlobReserve int64
 	// Workers is the parallel micro-benchmark width (§III-D's multi-GPU
 	// evaluation; default 1).
 	Workers int
@@ -100,6 +106,13 @@ func WithWD(totalBytes int64) Option {
 		o.Mode = WD
 		o.TotalWorkspaceLimit = totalBytes
 	}
+}
+
+// WithBlobReserve reserves bytes of the WD joint pool for activation
+// blobs (the out-of-core scheduler's peak working set); kernel
+// workspaces draw from the remainder.
+func WithBlobReserve(bytes int64) Option {
+	return func(o *Options) { o.BlobReserve = bytes }
 }
 
 // WithWorkers sets the parallel benchmark width.
@@ -150,6 +163,11 @@ func FromEnv() Option {
 			if b, err := strconv.ParseInt(v, 10, 64); err == nil && b > 0 {
 				o.Mode = WD
 				o.TotalWorkspaceLimit = b
+			}
+		}
+		if v := os.Getenv("UCUDNN_BLOB_RESERVE"); v != "" {
+			if b, err := strconv.ParseInt(v, 10, 64); err == nil && b > 0 {
+				o.BlobReserve = b
 			}
 		}
 		if v := os.Getenv("UCUDNN_BENCHMARK_DB_PATH"); v != "" {
@@ -245,6 +263,12 @@ func New(inner *cudnn.Handle, opts ...Option) (*Handle, error) {
 	}
 	if o.Mode == WD && o.TotalWorkspaceLimit <= 0 {
 		return nil, fmt.Errorf("core: WD mode requires a positive total workspace limit")
+	}
+	if o.BlobReserve < 0 {
+		return nil, fmt.Errorf("core: negative blob reserve %d", o.BlobReserve)
+	}
+	if o.Mode == WD && o.BlobReserve >= o.TotalWorkspaceLimit {
+		return nil, fmt.Errorf("core: blob reserve %d consumes the whole joint pool of %d bytes", o.BlobReserve, o.TotalWorkspaceLimit)
 	}
 	if o.Metrics == nil && o.MetricsPath != "" {
 		o.Metrics = obs.NewRegistry()
@@ -380,7 +404,7 @@ func (h *Handle) finalizeLocked() error {
 		return nil
 	}
 	start := time.Now() //ucudnn:allow detlint -- optTime accounting only; the WD plan does not depend on it
-	res, err := OptimizeWD(h.bencher, h.registered, h.opts.TotalWorkspaceLimit, h.opts.Policy)
+	res, err := OptimizeWDReserved(h.bencher, h.registered, h.opts.TotalWorkspaceLimit, h.opts.BlobReserve, h.opts.Policy)
 	h.optTime += time.Since(start)
 	if err != nil {
 		return err

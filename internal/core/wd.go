@@ -28,6 +28,12 @@ type WDResult struct {
 	SimplexIters int
 	// SolveTime is the wall time spent in the ILP solver alone.
 	SolveTime time.Duration
+	// BlobReserve is the blob-memory reservation carved out of the joint
+	// pool before solving (zero when workspace had the pool to itself).
+	BlobReserve int64
+	// EffectiveBudget is the workspace budget the ILP actually solved
+	// under: the joint pool minus BlobReserve.
+	EffectiveBudget int64
 }
 
 // OptimizeWD runs the Workspace Division optimizer of §III-C: desirable
@@ -42,8 +48,21 @@ type WDResult struct {
 // sequentially. This matches the variable counts the paper reports
 // (562 binary variables for ResNet-50).
 func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (*WDResult, error) {
+	return OptimizeWDReserved(b, kernels, totalLimit, 0, policy)
+}
+
+// OptimizeWDReserved is OptimizeWD over a joint memory pool: totalLimit
+// bytes are shared between per-kernel workspaces and a blob-memory
+// reservation of reserve bytes (the out-of-core scheduler's peak
+// activation working set). The reservation is carved out of the
+// already-assembled ILP budget row via ilp.TightenBudget, so kernel
+// configurations compete only for what activations left behind.
+func OptimizeWDReserved(b *Bencher, kernels []Kernel, totalLimit, reserve int64, policy Policy) (*WDResult, error) {
 	if len(kernels) == 0 {
 		return nil, fmt.Errorf("core: no kernels to optimize")
+	}
+	if reserve < 0 || reserve >= totalLimit {
+		return nil, fmt.Errorf("core: blob reserve %d outside joint pool of %d bytes", reserve, totalLimit)
 	}
 	optStart := time.Now() //ucudnn:allow detlint -- timing feeds the wdSeconds metric only, never the ILP
 	defer b.m.wdSeconds.ObserveSince(optStart)
@@ -67,8 +86,9 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 		g.count++
 		groupOf[i] = g
 	}
+	effective := totalLimit - reserve
 	for _, g := range groups {
-		front, err := DesirableSet(b, g.kernel, totalLimit, policy)
+		front, err := DesirableSet(b, g.kernel, effective, policy)
 		if err != nil {
 			return nil, err
 		}
@@ -108,6 +128,11 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 	for i := range prob.Binary {
 		prob.Binary[i] = true
 	}
+	// The blob reservation tightens the budget row in place (row 0 is the
+	// workspace LE row assembled above), so the solver sees one joint pool.
+	if err := prob.TightenBudget(0, float64(reserve)*wsScale); err != nil {
+		return nil, fmt.Errorf("core: WD joint pool: %w", err)
+	}
 	for _, g := range groups {
 		row := make([]float64, n)
 		s := starts[g]
@@ -130,7 +155,7 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 		return nil, fmt.Errorf("core: WD ILP: %w", err)
 	}
 	if res.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: WD ILP %v: no configuration assignment fits %d bytes", res.Status, totalLimit)
+		return nil, fmt.Errorf("core: WD ILP %v: no configuration assignment fits %d bytes (joint pool %d, blob reserve %d)", res.Status, effective, totalLimit, reserve)
 	}
 
 	chosen := map[*group]ScoredConfig{}
@@ -140,7 +165,10 @@ func OptimizeWD(b *Bencher, kernels []Kernel, totalLimit int64, policy Policy) (
 			chosen[r.g] = r.g.front[r.cfg]
 		}
 	}
-	out := &WDResult{ILPVars: n, ILPNodes: res.Nodes, SimplexIters: res.SimplexIters, SolveTime: solveTime}
+	out := &WDResult{
+		ILPVars: n, ILPNodes: res.Nodes, SimplexIters: res.SimplexIters, SolveTime: solveTime,
+		BlobReserve: reserve, EffectiveBudget: effective,
+	}
 	for _, g := range groups {
 		sc, ok := chosen[g]
 		if !ok {

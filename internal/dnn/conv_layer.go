@@ -37,6 +37,20 @@ type Conv struct {
 	groups     int
 	in, out    tensor.Shape
 	xg, yg, dg *tensor.Tensor
+
+	// Out-of-core window state: descriptors, algorithms and workspace
+	// sizes per micro-batch window size. Setup seeds the planned sizes
+	// (so WD registers the kernels actually executed); sizes the
+	// degradation ladder improvises later are queried lazily and fall to
+	// the library's WR path. Nil when the layer runs whole-batch.
+	win map[int]*convWindow
+}
+
+// convWindow is one micro-batch window size's kernel state.
+type convWindow struct {
+	xd, yd          cudnn.TensorDesc
+	fwd, bwdD, bwdF conv.Algo
+	wsF, wsBD, wsBF int64
 }
 
 // NewConv builds a conv layer with square kernels.
@@ -138,24 +152,43 @@ func (l *Conv) Setup(ctx *Context, bottoms []tensor.Shape) (tensor.Shape, error)
 
 	// Algorithm selection and workspace queries through the framework's
 	// preference convention (Caffe: explicit limit; TF: PreferFastest).
+	// Under out-of-core execution the layer runs in micro-batch windows,
+	// so the windows' shapes — not the whole batch — are what the library
+	// must select algorithms (and, under WD, register kernels) for.
 	pref, limit := ctx.Pref, ctx.WorkspaceLimit
-	if l.fwdAlgo, err = ctx.Conv.GetConvolutionForwardAlgorithm(l.xd, l.wd, l.cd, l.yd, pref, limit); err != nil {
-		return tensor.Shape{}, err
-	}
-	if l.bwdDAlgo, err = ctx.Conv.GetConvolutionBackwardDataAlgorithm(l.wd, l.yd, l.cd, l.xd, pref, limit); err != nil {
-		return tensor.Shape{}, err
-	}
-	if l.bwdFAlgo, err = ctx.Conv.GetConvolutionBackwardFilterAlgorithm(l.xd, l.yd, l.cd, l.wd, pref, limit); err != nil {
-		return tensor.Shape{}, err
-	}
-	if l.wsFBytes, err = ctx.Conv.GetConvolutionForwardWorkspaceSize(l.xd, l.wd, l.cd, l.yd, l.fwdAlgo); err != nil {
-		return tensor.Shape{}, err
-	}
-	if l.wsBDBytes, err = ctx.Conv.GetConvolutionBackwardDataWorkspaceSize(l.wd, l.yd, l.cd, l.xd, l.bwdDAlgo); err != nil {
-		return tensor.Shape{}, err
-	}
-	if l.wsBFBytes, err = ctx.Conv.GetConvolutionBackwardFilterWorkspaceSize(l.xd, l.yd, l.cd, l.wd, l.bwdFAlgo); err != nil {
-		return tensor.Shape{}, err
+	if ctx.OOC != nil {
+		l.win = map[int]*convWindow{}
+		for i, wn := range ctx.OOC.SetupSizes() {
+			w, werr := l.winFor(ctx, wn)
+			if werr != nil {
+				return tensor.Shape{}, werr
+			}
+			if i == 0 {
+				l.fwdAlgo, l.bwdDAlgo, l.bwdFAlgo = w.fwd, w.bwdD, w.bwdF
+			}
+			l.wsFBytes = imax64(l.wsFBytes, w.wsF)
+			l.wsBDBytes = imax64(l.wsBDBytes, w.wsBD)
+			l.wsBFBytes = imax64(l.wsBFBytes, w.wsBF)
+		}
+	} else {
+		if l.fwdAlgo, err = ctx.Conv.GetConvolutionForwardAlgorithm(l.xd, l.wd, l.cd, l.yd, pref, limit); err != nil {
+			return tensor.Shape{}, err
+		}
+		if l.bwdDAlgo, err = ctx.Conv.GetConvolutionBackwardDataAlgorithm(l.wd, l.yd, l.cd, l.xd, pref, limit); err != nil {
+			return tensor.Shape{}, err
+		}
+		if l.bwdFAlgo, err = ctx.Conv.GetConvolutionBackwardFilterAlgorithm(l.xd, l.yd, l.cd, l.wd, pref, limit); err != nil {
+			return tensor.Shape{}, err
+		}
+		if l.wsFBytes, err = ctx.Conv.GetConvolutionForwardWorkspaceSize(l.xd, l.wd, l.cd, l.yd, l.fwdAlgo); err != nil {
+			return tensor.Shape{}, err
+		}
+		if l.wsBDBytes, err = ctx.Conv.GetConvolutionBackwardDataWorkspaceSize(l.wd, l.yd, l.cd, l.xd, l.bwdDAlgo); err != nil {
+			return tensor.Shape{}, err
+		}
+		if l.wsBFBytes, err = ctx.Conv.GetConvolutionBackwardFilterWorkspaceSize(l.xd, l.yd, l.cd, l.wd, l.bwdFAlgo); err != nil {
+			return tensor.Shape{}, err
+		}
 	}
 	// Each kernel's workspace counts against device memory individually
 	// (frameworks allocate per layer); the host backing is the context's
@@ -201,9 +234,175 @@ func (l *Conv) WorkspaceBytes() (fwd, bwdData, bwdFilter int64) {
 	return l.wsFBytes, l.wsBDBytes, l.wsBFBytes
 }
 
+func imax64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sampleOrNil returns the [lo, lo+n) sample window of t, passing nil
+// through for timing-only runs whose blobs have no host backing.
+func sampleOrNil(t *tensor.Tensor, lo, n int) *tensor.Tensor {
+	if t == nil {
+		return nil
+	}
+	return t.Sample(lo, n)
+}
+
+// winFor returns (querying lazily if needed) the kernel state for a
+// micro-batch window of n samples: window-shaped descriptors plus the
+// library's algorithm and workspace answers for that shape.
+func (l *Conv) winFor(ctx *Context, n int) (*convWindow, error) {
+	if w, ok := l.win[n]; ok {
+		return w, nil
+	}
+	cg := l.in.C / l.groups
+	w := &convWindow{}
+	var err error
+	if w.xd, err = cudnn.NewTensorDesc(n, cg, l.in.H, l.in.W); err != nil {
+		return nil, err
+	}
+	if w.yd, err = cudnn.GetOutputDim(w.xd, l.wd, l.cd); err != nil {
+		return nil, err
+	}
+	pref, limit := ctx.Pref, ctx.WorkspaceLimit
+	if w.fwd, err = ctx.Conv.GetConvolutionForwardAlgorithm(w.xd, l.wd, l.cd, w.yd, pref, limit); err != nil {
+		return nil, err
+	}
+	if w.bwdD, err = ctx.Conv.GetConvolutionBackwardDataAlgorithm(l.wd, w.yd, l.cd, w.xd, pref, limit); err != nil {
+		return nil, err
+	}
+	if w.bwdF, err = ctx.Conv.GetConvolutionBackwardFilterAlgorithm(w.xd, w.yd, l.cd, l.wd, pref, limit); err != nil {
+		return nil, err
+	}
+	if w.wsF, err = ctx.Conv.GetConvolutionForwardWorkspaceSize(w.xd, l.wd, l.cd, w.yd, w.fwd); err != nil {
+		return nil, err
+	}
+	if w.wsBD, err = ctx.Conv.GetConvolutionBackwardDataWorkspaceSize(l.wd, w.yd, l.cd, w.xd, w.bwdD); err != nil {
+		return nil, err
+	}
+	if w.wsBF, err = ctx.Conv.GetConvolutionBackwardFilterWorkspaceSize(w.xd, w.yd, l.cd, l.wd, w.bwdF); err != nil {
+		return nil, err
+	}
+	l.win[n] = w
+	return w, nil
+}
+
+// forwardOOC runs the forward convolution over the executor's window
+// partition: ascending contiguous sample windows, each a whole kernel
+// call on window-shaped descriptors. Per-sample independence makes the
+// concatenated windows bitwise equal to the undivided call.
+func (l *Conv) forwardOOC(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
+	cg, kg := l.in.C/l.groups, l.k/l.groups
+	lo := 0
+	for _, c := range ctx.OOC.partition() {
+		w, err := l.winFor(ctx, c)
+		if err != nil {
+			return err
+		}
+		if l.groups == 1 {
+			if err := ctx.Conv.ConvolutionForward(1, w.xd, sampleOrNil(bottoms[0], lo, c), l.wd, l.filter, l.cd, w.fwd, ctx.Workspace(w.wsF), 0, w.yd, sampleOrNil(top, lo, c)); err != nil {
+				return err
+			}
+		} else {
+			xg, yg := sampleOrNil(l.xg, lo, c), sampleOrNil(l.yg, lo, c)
+			xv, yv := sampleOrNil(bottoms[0], lo, c), sampleOrNil(top, lo, c)
+			for g := 0; g < l.groups; g++ {
+				ctx.ChargeMem(2 * (w.xd.Shape().Bytes() + w.yd.Shape().Bytes()))
+				if !ctx.SkipCompute {
+					copyChannels(xg, 0, xv, g*cg, cg)
+				}
+				if err := ctx.Conv.ConvolutionForward(1, w.xd, xg, l.wd, l.groupFilter(g, false), l.cd, w.fwd, ctx.Workspace(w.wsF), 0, w.yd, yg); err != nil {
+					return err
+				}
+				if !ctx.SkipCompute {
+					copyChannels(yv, g*kg, yg, 0, kg)
+				}
+			}
+		}
+		lo += c
+	}
+	return nil
+}
+
+// backwardFilterOOC accumulates dW over the window partition with
+// beta=1: ascending contiguous windows reproduce the undivided
+// ascending-n reduction bit for bit (the same contract micro-batching
+// itself relies on).
+func (l *Conv) backwardFilterOOC(ctx *Context, bottoms []*tensor.Tensor, dTop *tensor.Tensor) error {
+	cg, kg := l.in.C/l.groups, l.k/l.groups
+	lo := 0
+	for _, c := range ctx.OOC.partition() {
+		w, err := l.winFor(ctx, c)
+		if err != nil {
+			return err
+		}
+		if l.groups == 1 {
+			if err := ctx.Conv.ConvolutionBackwardFilter(1, w.xd, sampleOrNil(bottoms[0], lo, c), w.yd, sampleOrNil(dTop, lo, c), l.cd, w.bwdF, ctx.Workspace(w.wsBF), 1, l.wd, l.dFilter); err != nil {
+				return err
+			}
+		} else {
+			xg, dg := sampleOrNil(l.xg, lo, c), sampleOrNil(l.dg, lo, c)
+			xv, dv := sampleOrNil(bottoms[0], lo, c), sampleOrNil(dTop, lo, c)
+			for g := 0; g < l.groups; g++ {
+				ctx.ChargeMem(2 * (w.xd.Shape().Bytes() + w.yd.Shape().Bytes()))
+				if !ctx.SkipCompute {
+					copyChannels(xg, 0, xv, g*cg, cg)
+					copyChannels(dg, 0, dv, g*kg, kg)
+				}
+				if err := ctx.Conv.ConvolutionBackwardFilter(1, w.xd, xg, w.yd, dg, l.cd, w.bwdF, ctx.Workspace(w.wsBF), 1, l.wd, l.groupFilter(g, true)); err != nil {
+					return err
+				}
+			}
+		}
+		lo += c
+	}
+	return nil
+}
+
+// backwardDataOOC computes dX over the window partition (beta=0; window
+// writes are disjoint, so the concatenation is the undivided result).
+func (l *Conv) backwardDataOOC(ctx *Context, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
+	cg, kg := l.in.C/l.groups, l.k/l.groups
+	lo := 0
+	for _, c := range ctx.OOC.partition() {
+		w, err := l.winFor(ctx, c)
+		if err != nil {
+			return err
+		}
+		if l.groups == 1 {
+			if err := ctx.Conv.ConvolutionBackwardData(1, l.wd, l.filter, w.yd, sampleOrNil(dTop, lo, c), l.cd, w.bwdD, ctx.Workspace(w.wsBD), 0, w.xd, sampleOrNil(dBottoms[0], lo, c)); err != nil {
+				return err
+			}
+		} else {
+			xg, dg := sampleOrNil(l.xg, lo, c), sampleOrNil(l.dg, lo, c)
+			dxv, dv := sampleOrNil(dBottoms[0], lo, c), sampleOrNil(dTop, lo, c)
+			for g := 0; g < l.groups; g++ {
+				ctx.ChargeMem(2 * (w.xd.Shape().Bytes() + w.yd.Shape().Bytes()))
+				if !ctx.SkipCompute {
+					copyChannels(dg, 0, dv, g*kg, kg)
+				}
+				if err := ctx.Conv.ConvolutionBackwardData(1, l.wd, l.groupFilter(g, false), w.yd, dg, l.cd, w.bwdD, ctx.Workspace(w.wsBD), 0, w.xd, xg); err != nil {
+					return err
+				}
+				if !ctx.SkipCompute {
+					copyChannels(dxv, g*cg, xg, 0, cg)
+				}
+			}
+		}
+		lo += c
+	}
+	return nil
+}
+
 // Forward implements Layer.
 func (l *Conv) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tensor) error {
-	if l.groups == 1 {
+	if ctx.OOC != nil {
+		if err := l.forwardOOC(ctx, bottoms, top); err != nil {
+			return err
+		}
+	} else if l.groups == 1 {
 		if err := ctx.Conv.ConvolutionForward(1, l.xd, bottoms[0], l.wd, l.filter, l.cd, l.fwdAlgo, ctx.Workspace(l.wsFBytes), 0, l.yd, top); err != nil {
 			return err
 		}
@@ -244,7 +443,11 @@ func (l *Conv) Forward(ctx *Context, bottoms []*tensor.Tensor, top *tensor.Tenso
 
 // Backward implements Layer.
 func (l *Conv) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tensor.Tensor, dBottoms []*tensor.Tensor) error {
-	if l.groups == 1 {
+	if ctx.OOC != nil {
+		if err := l.backwardFilterOOC(ctx, bottoms, dTop); err != nil {
+			return err
+		}
+	} else if l.groups == 1 {
 		// Parameter gradients accumulate (beta=1); the trainer zeroes them.
 		if err := ctx.Conv.ConvolutionBackwardFilter(1, l.xd, bottoms[0], l.yd, dTop, l.cd, l.bwdFAlgo, ctx.Workspace(l.wsBFBytes), 1, l.wd, l.dFilter); err != nil {
 			return err
@@ -280,6 +483,9 @@ func (l *Conv) Backward(ctx *Context, bottoms []*tensor.Tensor, top, dTop *tenso
 	}
 	if l.skipInputGrad {
 		return nil
+	}
+	if ctx.OOC != nil {
+		return l.backwardDataOOC(ctx, dTop, dBottoms)
 	}
 	if l.groups == 1 {
 		return ctx.Conv.ConvolutionBackwardData(1, l.wd, l.filter, l.yd, dTop, l.cd, l.bwdDAlgo, ctx.Workspace(l.wsBDBytes), 0, l.xd, dBottoms[0])

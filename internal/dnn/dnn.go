@@ -69,6 +69,12 @@ type Context struct {
 	// recorder to get the paper's Fig. 3 view: layer rows above the
 	// micro-batched kernels that implement them.
 	Trace *trace.Recorder
+	// OOC, when non-nil, streams the mini-batch through the network in
+	// micro-batch windows under a blob-memory budget (see ooc.go). Set it
+	// before the network is built: Setup sizes convolution kernels to the
+	// planned windows and accounts the planned peak working set instead
+	// of whole-batch activations.
+	OOC *OOCState
 
 	label string
 
@@ -225,7 +231,7 @@ func (n *Net) Setup() error {
 		return fmt.Errorf("dnn: network input not declared")
 	}
 	shapes := map[string]tensor.Shape{n.inputName: n.inputShape}
-	if err := n.addBlob(n.inputName, n.inputShape); err != nil {
+	if err := n.addBlobCharged(n.inputName, n.inputShape, n.ctx.OOC == nil); err != nil {
 		return err
 	}
 	for _, li := range n.layers {
@@ -252,20 +258,30 @@ func (n *Net) Setup() error {
 		if ip, ok := li.layer.(inPlacer); ok && ip.InPlace() {
 			charge = false
 		}
+		if n.ctx.OOC != nil {
+			// Out-of-core execution streams activations: individual blobs
+			// are not device-resident whole; the planned peak working set
+			// is charged once below.
+			charge = false
+		}
 		if err := n.addBlobCharged(li.top, out, charge); err != nil {
 			return err
 		}
 	}
 	n.ready = true
+	if ooc := n.ctx.OOC; ooc != nil {
+		if err := ooc.bind(n); err != nil {
+			return err
+		}
+		if err := n.ctx.Cudnn.Mem().Alloc(ooc.Plan.PeakBytes); err != nil {
+			return fmt.Errorf("dnn: allocating OOC working set: %w", err)
+		}
+	}
 	return nil
 }
 
 // inPlacer marks layers whose top may alias their bottom on the device.
 type inPlacer interface{ InPlace() bool }
-
-func (n *Net) addBlob(name string, s tensor.Shape) error {
-	return n.addBlobCharged(name, s, true)
-}
 
 func (n *Net) addBlobCharged(name string, s tensor.Shape, charge bool) error {
 	if charge {
@@ -349,6 +365,11 @@ func (n *Net) forwardLayer(i int) error {
 	prof.SetLayer(li.layer.Name())
 	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
 	defer n.layerSpan(li.layer.Name(), "forward")()
+	if n.ctx.OOC != nil {
+		if err := n.ctx.OOC.beginLayer(n.ctx, i, false); err != nil {
+			return err
+		}
+	}
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	for j, b := range li.bottoms {
 		bot[j] = n.blobs[b].Data
@@ -405,6 +426,11 @@ func (n *Net) backwardLayer(i int) error {
 	prof.SetLayer(n.ctx.label)
 	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
 	defer n.layerSpan(li.layer.Name(), "backward")()
+	if n.ctx.OOC != nil {
+		if err := n.ctx.OOC.beginLayer(n.ctx, i, true); err != nil {
+			return err
+		}
+	}
 	bot := make([]*tensor.Tensor, len(li.bottoms))
 	dbot := make([]*tensor.Tensor, len(li.bottoms))
 	for j, b := range li.bottoms {

@@ -1,0 +1,124 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+)
+
+// FuzzOOCSchedule fuzzes the out-of-core planner and executor across
+// micro-batch counts, budgets and graph shapes: the plan must be
+// deterministic, its peak claim must match independent recomputation and
+// respect the budget (except at the documented recompute floor), and the
+// executor's window partitions must cover the batch exactly — at every
+// rung of the degradation ladder, without panicking.
+func FuzzOOCSchedule(f *testing.F) {
+	f.Add(4, int64(1<<20), []byte{8, 3, 1, 16, 2}, 0)
+	f.Add(1, int64(1), []byte{1}, 1)
+	f.Add(7, int64(77777), []byte{255, 0, 17, 4, 9, 33, 2, 128}, 3)
+	f.Add(32, int64(9), []byte{5, 5, 5, 5, 5, 5}, 9)
+	f.Fuzz(func(t *testing.T, batch int, budget int64, shape []byte, ladderSteps int) {
+		if batch < 1 || batch > 64 {
+			return
+		}
+		if budget < 1 || budget > 1<<40 {
+			return
+		}
+		if len(shape) == 0 || len(shape) > 64 {
+			return
+		}
+
+		// The shape bytes seed a deterministic graph: slab sizes and layer
+		// touch sets come from a PRNG over their sum, so every corpus entry
+		// names one exact model.
+		var seed int64
+		for _, b := range shape {
+			seed = seed*257 + int64(b) + 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := &OOCModel{Batch: batch}
+		nSlabs := 1 + rng.Intn(16)
+		for i := 0; i < nSlabs; i++ {
+			per := int64(1 + rng.Intn(1<<14))
+			m.Slabs = append(m.Slabs, OOCSlab{Name: "s", PerSample: per, Full: 2 * per * int64(batch)})
+		}
+		nLayers := 1 + rng.Intn(12)
+		for i := 0; i < nLayers; i++ {
+			foot := OOCLayerFoot{Name: "l", Barrier: rng.Intn(5) == 0, Out: rng.Intn(nSlabs)}
+			seen := map[int]bool{foot.Out: true}
+			foot.Slabs = []int{foot.Out}
+			for k := rng.Intn(4); k > 0; k-- {
+				if s := rng.Intn(nSlabs); !seen[s] {
+					seen[s] = true
+					foot.In = append(foot.In, s)
+					foot.Slabs = append(foot.Slabs, s)
+				}
+			}
+			m.Layers = append(m.Layers, foot)
+		}
+
+		plan, err := PlanOOC(m, budget)
+		if err != nil {
+			t.Fatalf("planner rejected a well-formed model: %v", err)
+		}
+		replan, err := PlanOOC(m, budget)
+		if err != nil || plan.Chunk != replan.Chunk || plan.PeakBytes != replan.PeakBytes ||
+			plan.Floor != replan.Floor || len(plan.Resident) != len(replan.Resident) {
+			t.Fatalf("plan not deterministic: %+v vs %+v (%v)", plan, replan, err)
+		}
+		resident := map[int]bool{}
+		for _, s := range plan.Resident {
+			resident[s] = true
+		}
+		if got := oraclePeak(m, plan.Chunk, resident); got != plan.PeakBytes {
+			t.Fatalf("peak claim %d != oracle %d", plan.PeakBytes, got)
+		}
+		if !plan.Floor && plan.PeakBytes > plan.Budget-plan.WSShare {
+			t.Fatalf("plan exceeds budget: peak %d, budget %d, ws share %d", plan.PeakBytes, plan.Budget, plan.WSShare)
+		}
+		if plan.Chunk < 1 || plan.Chunk > batch {
+			t.Fatalf("chunk %d out of range for batch %d", plan.Chunk, batch)
+		}
+
+		// Drive the executor through every layer, walking the ladder
+		// between passes: partitions must stay ascending contiguous covers
+		// of the batch whatever rung we are on.
+		inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+		ctx := NewContext(inner, inner, 1<<30)
+		o := NewOOCState(m, plan)
+		if ladderSteps < 0 {
+			ladderSteps = -ladderSteps
+		}
+		for step := 0; step <= ladderSteps%8; step++ {
+			for i := range m.Layers {
+				for _, backward := range []bool{false, true} {
+					if err := o.beginLayer(ctx, i, backward); err != nil {
+						t.Fatalf("beginLayer(%d): %v", i, err)
+					}
+					sum := 0
+					for _, c := range o.partition() {
+						if c < 1 {
+							t.Fatalf("empty window in partition %v", o.partition())
+						}
+						sum += c
+					}
+					if sum != batch {
+						t.Fatalf("partition %v covers %d of batch %d", o.partition(), sum, batch)
+					}
+				}
+			}
+			o.stepLadder("fuzz")
+		}
+		rep := o.Report()
+		if rep.Chunk < 1 {
+			t.Fatalf("degraded chunk %d", rep.Chunk)
+		}
+		for _, n := range o.SetupSizes() {
+			if n < 1 || n > batch {
+				t.Fatalf("setup size %d out of range", n)
+			}
+		}
+	})
+}

@@ -52,6 +52,17 @@ const (
 	// PointCacheLoad corrupts one line of the benchmark-cache file as it
 	// is read, exercising the tolerant cache loader.
 	PointCacheLoad Point = "ucudnn_fp_cache_load"
+	// PointOOCFetch shrinks (or denies) an out-of-core micro-batch fetch,
+	// simulating transfer pressure; the OOC executor degrades to finer
+	// micro-batches.
+	PointOOCFetch Point = "ucudnn_fp_ooc_fetch"
+	// PointOOCSpill fails an out-of-core activation spill; the executor
+	// drops the buffer, marks it for recompute and degrades.
+	PointOOCSpill Point = "ucudnn_fp_ooc_spill"
+	// PointOOCPlan forces the out-of-core planner to adopt a schedule one
+	// rung finer than the memory model requires (conservative planning
+	// under an unreliable allocator).
+	PointOOCPlan Point = "ucudnn_fp_ooc_plan"
 )
 
 // MetricFaultInjected counts fired injections, labeled by point.

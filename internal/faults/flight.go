@@ -20,6 +20,7 @@ var evFaultShot = flight.Register(EvFaultShot, fmtFaultShot)
 var knownPoints = [...]Point{
 	PointKernelRun, PointConvolve, PointFind,
 	PointArenaGrow, PointDnnWorkspace, PointCacheLoad,
+	PointOOCFetch, PointOOCSpill, PointOOCPlan,
 }
 
 // Effect codes carried in EvFaultShot's c word; effectNames[code] is

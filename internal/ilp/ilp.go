@@ -57,6 +57,29 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
+// TightenBudget subtracts delta from the right-hand side of the LE
+// constraint at row, carving a reservation out of an already-assembled
+// budget row (the Workspace Division optimizer uses it to reserve blob
+// memory from the joint workspace+activation pool). delta must be
+// nonnegative and must not drive the budget negative: a reservation that
+// consumes the whole pool is a caller error, not an infeasible ILP.
+func (p *Problem) TightenBudget(row int, delta float64) error {
+	if row < 0 || row >= len(p.LP.B) {
+		return fmt.Errorf("ilp: TightenBudget row %d out of range [0,%d)", row, len(p.LP.B))
+	}
+	if p.LP.Rel[row] != lp.LE {
+		return fmt.Errorf("ilp: TightenBudget row %d is not a <= budget row", row)
+	}
+	if delta < 0 {
+		return fmt.Errorf("ilp: TightenBudget delta %g is negative", delta)
+	}
+	if p.LP.B[row]-delta < 0 {
+		return fmt.Errorf("ilp: reservation %g exceeds budget %g at row %d", delta, p.LP.B[row], row)
+	}
+	p.LP.B[row] -= delta
+	return nil
+}
+
 // Validate checks structural consistency.
 func (p *Problem) Validate() error {
 	if err := p.LP.Validate(); err != nil {

@@ -316,3 +316,42 @@ func TestFullyFixedNodePath(t *testing.T) {
 		t.Fatalf("status %v obj %v", r.Status, r.Obj)
 	}
 }
+
+// TightenBudget carves a reservation out of a <= budget row in place —
+// the WD joint-pool hook — and rejects every malformed call.
+func TestTightenBudget(t *testing.T) {
+	mk := func() *Problem {
+		return &Problem{
+			LP: lp.Problem{
+				C:   []float64{-1, -1},
+				A:   [][]float64{{1, 1}, {1, 0}},
+				B:   []float64{10, 1},
+				Rel: []lp.Relation{lp.LE, lp.EQ},
+			},
+			Binary: []bool{true, true},
+		}
+	}
+	p := mk()
+	if err := p.TightenBudget(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.LP.B[0] != 6 {
+		t.Fatalf("budget after tighten = %v, want 6", p.LP.B[0])
+	}
+	for _, bad := range []struct {
+		name  string
+		row   int
+		delta float64
+	}{
+		{"row out of range", 5, 1},
+		{"negative row", -1, 1},
+		{"non-LE row", 1, 0.5},
+		{"negative delta", 0, -1},
+		{"reservation exceeds budget", 0, 11},
+	} {
+		q := mk()
+		if err := q.TightenBudget(bad.row, bad.delta); err == nil {
+			t.Errorf("%s: want error, got nil", bad.name)
+		}
+	}
+}

@@ -38,7 +38,8 @@ var (
 
 func runCached(t *testing.T, mode Mode, spec RunSpec, workers int) *Result {
 	t.Helper()
-	key := fmt.Sprintf("%s|%v|wd=%v|p=%d|faults=%s", spec.Network, mode, spec.WD, workers, spec.Faults)
+	key := fmt.Sprintf("%s|%v|wd=%v|p=%d|faults=%s|blob=%d|cap=%d",
+		spec.Network, mode, spec.WD, workers, spec.Faults, spec.BlobBudget, spec.DeviceCap)
 	runCacheMu.Lock()
 	res, ok := runCache[key]
 	runCacheMu.Unlock()

@@ -45,7 +45,8 @@ func bitsFloat(b uint32) float32 {
 	return math.Float32frombits(b)
 }
 
-// The golden end-to-end suite: every zoo network, WR and WD, each at
+// The golden end-to-end suite: every zoo network under WR, WD, and
+// out-of-core streaming (OOC: WR plus a mid-sweep blob budget), each at
 // engine parallelism P = 1 and P = 4. The committed fingerprints pin the
 // numerics; comparing P = 1 against P = 4 pins the engine's bit-identical
 // worker-count contract at whole-network scale.
@@ -63,14 +64,14 @@ func TestGoldenNetworks(t *testing.T) {
 	}
 	got := map[string]goldenEntry{}
 	for _, name := range testNetworks(t) {
-		for _, wd := range []bool{false, true} {
-			mode := "WR"
-			if wd {
-				mode = "WD"
-			}
+		for _, mode := range []string{"WR", "WD", "OOC"} {
 			key := name + "/" + mode
 			t.Run(key, func(t *testing.T) {
-				spec := RunSpec{Network: name, Batch: batchFor(name), WD: wd}
+				spec := RunSpec{Network: name, Batch: batchFor(name), WD: mode == "WD"}
+				if mode == "OOC" {
+					_, budgets := oocBudgets(t, name, spec.Batch)
+					spec.BlobBudget = budgets[1]
+				}
 				p4 := runCached(t, Micro, spec, 4)
 				p1 := runCached(t, Micro, spec, 1)
 				compareResults(t, key+": P=4 vs P=1", p4, p1)

@@ -1,0 +1,179 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"ucudnn/internal/dnn"
+)
+
+// oocBudgets derives the blob-budget sweep for one network from its own
+// footprint model: ample (whole batch streams in one window), mid
+// (genuine multi-window streaming), and starved (below the smallest
+// undivided layer footprint — micro-batch 1 with nothing resident still
+// does not fit, so the planner must land on the recompute floor).
+func oocBudgets(t *testing.T, network string, batch int) (m *dnn.OOCModel, budgets []int64) {
+	t.Helper()
+	m, err := ProbeFootprint(network, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholePeak := m.Peak(batch, nil)
+	floorPeak := m.Peak(1, nil)
+	ample := 2 * wholePeak
+	mid := (floorPeak + wholePeak) / 2
+	starved := floorPeak - 1
+	if starved < 1 {
+		t.Fatalf("%s: floor peak %d leaves no room for a starved budget", network, floorPeak)
+	}
+	return m, []int64{ample, mid, starved}
+}
+
+// The out-of-core tentpole assertion: every zoo network, under every
+// swept blob budget — including one below the smallest undivided layer
+// footprint — produces bitwise-identical loss and parameter gradients to
+// the undivided run, in both WR and WD modes.
+func TestOOCDifferentialAllNetworks(t *testing.T) {
+	for _, name := range testNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			batch := batchFor(name)
+			m, budgets := oocBudgets(t, name, batch)
+			und := runCached(t, Undivided, RunSpec{Network: name, Batch: batch}, 4)
+			sawFloor := false
+			for _, wd := range []bool{false, true} {
+				for bi, budget := range budgets {
+					spec := RunSpec{Network: name, Batch: batch, WD: wd, BlobBudget: budget}
+					r := runCached(t, Micro, spec, 4)
+					label := fmt.Sprintf("%s: undivided vs ooc[wd=%v,budget=%d]", name, wd, budget)
+					compareResults(t, label, und, r)
+					if r.OOC == nil {
+						t.Fatalf("%s: no OOC report", label)
+					}
+					if bi == len(budgets)-1 {
+						// The starved budget sits below the micro-batch-1
+						// peak: only the recompute floor can schedule it.
+						if !r.OOC.Floor {
+							t.Errorf("%s: starved budget did not reach the recompute floor (%+v)", label, *r.OOC)
+						}
+						sawFloor = r.OOC.Floor
+						if r.OOC.RecomputeBytes == 0 {
+							t.Errorf("%s: recompute floor moved no recompute bytes", label)
+						}
+					} else if r.OOC.Floor {
+						t.Errorf("%s: feasible budget degraded to the floor (%+v)", label, *r.OOC)
+					}
+					if r.OOC.FetchBytes == 0 {
+						t.Errorf("%s: OOC run modeled no fetch traffic", label)
+					}
+					_ = m
+				}
+			}
+			if !sawFloor {
+				t.Errorf("%s: sweep never exercised the recompute floor", name)
+			}
+		})
+	}
+}
+
+// Streaming must actually divide the batch into several windows at the
+// mid budget — a sweep whose plans all run one whole-batch window would
+// pass the differential vacuously.
+func TestOOCStreamsInWindows(t *testing.T) {
+	name := "inception"
+	batch := batchFor(name)
+	_, budgets := oocBudgets(t, name, batch)
+	r := runCached(t, Micro, RunSpec{Network: name, Batch: batch, BlobBudget: budgets[1]}, 4)
+	if r.OOC == nil || r.OOC.Windows < 2 {
+		t.Fatalf("mid budget did not stream in windows: %+v", r.OOC)
+	}
+}
+
+// An armed ucudnn_fp_ooc_* schedule must degrade the stream to a finer
+// window partition without moving a single bit: the acceptance-criteria
+// fault leg. The plan point fires at state construction (one rung finer
+// from the start); the fetch point shrinks a grant mid-pass.
+func TestOOCFaultsDegradeWithoutBitDrift(t *testing.T) {
+	name := "inception"
+	batch := batchFor(name)
+	_, budgets := oocBudgets(t, name, batch)
+	und := runCached(t, Undivided, RunSpec{Network: name, Batch: batch}, 4)
+	for _, sched := range []string{
+		"ucudnn_fp_ooc_plan=nth:1",
+		"ucudnn_fp_ooc_fetch=nth:4,shrink=2",
+		"ucudnn_fp_ooc_spill=nth:3",
+	} {
+		spec := RunSpec{Network: name, Batch: batch, BlobBudget: budgets[0], Faults: sched}
+		r := runCached(t, MicroFaults, spec, 4)
+		compareResults(t, name+": undivided vs ooc+"+sched, und, r)
+		if r.Shots == "" {
+			t.Errorf("schedule %q never fired", sched)
+			continue
+		}
+		if r.OOC == nil || r.OOC.Degraded == 0 {
+			t.Errorf("schedule %q fired but the ladder never stepped: %+v", sched, r.OOC)
+		}
+	}
+
+	// A sustained fault storm must walk past the resident-drop rung into
+	// a genuinely finer window partition — and still match bitwise.
+	storm := "ucudnn_fp_ooc_fetch=every:1,shrink=2"
+	spec := RunSpec{Network: name, Batch: batch, BlobBudget: budgets[0], Faults: storm}
+	r := runCached(t, MicroFaults, spec, 4)
+	compareResults(t, name+": undivided vs ooc+storm", und, r)
+	if r.OOC == nil || r.OOC.Chunk >= batch {
+		t.Errorf("storm %q did not refine the window partition: %+v", storm, r.OOC)
+	}
+}
+
+// Out-of-core + WD share one joint pool, and degradation under faults
+// must hold bitwise equality there too (acceptance criteria: WR and WD,
+// with an injected ucudnn_fp_ooc_* fault).
+func TestOOCFaultsUnderWD(t *testing.T) {
+	name := "densenet40"
+	batch := batchFor(name)
+	_, budgets := oocBudgets(t, name, batch)
+	und := runCached(t, Undivided, RunSpec{Network: name, Batch: batch}, 4)
+	spec := RunSpec{Network: name, Batch: batch, WD: true, BlobBudget: budgets[0],
+		Faults: "ucudnn_fp_ooc_plan=nth:1;ucudnn_fp_ooc_fetch=every:6,shrink=2"}
+	r := runCached(t, MicroFaults, spec, 4)
+	compareResults(t, name+": undivided vs wd+ooc+faults", und, r)
+	if r.OOC == nil || r.OOC.Degraded == 0 || r.Shots == "" {
+		t.Fatalf("WD fault leg did not degrade: shots=%q ooc=%+v", r.Shots, r.OOC)
+	}
+}
+
+// The out-of-core e2e: a network whose undivided activation+workspace
+// footprint exceeds (modeled) device memory. Undivided setup must fail
+// with out-of-memory; the same network under a blob budget trains inside
+// the cap and reproduces the reference bits exactly.
+func TestOOCTrainsBeyondDeviceMemory(t *testing.T) {
+	name := "inception"
+	batch := batchFor(name)
+
+	// Reference bits and the undivided footprint, both on an uncapped
+	// device.
+	ref := runCached(t, Undivided, RunSpec{Network: name, Batch: batch}, 4)
+	m, err := ProbeFootprint(name, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := m.ActivationBytes()
+
+	// A cap below the undivided activation footprint alone: no amount of
+	// workspace thrift fits the whole network.
+	cap := footprint * 3 / 4
+	if _, err := Run(Undivided, RunSpec{Network: name, Batch: batch, DeviceCap: cap}); err == nil {
+		t.Fatalf("undivided %s set up inside a %d-byte cap (footprint %d); the cap is not binding", name, cap, footprint)
+	}
+
+	// Out-of-core under the same cap: budget the stream at half the cap,
+	// leaving room for parameters and workspace.
+	r, err := Run(Micro, RunSpec{Network: name, Batch: batch, DeviceCap: cap, BlobBudget: cap / 2})
+	if err != nil {
+		t.Fatalf("ooc run under cap %d: %v", cap, err)
+	}
+	compareResults(t, name+": undivided (uncapped) vs ooc (capped)", ref, r)
+	if r.OOC == nil || r.OOC.Windows < 2 {
+		t.Fatalf("capped run did not stream: %+v", r.OOC)
+	}
+}

@@ -110,6 +110,18 @@ type RunSpec struct {
 	Faults string
 	// Seed drives parameter init, input fill, and labels (default 1).
 	Seed int64
+	// BlobBudget, when positive, turns on out-of-core streaming: the
+	// network's activation/gradient working set is planned against this
+	// many bytes (dnn.PlanOOC) and convolutions execute in streamed
+	// micro-batch windows. Under WD the planned peak joins the workspace
+	// budget as one pool (core.WithBlobReserve); under WR the per-kernel
+	// workspace limit applies unchanged. Ignored in Undivided mode.
+	BlobBudget int64
+	// DeviceCap, when positive, overrides the simulated device's memory
+	// capacity: Setup fails if a run's footprint exceeds it. The
+	// out-of-core e2e uses this to prove a network whose undivided
+	// footprint exceeds device memory still trains under a blob budget.
+	DeviceCap int64
 }
 
 // ParamSum is one parameter gradient's fingerprint.
@@ -135,6 +147,9 @@ type Result struct {
 	// (MicroFaults mode only): everything needed to replay the run.
 	Schedule string
 	Shots    string
+	// OOC summarizes the out-of-core executor when BlobBudget was set:
+	// final window size, degradation count, and modeled transfer traffic.
+	OOC *dnn.OOCReport
 }
 
 // Fingerprint hashes the exact bit patterns of data (FNV-1a 64): two
@@ -230,6 +245,23 @@ func sumWorkspaces(network string, batch int) (max, total int64, err error) {
 	return max, total, nil
 }
 
+// ProbeFootprint extracts the named network's activation footprint model
+// by setting it up against a plain GEMM-pinned handle (no arithmetic
+// runs): the input for out-of-core planning and budget derivation.
+func ProbeFootprint(network string, batch int) (*dnn.OOCModel, error) {
+	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
+	inner.SetAlgoFilter(GemmOnly)
+	ctx := dnn.NewContext(inner, inner, 1<<30)
+	net, _, err := build(ctx, network, batch)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Setup(); err != nil {
+		return nil, fmt.Errorf("testkit: probing %s footprint: %w", network, err)
+	}
+	return dnn.FootprintModel(net)
+}
+
 // ProbeWorkspace measures the named network's workspace demand: the
 // anchors for auto-derived workspace limits.
 func ProbeWorkspace(network string, batch int) (Probe, error) {
@@ -281,15 +313,40 @@ func Run(mode Mode, spec RunSpec) (*Result, error) {
 		}
 	}
 
+	var oocModel *dnn.OOCModel
+	var oocPlan dnn.OOCPlan
+	if spec.BlobBudget > 0 && mode != Undivided {
+		m, err := ProbeFootprint(spec.Network, spec.Batch)
+		if err != nil {
+			return nil, err
+		}
+		oocPlan, err = dnn.PlanOOC(m, spec.BlobBudget)
+		if err != nil {
+			return nil, err
+		}
+		oocModel = m
+	}
+
 	inner := cudnn.NewHandle(device.P100, cudnn.ModelBackend)
 	inner.SetAlgoFilter(GemmOnly)
+	if spec.DeviceCap > 0 {
+		inner.Mem().Cap = spec.DeviceCap
+	}
 	var ch dnn.ConvHandle = inner
 	var h *core.Handle
 	ctxLimit := int64(1) << 30
 	if mode != Undivided {
 		opts := []core.Option{core.WithAlgoFilter(GemmOnly), core.WithPolicy(policy)}
 		if spec.WD {
-			opts = append(opts, core.WithWD(limit))
+			wdLimit := limit
+			if oocModel != nil {
+				// One joint pool: the blob working set is carved out of the
+				// WD budget, so workspace and activations trade off inside
+				// wdLimit instead of competing unaccounted.
+				wdLimit += oocPlan.PeakBytes
+				opts = append(opts, core.WithBlobReserve(oocPlan.PeakBytes))
+			}
+			opts = append(opts, core.WithWD(wdLimit))
 		} else {
 			opts = append(opts, core.WithWorkspaceLimit(limit))
 			ctxLimit = limit
@@ -328,6 +385,11 @@ func Run(mode Mode, spec RunSpec) (*Result, error) {
 
 	ctx := dnn.NewContext(ch, inner, ctxLimit)
 	ctx.RNG = rand.New(rand.NewSource(seed))
+	if oocModel != nil {
+		// After faults.Install, so an armed ucudnn_fp_ooc_plan point can
+		// force the state one ladder rung finer at construction.
+		ctx.OOC = dnn.NewOOCState(oocModel, oocPlan)
+	}
 	net, loss, err := build(ctx, spec.Network, spec.Batch)
 	if err != nil {
 		return nil, err
@@ -372,6 +434,10 @@ func Run(mode Mode, spec RunSpec) (*Result, error) {
 	}
 	if freg != nil {
 		res.Shots = freg.ShotLog()
+	}
+	if ctx.OOC != nil {
+		rep := ctx.OOC.Report()
+		res.OOC = &rep
 	}
 	return res, nil
 }
