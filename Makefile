@@ -8,7 +8,7 @@ COVER_FLOOR_core   = 88.0
 COVER_FLOOR_faults = 83.0
 COVER_FLOOR_dnn    = 87.0
 
-.PHONY: build test test-e2e bench bench-smoke bench-json benchdiff check cover-gate race fmt lint fuzz-smoke profile-smoke
+.PHONY: build test test-e2e bench bench-smoke bench-json benchdiff check cover-gate race fmt lint fuzz-smoke profile-smoke trace-smoke
 
 # benchdiff compares BENCH_report.json (from bench-json) against the
 # committed baseline. `make check` and CI run it strict
@@ -73,6 +73,15 @@ profile-smoke:
 	$(GO) run ./cmd/ucudnn-time -net alexnet -batch 8 -iters 1 -mode wr -ws 64 -profile PROF_report.json
 	$(GO) run ./cmd/ucudnn-profile -check PROF_report.json
 
+# trace-smoke exercises the causal-timeline pipeline end to end: a
+# blob-budgeted zoo run exporting the canonical timeline, then schema +
+# invariant + coverage validation of the resulting TRACE_timeline.json
+# (kept as a CI artifact next to PROF_report.json).
+trace-smoke:
+	$(GO) run ./cmd/ucudnn-trace -net alexnet -batch 16 -iters 1 -mode wd -total 256 -blob-budget 48 \
+		-ws 64 -o TRACE_timeline.json -critical-path -stalls
+	$(GO) run ./cmd/ucudnn-trace -check TRACE_timeline.json
+
 # lint runs the ucudnn-lint analyzer suite (detlint, hotpath, wsfloor,
 # metricname, faultpoint, phasename — see DESIGN.md "Static analysis")
 # over the whole module.
@@ -129,5 +138,6 @@ check: build
 	@$(MAKE) --no-print-directory bench-smoke
 	@$(MAKE) --no-print-directory fuzz-smoke
 	@$(MAKE) --no-print-directory profile-smoke
+	@$(MAKE) --no-print-directory trace-smoke
 	@$(MAKE) --no-print-directory bench-json
 	@$(MAKE) --no-print-directory benchdiff UCUDNN_BENCHDIFF_STRICT=1

@@ -1,0 +1,235 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ucudnn/internal/trace"
+)
+
+func TestReplayOverlap(t *testing.T) {
+	cases := []struct {
+		name                  string
+		fetch, compute, spill []int64
+		makespan, wait, tail  int64
+	}{
+		{"empty", nil, nil, nil, 0, 0, 0},
+		{"compute only", nil, []int64{5, 5}, nil, 10, 0, 0},
+		{"hidden fetch", []int64{2, 2, 2}, []int64{10, 10, 10}, nil, 32, 2, 0},
+		{"fetch bound", []int64{10, 10, 10}, []int64{2, 2, 2}, nil, 32, 26, 0},
+		{"spill tail", []int64{1, 1}, []int64{4, 4}, []int64{6, 6}, 17, 1, 8},
+		{"balanced", []int64{5, 5}, []int64{5, 5}, nil, 15, 5, 0},
+	}
+	for _, tc := range cases {
+		o := ReplayOverlap(tc.fetch, tc.compute, tc.spill)
+		if o.MakespanNS != tc.makespan || o.FetchWaitNS != tc.wait || o.SpillTailNS != tc.tail {
+			t.Errorf("%s: got {makespan %d, wait %d, tail %d}, want {%d, %d, %d}",
+				tc.name, o.MakespanNS, o.FetchWaitNS, o.SpillTailNS, tc.makespan, tc.wait, tc.tail)
+		}
+	}
+}
+
+// bruteLongest is the oracle: the maximum total duration over every
+// dependency chain (e_1..e_k with e_i ending before e_{i+1} starts),
+// found by exhaustive DP over the happens-before DAG. Events must be in
+// start order with positive durations (which Build guarantees for
+// measured timelines).
+func bruteLongest(evs []TEvent) int64 {
+	best := make([]int64, len(evs))
+	var max int64
+	for i, e := range evs {
+		best[i] = e.DurNS
+		for j := 0; j < i; j++ {
+			if evs[j].End() <= e.StartNS && best[j]+e.DurNS > best[i] {
+				best[i] = best[j] + e.DurNS
+			}
+		}
+		if best[i] > max {
+			max = best[i]
+		}
+	}
+	return max
+}
+
+// oraclePath runs the engine over bare leaves (the analyzer synthesizes
+// the iteration window) and compares PathNS to the brute-force oracle.
+func oraclePath(t *testing.T, name string, evs []trace.Event) IterationPath {
+	t.Helper()
+	tl := Build(evs, nil)
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	a := Analyze(tl, nil)
+	if len(a.Iterations) != 1 {
+		t.Fatalf("%s: %d iterations, want 1", name, len(a.Iterations))
+	}
+	p := a.Iterations[0]
+	if want := bruteLongest(tl.Events); p.PathNS != want {
+		t.Fatalf("%s: engine path %d != brute-force longest chain %d", name, p.PathNS, want)
+	}
+	return p
+}
+
+// The critical-path engine vs the brute-force oracle on hand-built
+// schedules: serial tiling, a fork-join, and a double-buffered
+// three-stream layout.
+func TestCriticalPathOracle(t *testing.T) {
+	serial := []trace.Event{
+		tev("a", "fwd", 0, 0, 5, 1, 0, 0),
+		tev("b", "fwd", 0, 5, 3, 2, 0, 0),
+		tev("c", "fwd", 0, 8, 12, 3, 0, 0),
+	}
+	p := oraclePath(t, "serial", serial)
+	if p.PathNS != 20 || p.Coverage != 1.0 {
+		t.Fatalf("serial tiling: path %d coverage %v, want 20 / 1.0", p.PathNS, p.Coverage)
+	}
+
+	forkJoin := []trace.Event{
+		tev("long", "fwd", 0, 0, 10, 1, 0, 0),
+		tev("short", "fwd", 1, 0, 4, 2, 0, 0),
+		tev("join", "fwd", 0, 10, 5, 3, 0, 0),
+	}
+	if p := oraclePath(t, "fork-join", forkJoin); p.PathNS != 15 {
+		t.Fatalf("fork-join: path %d, want 15 (long+join)", p.PathNS)
+	}
+
+	doubleBuffered := []trace.Event{
+		tev("f1", "ooc_fetch", trace.TrackOOCFetch, 0, 6, 1, 0, 0),
+		tev("c1", "ooc", trace.TrackKernel, 6, 4, 2, 0, 0),
+		tev("f2", "ooc_fetch", trace.TrackOOCFetch, 6, 8, 3, 0, 0),
+		tev("s1", "ooc_spill", trace.TrackOOCSpill, 10, 3, 4, 0, 0),
+		tev("c2", "ooc", trace.TrackKernel, 14, 6, 5, 0, 0),
+		tev("s2", "ooc_spill", trace.TrackOOCSpill, 20, 3, 6, 0, 0),
+	}
+	if p := oraclePath(t, "double-buffered", doubleBuffered); p.PathNS != 23 {
+		t.Fatalf("double-buffered: path %d, want 23 (f1,f2,c2,s2)", p.PathNS)
+	}
+}
+
+// Randomized serial tilings: the chain must cover the whole window, so
+// the engine, the oracle and the plain sum must all agree.
+func TestCriticalPathSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var evs []trace.Event
+		var at, sum time.Duration
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			d := time.Duration(1 + rng.Intn(1000))
+			evs = append(evs, tev("k", "fwd", 0, at, d, uint64(i+1), 0, 0))
+			at += d
+			sum += d
+		}
+		p := oraclePath(t, "serial random", evs)
+		if p.PathNS != sum.Nanoseconds() {
+			t.Fatalf("trial %d: path %d, want tiling sum %d", trial, p.PathNS, sum)
+		}
+		if p.Coverage != 1.0 {
+			t.Fatalf("trial %d: coverage %v, want 1.0", trial, p.Coverage)
+		}
+	}
+}
+
+// Gaps on the critical path get exactly one cause from the taxonomy,
+// with fault evidence taking precedence over stream heuristics.
+func TestClassifyGap(t *testing.T) {
+	faultFloor := TEvent{Name: "degrade conv -> floor", Cat: "fault", StartNS: 10, DurNS: 5}
+	faultGrow := TEvent{Name: "degrade conv -> halved", Cat: "fault", StartNS: 10, DurNS: 5}
+	pred := TEvent{Name: "k1", Cat: "fwd", StartNS: 0, DurNS: 10}
+	cur := TEvent{Name: "k2", Cat: "fwd", StartNS: 20, DurNS: 10}
+	if got := classifyGap(pred, cur, []TEvent{faultFloor}); got != CauseSerialFallback {
+		t.Fatalf("floor fault gap = %q", got)
+	}
+	if got := classifyGap(pred, cur, []TEvent{faultGrow}); got != CauseWorkspaceWait {
+		t.Fatalf("workspace fault gap = %q", got)
+	}
+	fetch := TEvent{Name: "ooc_fetch conv1", Cat: "ooc_fetch", StartNS: 20, DurNS: 10}
+	if got := classifyGap(pred, fetch, nil); got != CauseFetchStarved {
+		t.Fatalf("fetch gap = %q", got)
+	}
+	spill := TEvent{Name: "ooc_spill conv1", Cat: "ooc_spill", StartNS: 20, DurNS: 10}
+	if got := classifyGap(pred, spill, nil); got != CauseSpillBlocked {
+		t.Fatalf("spill gap = %q", got)
+	}
+	if got := classifyGap(pred, cur, nil); got != CauseOther {
+		t.Fatalf("unexplained gap = %q", got)
+	}
+}
+
+// The layer comparator: a layer whose windows serialize fetch → compute
+// shows a fetch-starved stall equal to the hideable fetch time.
+func TestLayerStallAttribution(t *testing.T) {
+	scopes := []Scope{
+		{ID: 1, Kind: KindIteration, Name: "iteration"},
+		{ID: 2, Parent: 1, Kind: KindLayer, Name: "conv1"},
+	}
+	// Two windows, measured fully serial: fetch 10 then compute 10 each.
+	evs := []trace.Event{
+		tev("ooc_fetch conv1", "ooc_fetch", trace.TrackOOCFetch, 0, 10, 3, 2, 0),
+		tev("mb[0]", "fwd", trace.TrackKernel, 10, 10, 4, 2, 0),
+		tev("ooc_fetch conv1", "ooc_fetch", trace.TrackOOCFetch, 20, 10, 5, 2, 0),
+		tev("mb[1]", "fwd", trace.TrackKernel, 30, 10, 6, 2, 0),
+	}
+	a := Analyze(Build(evs, scopes), nil)
+	if len(a.Layers) != 1 {
+		t.Fatalf("layers: %+v", a.Layers)
+	}
+	l := a.Layers[0]
+	// Modeled: fetch 2 overlaps compute 1 → makespan 30; measured 40.
+	if l.Layer != "conv1" || l.Windows != 2 || l.MeasuredNS != 40 || l.ModeledNS != 30 || l.StallNS != 10 {
+		t.Fatalf("layer stall: %+v", l)
+	}
+	if l.Cause != CauseFetchStarved {
+		t.Fatalf("cause %q, want %q", l.Cause, CauseFetchStarved)
+	}
+	if a.StallNS[CauseFetchStarved] < 10 {
+		t.Fatalf("stall totals: %+v", a.StallNS)
+	}
+}
+
+// Worker-imbalance attribution kicks in only when the busy map reports
+// a low mean worker busy ratio for the layer.
+func TestWorkerImbalanceAttribution(t *testing.T) {
+	l := &LayerStall{Layer: "conv1", StallNS: 100, FetchNS: 50}
+	if got := classifyLayer(l, "", map[string]float64{"conv1": 0.4}); got != CauseWorkerImbalance {
+		t.Fatalf("low busy ratio = %q", got)
+	}
+	if got := classifyLayer(l, "", map[string]float64{"conv1": 0.9}); got != CauseFetchStarved {
+		t.Fatalf("healthy busy ratio = %q", got)
+	}
+	if got := classifyLayer(l, CauseSerialFallback, nil); got != CauseSerialFallback {
+		t.Fatalf("fault evidence must win: %q", got)
+	}
+	if got := classifyLayer(&LayerStall{StallNS: 0}, "", nil); got != "" {
+		t.Fatalf("no stall must have no cause: %q", got)
+	}
+}
+
+func TestSplitEven(t *testing.T) {
+	for _, tc := range []struct {
+		total int64
+		n     int
+		want  []int64
+	}{
+		{10, 3, []int64{3, 3, 4}},
+		{9, 3, []int64{3, 3, 3}},
+		{5, 1, []int64{5}},
+		{7, 0, []int64{7}},
+	} {
+		got := splitEven(tc.total, tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("splitEven(%d,%d) = %v", tc.total, tc.n, got)
+		}
+		var sum int64
+		for i := range got {
+			sum += got[i]
+			if got[i] != tc.want[i] {
+				t.Fatalf("splitEven(%d,%d) = %v, want %v", tc.total, tc.n, got, tc.want)
+			}
+		}
+		if sum != tc.total {
+			t.Fatalf("splitEven(%d,%d) does not conserve the sum: %v", tc.total, tc.n, got)
+		}
+	}
+}

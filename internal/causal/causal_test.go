@@ -1,0 +1,87 @@
+package causal
+
+import "testing"
+
+// The scope stack: Begin nests, End restores, leaves share the ID
+// space, and everything is a zero-valued no-op while disabled.
+func TestScopeStack(t *testing.T) {
+	Reset()
+	if Current() != 0 || NewLeaf() != 0 {
+		t.Fatal("disabled recording must hand out zero IDs")
+	}
+	if tok := Begin(KindLayer, "conv1"); tok != (Token{}) {
+		t.Fatalf("disabled Begin returned %+v", tok)
+	}
+	End(Token{}) // must not panic or disturb anything
+
+	Enable()
+	defer Disable()
+	defer Reset()
+
+	it := Begin(KindIteration, "iteration")
+	if it.ID == 0 || it.Parent != 0 {
+		t.Fatalf("root scope token %+v", it)
+	}
+	if Current() != it.ID {
+		t.Fatalf("Current() = %d, want %d", Current(), it.ID)
+	}
+	layer := Begin(KindLayer, "conv1")
+	if layer.Parent != it.ID {
+		t.Fatalf("nested parent %d, want %d", layer.Parent, it.ID)
+	}
+	conv := Begin(KindConv, "conv2d(...)")
+	leaf := NewLeaf()
+	if leaf == 0 || leaf == conv.ID {
+		t.Fatalf("leaf ID %d must be fresh (conv %d)", leaf, conv.ID)
+	}
+	if Current() != conv.ID {
+		t.Fatalf("Current() = %d inside conv %d", Current(), conv.ID)
+	}
+	End(conv)
+	if Current() != layer.ID {
+		t.Fatalf("End did not restore layer scope: %d", Current())
+	}
+	End(layer)
+	End(it)
+	if Current() != 0 {
+		t.Fatalf("stack not empty after unwinding: %d", Current())
+	}
+
+	scopes := Scopes()
+	if len(scopes) != 3 {
+		t.Fatalf("recorded %d scopes, want 3", len(scopes))
+	}
+	wantKinds := []string{KindIteration, KindLayer, KindConv}
+	for i, s := range scopes {
+		if s.Kind != wantKinds[i] {
+			t.Fatalf("scope %d kind %q, want %q", i, s.Kind, wantKinds[i])
+		}
+	}
+	if scopes[1].Parent != scopes[0].ID || scopes[2].Parent != scopes[1].ID {
+		t.Fatalf("scope parent chain broken: %+v", scopes)
+	}
+
+	Reset()
+	if len(Scopes()) != 0 || Current() != 0 {
+		t.Fatal("Reset must clear the log and the stack")
+	}
+	if first := Begin(KindIteration, "again"); first.ID != 1 {
+		t.Fatalf("post-Reset IDs must restart at 1, got %d", first.ID)
+	}
+	End(Token{ID: 1, Parent: 0})
+}
+
+// Disable freezes the log so a timeline can still be built afterwards.
+func TestDisableKeepsLog(t *testing.T) {
+	Reset()
+	Enable()
+	Begin(KindIteration, "iteration")
+	Disable()
+	defer Reset()
+	if len(Scopes()) != 1 {
+		t.Fatal("Disable must keep the recorded scopes")
+	}
+	if NewLeaf() != 0 {
+		t.Fatal("NewLeaf after Disable must return 0")
+	}
+}

@@ -1,0 +1,226 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ucudnn/internal/trace"
+)
+
+// Schema identifies the timeline JSON layout; ucudnn-trace -check
+// refuses anything else.
+const Schema = "ucudnn-causal-timeline/v1"
+
+// TEvent is one leaf span of the exported timeline: a unit of work that
+// occupied a track for [StartNS, StartNS+DurNS).
+type TEvent struct {
+	// Span is the event's canonical identifier (scopes are numbered
+	// first, then events in timeline order).
+	Span uint64 `json:"span"`
+	// Parent is the enclosing scope's ID; 0 at the root.
+	Parent uint64 `json:"parent,omitempty"`
+	// Flow is the Span of the event this one causally waited on across
+	// tracks; 0 when none.
+	Flow    uint64 `json:"flow,omitempty"`
+	Name    string `json:"name"`
+	Cat     string `json:"cat"`
+	Track   int    `json:"track"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// End is the event's completion time in nanoseconds.
+func (e TEvent) End() int64 { return e.StartNS + e.DurNS }
+
+// Timeline is the unified causal timeline: the scope tree (iterations,
+// layers, conv calls) plus every recorded span, canonically numbered so
+// the exported bytes are identical across worker counts and profiling
+// on/off.
+type Timeline struct {
+	Schema string   `json:"schema"`
+	Scopes []Scope  `json:"scopes"`
+	Events []TEvent `json:"events"`
+}
+
+// bracketCats are the categories of non-leaf annotation spans: brackets
+// mirror scopes on the timeline (their duration double-covers their
+// children) and fault spans double-cover the retried kernels they
+// explain. Everything else is a leaf that exclusively occupied its
+// track.
+var bracketCats = map[string]bool{
+	"forward":   true,
+	"backward":  true,
+	"iteration": true,
+	"fault":     true,
+}
+
+// Leaf reports whether the event is a leaf work span (participates in
+// critical-path and stall accounting) rather than a bracket/annotation.
+func (e TEvent) Leaf() bool { return !bracketCats[e.Cat] }
+
+// Build assembles the canonical timeline from recorded trace events and
+// the scope log. Raw span IDs are allocation-ordered and vary with
+// recording interleaving; Build renumbers them positionally — scopes
+// 1..S in recording order, events S+1.. in sorted (Start, Track, Name)
+// order — which is what makes the export deterministic.
+func Build(events []trace.Event, scopes []Scope) *Timeline {
+	t := &Timeline{Schema: Schema, Scopes: []Scope{}, Events: []TEvent{}}
+	scopeMap := make(map[ID]ID, len(scopes))
+	for i, s := range scopes {
+		id := ID(i + 1)
+		scopeMap[s.ID] = id
+		t.Scopes = append(t.Scopes, Scope{ID: id, Parent: scopeMap[s.Parent], Kind: s.Kind, Name: s.Name})
+	}
+	evs := append([]trace.Event{}, events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		if evs[i].Track != evs[j].Track {
+			return evs[i].Track < evs[j].Track
+		}
+		if evs[i].Name != evs[j].Name {
+			return evs[i].Name < evs[j].Name
+		}
+		return evs[i].Span < evs[j].Span
+	})
+	eventMap := make(map[uint64]uint64, len(evs))
+	next := uint64(len(scopes))
+	for _, e := range evs {
+		next++
+		if e.Span != 0 {
+			eventMap[e.Span] = next
+		}
+	}
+	next = uint64(len(scopes))
+	for _, e := range evs {
+		next++
+		te := TEvent{
+			Span:    next,
+			Parent:  uint64(scopeMap[ID(e.Parent)]),
+			Flow:    eventMap[e.Flow],
+			Name:    e.Name,
+			Cat:     e.Cat,
+			Track:   e.Track,
+			StartNS: e.Start.Nanoseconds(),
+			DurNS:   e.Dur.Nanoseconds(),
+		}
+		t.Events = append(t.Events, te)
+	}
+	return t
+}
+
+// TraceEvents converts the timeline back to trace events (for the
+// Chrome renderer).
+func (t *Timeline) TraceEvents() []trace.Event {
+	out := make([]trace.Event, len(t.Events))
+	for i, e := range t.Events {
+		out[i] = trace.Event{
+			Name: e.Name, Cat: e.Cat, Track: e.Track,
+			Start: time.Duration(e.StartNS), Dur: time.Duration(e.DurNS),
+			Span: e.Span, Parent: e.Parent, Flow: e.Flow,
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the canonical timeline JSON (the -check / determinism
+// contract is over exactly these bytes).
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// WriteChrome renders the timeline as Chrome trace-event JSON with
+// span/parent args, flow arrows and named tracks.
+func (t *Timeline) WriteChrome(w io.Writer) error {
+	return trace.WriteChromeEvents(w, t.TraceEvents())
+}
+
+// ReadTimeline parses a timeline exported by WriteJSON.
+func ReadTimeline(r io.Reader) (*Timeline, error) {
+	var t Timeline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("causal: parse timeline: %w", err)
+	}
+	return &t, nil
+}
+
+// Validate checks the timeline invariants ucudnn-trace -check enforces:
+// the schema tag; scope IDs dense 1..S with parents preceding children;
+// event IDs dense S+1.. in canonical (start, track, name) order; parents
+// referencing scopes; flow edges referencing events that completed
+// before the dependent started; and leaf spans on one track never
+// overlapping (bracket/annotation tracks are exempt — brackets cover
+// their children by design).
+func (t *Timeline) Validate() error {
+	if t.Schema != Schema {
+		return fmt.Errorf("causal: schema %q, want %q", t.Schema, Schema)
+	}
+	for i, s := range t.Scopes {
+		if s.ID != ID(i+1) {
+			return fmt.Errorf("causal: scope %d has ID %d, want dense numbering", i, s.ID)
+		}
+		if s.Parent >= s.ID {
+			return fmt.Errorf("causal: scope %d parent %d does not precede it", s.ID, s.Parent)
+		}
+	}
+	nScopes := uint64(len(t.Scopes))
+	byID := make(map[uint64]TEvent, len(t.Events))
+	prev := TEvent{StartNS: -1 << 62}
+	for i, e := range t.Events {
+		if e.Span != nScopes+uint64(i)+1 {
+			return fmt.Errorf("causal: event %d has span %d, want dense numbering after %d scopes", i, e.Span, nScopes)
+		}
+		if e.DurNS < 0 || e.StartNS < 0 {
+			return fmt.Errorf("causal: event %d (%s) has negative time", e.Span, e.Name)
+		}
+		if e.Parent != 0 && e.Parent > nScopes {
+			return fmt.Errorf("causal: event %d parent %d is not a scope", e.Span, e.Parent)
+		}
+		if i > 0 {
+			if e.StartNS < prev.StartNS ||
+				(e.StartNS == prev.StartNS && (e.Track < prev.Track ||
+					(e.Track == prev.Track && e.Name < prev.Name))) {
+				return fmt.Errorf("causal: events not in canonical order at %d (%s)", e.Span, e.Name)
+			}
+		}
+		byID[e.Span] = e
+		prev = e
+	}
+	tracks := map[int][]TEvent{}
+	for _, e := range t.Events {
+		if e.Flow != 0 {
+			src, ok := byID[e.Flow]
+			if !ok {
+				return fmt.Errorf("causal: event %d flow %d is not an event", e.Span, e.Flow)
+			}
+			if src.End() > e.StartNS {
+				return fmt.Errorf("causal: event %d starts at %d before its dependency %d ends at %d",
+					e.Span, e.StartNS, e.Flow, src.End())
+			}
+		}
+		if e.Leaf() {
+			tracks[e.Track] = append(tracks[e.Track], e)
+		}
+	}
+	ids := make([]int, 0, len(tracks))
+	for tr := range tracks {
+		ids = append(ids, tr)
+	}
+	sort.Ints(ids)
+	for _, tr := range ids {
+		evs := tracks[tr]
+		for i := 1; i < len(evs); i++ {
+			if evs[i].StartNS < evs[i-1].End() {
+				return fmt.Errorf("causal: track %d leaf spans overlap: %q and %q", tr, evs[i-1].Name, evs[i].Name)
+			}
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ucudnn/internal/causal"
 	"ucudnn/internal/conv"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/tensor"
@@ -217,11 +218,13 @@ func (h *Handle) adopt(k Kernel, plan Plan, stage string, clockStart time.Durati
 	flight.Rec(evFallback, h.id, stageCode(stage), int64(k.Op), 1)
 	if h.tracer != nil {
 		h.tracer.Add(trace.Event{
-			Name:  "degrade " + k.String() + " -> " + stage,
-			Cat:   "fault",
-			Start: clockStart,
-			Dur:   h.inner.Elapsed() - clockStart,
-			Track: 2,
+			Name:   "degrade " + k.String() + " -> " + stage,
+			Cat:    "fault",
+			Start:  clockStart,
+			Dur:    h.inner.Elapsed() - clockStart,
+			Track:  trace.TrackFault,
+			Span:   uint64(causal.NewLeaf()),
+			Parent: uint64(causal.Current()),
 		})
 	}
 }

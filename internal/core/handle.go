@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ucudnn/internal/causal"
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/faults"
@@ -316,13 +317,30 @@ func (h *Handle) Metrics() *obs.Registry { return h.opts.Metrics }
 // TraceRecorder returns the timeline recorder attached via TracePath
 // (nil when tracing is disabled). Attach it to a dnn.Context's Trace
 // field to add per-layer spans alongside the kernel spans.
-func (h *Handle) TraceRecorder() *trace.Recorder { return h.tracer }
+func (h *Handle) TraceRecorder() *trace.Recorder {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tracer
+}
+
+// SetTraceRecorder attaches (or, with nil, detaches) a timeline
+// recorder at runtime: the inner handle records every kernel charge to
+// it, and the debug server's timeline endpoint picks it up through
+// TraceRecorder. ucudnn-trace uses this to scope recording to the
+// measured iterations while keeping the live endpoint populated.
+func (h *Handle) SetTraceRecorder(r *trace.Recorder) {
+	h.mu.Lock()
+	h.tracer = r
+	h.mu.Unlock()
+	h.inner.SetTrace(r)
+}
 
 // Flush exports the configured observability outputs: metrics to
 // Options.MetricsPath and the timeline to Options.TracePath. Framework
 // integrations call it once at process exit (the examples do); paths
 // that are unset are skipped, so Flush is always safe to call.
 func (h *Handle) Flush() error {
+	flight.SyncMetrics(h.opts.Metrics)
 	if err := h.opts.Metrics.WriteFile(h.opts.MetricsPath); err != nil {
 		return err
 	}
@@ -480,6 +498,8 @@ func (h *Handle) execute(op conv.Op, cs tensor.ConvShape, x *tensor.Tensor, w *t
 	ep, err := h.ensurePlan(k)
 	h.execMu.Lock()
 	defer h.execMu.Unlock()
+	sc := causal.Begin(causal.KindConv, k.String())
+	defer causal.End(sc)
 	pstart := int64(0)
 	if prof.Enabled() {
 		pstart = prof.Begin(k.String())

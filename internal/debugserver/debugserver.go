@@ -12,6 +12,7 @@
 //	plan       per-kernel algo/division/workspace table (?format=json)
 //	profile    per-phase cost-attribution report (JSON; ?format=table)
 //	workspace  arena-occupancy timeline from flight events (JSON)
+//	timeline   live causal timeline (?format=chrome|table|analysis)
 //	buildinfo  module, Go version and VCS stamp (JSON)
 package debugserver
 
@@ -26,9 +27,11 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"ucudnn/internal/causal"
 	"ucudnn/internal/core"
 	"ucudnn/internal/flight"
 	"ucudnn/internal/obs"
+	"ucudnn/internal/trace"
 )
 
 // defaultEventCount bounds /events responses unless ?n= asks otherwise.
@@ -47,6 +50,7 @@ func Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /debug/ucudnn/plan", servePlan)
 	mux.HandleFunc("GET /debug/ucudnn/profile", serveProfile)
 	mux.HandleFunc("GET /debug/ucudnn/workspace", serveWorkspace)
+	mux.HandleFunc("GET /debug/ucudnn/timeline", serveTimeline)
 	mux.HandleFunc("GET /debug/ucudnn/buildinfo", serveBuildInfo)
 	return mux
 }
@@ -60,6 +64,7 @@ func serveIndex(w http.ResponseWriter, _ *http.Request) {
 		"plan       per-kernel algo/division/workspace table (?format=json)",
 		"profile    per-phase cost-attribution report (JSON, ?format=table)",
 		"workspace  arena-occupancy timeline (JSON)",
+		"timeline   live causal timeline (?format=chrome|table|analysis)",
 		"buildinfo  module, Go version, VCS stamp (JSON)",
 	} {
 		fmt.Fprintln(w, "  /debug/ucudnn/"+ep)
@@ -71,6 +76,7 @@ func serveMetrics(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
 		http.Error(w, "no metrics registry attached (run with -metrics or -debug-addr wiring)", http.StatusNotFound)
 		return
 	}
+	flight.SyncMetrics(reg)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var err error
 	if r.URL.Query().Get("format") == "summary" {
@@ -92,12 +98,13 @@ type eventJSON struct {
 	B     int64  `json:"b"`
 	C     int64  `json:"c"`
 	D     int64  `json:"d"`
+	Span  uint64 `json:"span,omitempty"`
 	Text  string `json:"text"`
 }
 
 func toEventJSON(e flight.Event) eventJSON {
 	return eventJSON{Seq: e.Seq, TNS: e.TimeNS, Event: e.Name(),
-		A: e.A, B: e.B, C: e.C, D: e.D, Text: e.Text()}
+		A: e.A, B: e.B, C: e.C, D: e.D, Span: e.Span, Text: e.Text()}
 }
 
 func serveEvents(w http.ResponseWriter, r *http.Request) {
@@ -114,10 +121,12 @@ func serveEvents(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
 		Total    uint64      `json:"total_recorded"`
 		Capacity int         `json:"ring_capacity"`
+		Dropped  uint64      `json:"dropped_total"`
 		Events   []eventJSON `json:"events"`
 	}{Total: flight.Active().Total(), Events: make([]eventJSON, 0, len(evs))}
 	if rec := flight.Active(); rec != nil {
 		resp.Capacity = rec.Capacity()
+		resp.Dropped = rec.Dropped()
 	}
 	for _, e := range evs {
 		resp.Events = append(resp.Events, toEventJSON(e))
@@ -219,6 +228,38 @@ func serveWorkspace(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// serveTimeline builds the live causal timeline from every handle's
+// trace recorder plus the causal scope log. Canonical JSON by default
+// (the same bytes ucudnn-trace -o emits); ?format=chrome renders
+// Chrome trace-event JSON with flow arrows, ?format=table the
+// critical-path/stall report, ?format=analysis the analysis as JSON.
+func serveTimeline(w http.ResponseWriter, r *http.Request) {
+	var evs []trace.Event
+	for _, h := range core.Handles() {
+		if rec := h.TraceRecorder(); rec != nil {
+			evs = append(evs, rec.Events()...)
+		}
+	}
+	t := causal.Build(evs, causal.Scopes())
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		causal.Analyze(t, nil).WriteTable(w)
+	case "analysis":
+		writeJSON(w, causal.Analyze(t, nil))
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
 }
 
 func serveBuildInfo(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,134 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ucudnn/internal/causal"
+	"ucudnn/internal/conv"
+	"ucudnn/internal/core"
+	"ucudnn/internal/cudnn"
+	"ucudnn/internal/device"
+	"ucudnn/internal/obs"
+	"ucudnn/internal/tensor"
+)
+
+// The live timeline endpoint: canonical JSON by default, plus the
+// chrome, table and analysis renderings, all built from the handle's
+// trace recorder and the causal scope log.
+func TestTimelineEndpoint(t *testing.T) {
+	causal.Reset()
+	causal.Enable()
+	defer func() {
+		causal.Disable()
+		causal.Reset()
+	}()
+
+	h, err := core.New(cudnn.NewHandle(device.P100, cudnn.ModelBackend),
+		core.WithWorkspaceLimit(1<<20),
+		core.WithTracePath(filepath.Join(t.TempDir(), "trace.json")),
+		core.WithAlgoFilter(func(op conv.Op, a conv.Algo) bool { return a == conv.AlgoGemm }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, _ := cudnn.NewTensorDesc(8, 4, 10, 10)
+	wd, _ := cudnn.NewFilterDesc(6, 4, 3, 3)
+	cd, _ := cudnn.NewConvDesc(1, 1, 1, 1, 1, 1)
+	yd, _ := cudnn.GetOutputDim(xd, wd, cd)
+	cs := cudnn.Shape(xd, wd, cd)
+	x := tensor.NewShaped(cs.In)
+	w := tensor.NewFilter(6, 4, 3, 3)
+	y := tensor.NewShaped(cs.OutShape())
+	algo, err := h.GetConvolutionForwardAlgorithm(xd, wd, cd, yd, cudnn.SpecifyWorkspaceLimit, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ConvolutionForward(1, xd, x, wd, w, cd, algo, nil, 0, yd, y); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Start("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr() + "/debug/ucudnn/timeline"
+
+	code, body := get(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	tl, err := causal.ReadTimeline(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("timeline JSON: %v", err)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Events) == 0 || len(tl.Scopes) == 0 {
+		t.Fatalf("empty live timeline: %d scopes, %d events", len(tl.Scopes), len(tl.Events))
+	}
+	// The conv-call scope the executed kernel ran under must be present.
+	foundConv := false
+	for _, s := range tl.Scopes {
+		if s.Kind == causal.KindConv {
+			foundConv = true
+		}
+	}
+	if !foundConv {
+		t.Fatal("no conv scope in the live timeline")
+	}
+
+	code, body = get(t, base+"?format=chrome")
+	if code != http.StatusOK || !strings.Contains(body, `"ph":"M"`) {
+		t.Fatalf("chrome rendering (status %d) missing track metadata:\n%.200s", code, body)
+	}
+	code, body = get(t, base+"?format=table")
+	if code != http.StatusOK || !strings.Contains(body, "critical path:") {
+		t.Fatalf("table rendering (status %d):\n%.200s", code, body)
+	}
+	code, body = get(t, base+"?format=analysis")
+	if code != http.StatusOK {
+		t.Fatalf("analysis status %d: %s", code, body)
+	}
+	var a causal.Analysis
+	if err := json.Unmarshal([]byte(body), &a); err != nil {
+		t.Fatalf("analysis JSON: %v\n%.200s", err, body)
+	}
+	if len(a.Iterations) == 0 || a.WallNS <= 0 {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+}
+
+// The events endpoint reports the ring's overwrite count and stamps
+// spans on correlated events.
+func TestEventsDroppedTotal(t *testing.T) {
+	code, body := get(t, startServer(t)+"/events?n=4")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Dropped *uint64 `json:"dropped_total"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("events JSON: %v\n%s", err, body)
+	}
+	if resp.Dropped == nil {
+		t.Fatalf("events response missing dropped_total:\n%s", body)
+	}
+}
+
+// startServer spins up a server with a fresh registry and returns the
+// base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := Start("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + srv.Addr() + "/debug/ucudnn"
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ucudnn/internal/causal"
 	"ucudnn/internal/conv"
 	"ucudnn/internal/cudnn"
 	"ucudnn/internal/device"
@@ -363,8 +364,10 @@ func (n *Net) forwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name()
 	prof.SetLayer(li.layer.Name())
+	sc := causal.Begin(causal.KindLayer, li.layer.Name())
+	defer causal.End(sc)
 	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
-	defer n.layerSpan(li.layer.Name(), "forward")()
+	defer n.layerSpan(li.layer.Name(), "forward", sc)()
 	if n.ctx.OOC != nil {
 		if err := n.ctx.OOC.beginLayer(n.ctx, i, false); err != nil {
 			return err
@@ -382,22 +385,46 @@ func (n *Net) forwardLayer(i int) error {
 
 // layerSpan opens a per-layer span on the context's trace recorder and
 // returns the closure that records it; the span covers the simulated-
-// clock interval the layer's kernels charged. A no-op when tracing is
-// off.
-func (n *Net) layerSpan(name, dir string) func() {
+// clock interval the layer's kernels charged and carries the layer's
+// causal scope ID. A no-op when tracing is off.
+func (n *Net) layerSpan(name, dir string, sc causal.Token) func() {
+	return n.spanOn(trace.TrackLayer, name, dir, sc)
+}
+
+// spanOn records a bracket span on an arbitrary track covering the
+// simulated-clock interval between the call and the returned closure.
+func (n *Net) spanOn(track int, name, cat string, sc causal.Token) func() {
 	if n.ctx.Trace == nil {
 		return func() {}
 	}
 	start := n.ctx.Cudnn.Elapsed()
 	return func() {
 		n.ctx.Trace.Add(trace.Event{
-			Name:  name,
-			Cat:   dir,
-			Start: start,
-			Dur:   n.ctx.Cudnn.Elapsed() - start,
-			Track: 1,
+			Name:   name,
+			Cat:    cat,
+			Start:  start,
+			Dur:    n.ctx.Cudnn.Elapsed() - start,
+			Track:  track,
+			Span:   uint64(sc.ID),
+			Parent: uint64(sc.Parent),
 		})
 	}
+}
+
+// RunIteration runs one training iteration (forward + backward) inside
+// an iteration-level causal scope, recording an iteration bracket span.
+// This is the unit the critical-path engine analyzes.
+func (n *Net) RunIteration() error {
+	if err := n.Setup(); err != nil {
+		return err
+	}
+	sc := causal.Begin(causal.KindIteration, "iteration")
+	defer causal.End(sc)
+	defer n.spanOn(trace.TrackIteration, "iteration", "iteration", sc)()
+	if err := n.Forward(); err != nil {
+		return err
+	}
+	return n.Backward()
 }
 
 // Backward runs the full backward pass; loss layers seed their own bottom
@@ -424,8 +451,10 @@ func (n *Net) backwardLayer(i int) error {
 	li := n.layers[i]
 	n.ctx.label = li.layer.Name() + "/bwd"
 	prof.SetLayer(n.ctx.label)
+	sc := causal.Begin(causal.KindLayer, li.layer.Name())
+	defer causal.End(sc)
 	defer func() { n.ctx.label = ""; prof.SetLayer("") }()
-	defer n.layerSpan(li.layer.Name(), "backward")()
+	defer n.layerSpan(li.layer.Name(), "backward", sc)()
 	if n.ctx.OOC != nil {
 		if err := n.ctx.OOC.beginLayer(n.ctx, i, true); err != nil {
 			return err

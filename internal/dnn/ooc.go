@@ -37,6 +37,7 @@ import (
 	"ucudnn/internal/faults"
 	"ucudnn/internal/obs"
 	"ucudnn/internal/prof"
+	"ucudnn/internal/trace"
 )
 
 // The out-of-core metric series (on the state's private registry).
@@ -478,15 +479,25 @@ func (o *OOCState) stepLadder(stage string) {
 
 // charge models one transfer: the simulated clock pays a bandwidth-bound
 // kernel and the matching counter advances, inside the matching profiler
-// phase.
-func (o *OOCState) charge(ctx *Context, kind prof.Kind, c *obs.Counter, stream string, bytes int64) {
+// phase. Spans land on the dedicated transfer tracks matching
+// ScheduleOOC's three streams: fetches and recomputes on the H2D track,
+// spills on the D2H track (recompute replaces a fetch, so it competes
+// for the same stream). flow is the span this transfer depends on (a
+// window's spill and recompute flow from its fetch, mirroring the
+// modeled ScheduleOOC edges); the recorded span's own ID is returned.
+func (o *OOCState) charge(ctx *Context, kind prof.Kind, c *obs.Counter, stream string, bytes int64, flow uint64) uint64 {
 	if bytes <= 0 {
-		return
+		return 0
+	}
+	track := trace.TrackOOCFetch
+	if stream == "ooc_spill" {
+		track = trace.TrackOOCSpill
 	}
 	t := prof.Enter()
-	ctx.Cudnn.ChargeNamed(ctx.Label(), stream, ctx.Device().MemBoundTime(bytes))
+	span := ctx.Cudnn.ChargeFlow(track, ctx.Label(), stream, ctx.Device().MemBoundTime(bytes), flow)
 	c.Add(bytes)
 	prof.Exit(kind, t)
+	return span
 }
 
 // beginLayer models layer i's out-of-core traffic for one pass and
@@ -520,8 +531,8 @@ func (o *OOCState) beginLayer(ctx *Context, i int, backward bool) error {
 	if f.Barrier {
 		// Whole-batch layer: operands transfer whole, no windows.
 		o.part = append(o.part, o.model.Batch)
-		o.charge(ctx, kindOOCFetch, o.fetchC, "ooc_fetch", fetchPer*batch)
-		o.charge(ctx, kindOOCSpill, o.spillC, "ooc_spill", spillPer*batch)
+		fs := o.charge(ctx, kindOOCFetch, o.fetchC, "ooc_fetch", fetchPer*batch, 0)
+		o.charge(ctx, kindOOCSpill, o.spillC, "ooc_spill", spillPer*batch, fs)
 		return nil
 	}
 
@@ -536,21 +547,21 @@ func (o *OOCState) beginLayer(ctx *Context, i int, backward bool) error {
 			// smaller pieces), and subsequent windows go finer.
 			o.stepLadder("fetch")
 		}
-		o.charge(ctx, kindOOCFetch, o.fetchC, "ooc_fetch", fetch)
+		fs := o.charge(ctx, kindOOCFetch, o.fetchC, "ooc_fetch", fetch, 0)
 		if spill := spillPer * int64(c); spill > 0 {
 			if err := faults.Err(faults.PointOOCSpill); err != nil {
 				// Spill failed: drop the buffer, recompute it when next
 				// needed, and degrade.
-				o.charge(ctx, kindOOCRecompute, o.recomputeC, "ooc_recompute", spill)
+				o.charge(ctx, kindOOCRecompute, o.recomputeC, "ooc_recompute", spill, fs)
 				o.stepLadder("spill")
 			} else {
-				o.charge(ctx, kindOOCSpill, o.spillC, "ooc_spill", spill)
+				o.charge(ctx, kindOOCSpill, o.spillC, "ooc_spill", spill, fs)
 			}
 		}
 		if o.floor && backward {
 			// Recompute-everything floor: backward re-derives its inputs
 			// instead of re-fetching spilled activations.
-			o.charge(ctx, kindOOCRecompute, o.recomputeC, "ooc_recompute", fetchPer*int64(c))
+			o.charge(ctx, kindOOCRecompute, o.recomputeC, "ooc_recompute", fetchPer*int64(c), fs)
 		}
 		o.part = append(o.part, c)
 		lo += c

@@ -43,12 +43,15 @@ func (n *Net) ScheduleForward(rep *TimingReport, streams int) (*Schedule, error)
 	if len(rep.Layers) != len(n.layers) {
 		return nil, fmt.Errorf("dnn: report has %d layers, net has %d", len(rep.Layers), len(n.layers))
 	}
-	// blobReady[name] = completion time of the producing layer.
+	// blobReady[name] = completion time of the producing layer;
+	// blobSpan[name] = its span ID, the flow edge consumers point at.
 	blobReady := map[string]time.Duration{n.inputName: 0}
+	blobSpan := map[string]uint64{}
 	streamFree := make([]time.Duration, streams)
 	out := &Schedule{}
 	for i, li := range n.layers {
 		ready := time.Duration(0)
+		var flow uint64
 		for _, b := range li.bottoms {
 			t, ok := blobReady[b]
 			if !ok {
@@ -56,6 +59,7 @@ func (n *Net) ScheduleForward(rep *TimingReport, streams int) (*Schedule, error)
 			}
 			if t > ready {
 				ready = t
+				flow = blobSpan[b]
 			}
 		}
 		// Earliest-start stream: max(ready, streamFree) minimized.
@@ -70,12 +74,16 @@ func (n *Net) ScheduleForward(rep *TimingReport, streams int) (*Schedule, error)
 		end := bestStart + dur
 		streamFree[best] = end
 		blobReady[li.top] = end
+		span := uint64(i + 1)
+		blobSpan[li.top] = span
 		out.Spans = append(out.Spans, trace.Event{
 			Name:  li.layer.Name(),
 			Cat:   "fwd",
 			Start: bestStart,
 			Dur:   dur,
 			Track: best,
+			Span:  span,
+			Flow:  flow,
 		})
 		if end > out.Makespan {
 			out.Makespan = end
@@ -100,21 +108,27 @@ func ScheduleOOC(plan OOCPlan, fetch, compute, spill time.Duration) (*Schedule, 
 	}
 	out := &Schedule{}
 	var h2dFree, computeFree, d2hFree time.Duration
-	add := func(name string, track int, start, dur time.Duration) time.Duration {
+	var nextSpan uint64
+	// Flow edges record the double-buffering dependencies: each window's
+	// compute depends on its fetch, each spill on its compute.
+	add := func(name string, track int, start, dur time.Duration, flow uint64) (time.Duration, uint64) {
+		nextSpan++
 		out.Spans = append(out.Spans, trace.Event{
 			Name: name, Cat: "ooc", Start: start, Dur: dur, Track: track,
+			Span: nextSpan, Flow: flow,
 		})
 		end := start + dur
 		if end > out.Makespan {
 			out.Makespan = end
 		}
-		return end
+		return end, nextSpan
 	}
 	for w := 0; w < plan.Windows; w++ {
-		h2dFree = add(fmt.Sprintf("ooc_fetch[%d]", w), 0, h2dFree, fetch)
-		computeFree = add(fmt.Sprintf("ooc_compute[%d]", w), 1, maxDur(h2dFree, computeFree), compute)
+		var fetchSpan, computeSpan uint64
+		h2dFree, fetchSpan = add(fmt.Sprintf("ooc_fetch[%d]", w), 0, h2dFree, fetch, 0)
+		computeFree, computeSpan = add(fmt.Sprintf("ooc_compute[%d]", w), 1, maxDur(h2dFree, computeFree), compute, fetchSpan)
 		if spill > 0 {
-			d2hFree = add(fmt.Sprintf("ooc_spill[%d]", w), 2, maxDur(computeFree, d2hFree), spill)
+			d2hFree, _ = add(fmt.Sprintf("ooc_spill[%d]", w), 2, maxDur(computeFree, d2hFree), spill, computeSpan)
 		}
 	}
 	return out, nil

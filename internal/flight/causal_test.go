@@ -1,0 +1,99 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+
+	"ucudnn/internal/causal"
+	"ucudnn/internal/obs"
+)
+
+var evCausalTest = Register("ucudnn_ev_causal_test", nil)
+
+// Flight events carry the enclosing causal span, stamped on the
+// lock-free record path.
+func TestRecordStampsSpan(t *testing.T) {
+	r := NewRecorder(64)
+	causal.Reset()
+	causal.Enable()
+	defer func() {
+		causal.Disable()
+		causal.Reset()
+	}()
+	r.Record(evCausalTest, 1, 0, 0, 0) // before any scope: span 0
+	sc := causal.Begin(causal.KindConv, "conv2d")
+	r.Record(evCausalTest, 2, 0, 0, 0)
+	causal.End(sc)
+	r.Record(evCausalTest, 3, 0, 0, 0)
+
+	evs := r.Snapshot(0)
+	if len(evs) != 3 {
+		t.Fatalf("snapshot: %d events", len(evs))
+	}
+	if evs[0].Span != 0 || evs[2].Span != 0 {
+		t.Fatalf("out-of-scope events stamped: %+v", evs)
+	}
+	if evs[1].Span != uint64(sc.ID) {
+		t.Fatalf("in-scope event span %d, want %d", evs[1].Span, sc.ID)
+	}
+}
+
+// Dropped counts ring overwrites: zero until the ring wraps, then
+// lifetime total minus capacity.
+func TestDropped(t *testing.T) {
+	r := NewRecorder(64)
+	if r.Dropped() != 0 {
+		t.Fatal("fresh ring reports drops")
+	}
+	for i := 0; i < r.Capacity(); i++ {
+		r.Record(evCausalTest, int64(i), 0, 0, 0)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("full-but-unwrapped ring: %d drops", r.Dropped())
+	}
+	r.Record(evCausalTest, 0, 0, 0, 0)
+	if r.Dropped() != 1 {
+		t.Fatalf("one overwrite: Dropped = %d", r.Dropped())
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Fatal("nil recorder must report 0")
+	}
+}
+
+// SyncMetrics mirrors the overwrite count into ucudnn_ev_dropped_total
+// monotonically, keeping the high-water mark across ring reinstalls.
+func TestSyncMetrics(t *testing.T) {
+	prev := Active()
+	defer Install(prev)
+	r := Enable(64)
+	reg := obs.NewRegistry()
+	for i := 0; i < r.Capacity()+5; i++ {
+		r.Record(evCausalTest, 0, 0, 0, 0)
+	}
+	SyncMetrics(reg)
+	c := reg.Counter(MetricDropped)
+	if c.Value() != 5 {
+		t.Fatalf("dropped counter = %d, want 5", c.Value())
+	}
+	// A fresh ring restarts its own drop count; the metric must not move
+	// backwards.
+	Enable(64)
+	SyncMetrics(reg)
+	if c.Value() != 5 {
+		t.Fatalf("counter regressed to %d", c.Value())
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), MetricDropped+" 5") {
+		t.Fatalf("exporter output missing dropped counter:\n%s", buf.String())
+	}
+	SyncMetrics(nil) // nil registry is a no-op
+	Install(nil)
+	SyncMetrics(reg) // disabled recorder is a no-op
+	if c.Value() != 5 {
+		t.Fatalf("disabled-recorder sync moved the counter: %d", c.Value())
+	}
+}

@@ -41,6 +41,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"ucudnn/internal/causal"
 )
 
 // Name is a flight-recorder event name. Names are compile-time
@@ -119,6 +121,9 @@ type Event struct {
 	// A, B, C, D are the event's argument words; their meaning is
 	// per-kind (see the registering package's formatter).
 	A, B, C, D int64
+	// Span is the causal scope the event was recorded under (see
+	// internal/causal); 0 when correlation was off or no scope was open.
+	Span uint64
 }
 
 // Name returns the registered name of the event's kind, or a
@@ -155,6 +160,7 @@ type slot struct {
 	b     atomic.Int64
 	c     atomic.Int64
 	d     atomic.Int64
+	span  atomic.Uint64
 	end   atomic.Uint64
 }
 
@@ -195,6 +201,19 @@ func (r *Recorder) Total() uint64 {
 	return r.next.Load()
 }
 
+// Dropped returns how many events the ring has overwritten (lifetime
+// total minus capacity, once the ring has wrapped). Exported as
+// ucudnn_ev_dropped_total so truncation is visible instead of silent.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if t, c := r.next.Load(), uint64(len(r.slots)); t > c {
+		return t - c
+	}
+	return 0
+}
+
 // Record appends one event to the ring: claim a sequence number,
 // publish start, payload, end. Allocation-free and lock-free.
 //
@@ -209,6 +228,7 @@ func (r *Recorder) Record(k Kind, a, b, c, d int64) {
 	s.b.Store(b)
 	s.c.Store(c)
 	s.d.Store(d)
+	s.span.Store(uint64(causal.Current()))
 	s.end.Store(seq)
 }
 
@@ -242,6 +262,7 @@ func (r *Recorder) Snapshot(max int) []Event {
 			B:      s.b.Load(),
 			C:      s.c.Load(),
 			D:      s.d.Load(),
+			Span:   s.span.Load(),
 		}
 		if s.start.Load() != seq {
 			continue // a writer began rewriting the slot under us

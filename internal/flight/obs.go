@@ -1,0 +1,23 @@
+package flight
+
+import "ucudnn/internal/obs"
+
+// MetricDropped is the ring-overwrite counter: events the fixed-capacity
+// ring discarded to make room. A nonzero value means Snapshot-based
+// consumers (debug server, dumps) saw a truncated history.
+const MetricDropped = "ucudnn_ev_dropped_total"
+
+// SyncMetrics raises reg's ucudnn_ev_dropped_total counter to the
+// active recorder's current overwrite count. Exporters call it before
+// rendering; the counter only moves forward (a freshly installed ring
+// restarts its drop count, but the metric keeps its high-water total).
+func SyncMetrics(reg *obs.Registry) {
+	r := Active()
+	if r == nil || reg == nil {
+		return
+	}
+	c := reg.Counter(MetricDropped)
+	if d := int64(r.Dropped()); d > c.Value() {
+		c.Add(d - c.Value())
+	}
+}

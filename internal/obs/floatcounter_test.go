@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.FloatCounter("stall_seconds_total", L("cause", "fetch-starved"))
+	c.Add(0.25)
+	c.Add(0.5)
+	c.Add(-1)         // ignored: counters are monotone
+	c.Add(math.NaN()) // ignored
+	if got := c.Value(); got != 0.75 {
+		t.Fatalf("float counter = %v, want 0.75", got)
+	}
+	if c != r.FloatCounter("stall_seconds_total", L("cause", "fetch-starved")) {
+		t.Fatal("same name+labels must return the same series")
+	}
+	var nilR *Registry
+	nc := nilR.FloatCounter("x_total")
+	nc.Add(1) // must not panic
+	var nilC *FloatCounter
+	nilC.Add(1)
+	if nilC.Value() != 0 {
+		t.Fatal("nil float counter value")
+	}
+}
+
+func TestFloatCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.FloatCounter("cc_total")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("concurrent adds lost updates: %v, want 4000", got)
+	}
+}
+
+// Float counters export as counter-typed Prometheus series and appear
+// in the text summary.
+func TestFloatCounterExport(t *testing.T) {
+	r := NewRegistry()
+	r.FloatCounter("ucudnn_stall_seconds_total", L("cause", "spill-blocked")).Add(1.5)
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	if !strings.Contains(out, "# TYPE ucudnn_stall_seconds_total counter") {
+		t.Fatalf("missing counter TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `ucudnn_stall_seconds_total{cause="spill-blocked"} 1.5`) {
+		t.Fatalf("missing sample:\n%s", out)
+	}
+	var sum strings.Builder
+	if err := r.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "ucudnn_stall_seconds_total") {
+		t.Fatalf("summary missing float counter:\n%s", sum.String())
+	}
+}

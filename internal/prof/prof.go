@@ -422,6 +422,7 @@ func launchEnd(workers int, start int64, nested bool) {
 	r.imbN.Add(1)
 	g := imbGauge.Load()
 	g.Set(imb)
+	recLaunchWindow(int64(workers), sum, wall, nested)
 }
 
 //ucudnn:hotpath

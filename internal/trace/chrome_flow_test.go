@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// Span-carrying traces get the enriched Chrome rendering: thread-name
+// metadata per used track, span/parent args, and an "s"/"f" flow-arrow
+// pair per flow edge.
+func TestWriteChromeFlowArrows(t *testing.T) {
+	r := New()
+	r.Add(Event{Name: "fetch", Cat: "ooc_fetch", Track: TrackOOCFetch,
+		Start: 0, Dur: 2 * time.Microsecond, Span: 10})
+	r.Add(Event{Name: "compute", Cat: "fwd", Track: TrackKernel,
+		Start: 2 * time.Microsecond, Dur: 3 * time.Microsecond, Span: 11, Parent: 5, Flow: 10})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete, flowS, flowF int
+	var names []string
+	for _, ev := range out {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			args := ev["args"].(map[string]interface{})
+			names = append(names, args["name"].(string))
+		case "X":
+			complete++
+			args := ev["args"].(map[string]interface{})
+			if args["span"] == nil {
+				t.Fatalf("complete event missing span arg: %v", ev)
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+			if ev["bp"] != "e" {
+				t.Fatalf("flow finish must bind to enclosing slice: %v", ev)
+			}
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name metadata events = %d (%v), want 2", meta, names)
+	}
+	if complete != 2 {
+		t.Fatalf("complete events = %d", complete)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Fatalf("flow arrows: s=%d f=%d, want one pair", flowS, flowF)
+	}
+	for _, want := range []string{TrackName(TrackOOCFetch), TrackName(TrackKernel)} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing track name %q in %v", want, names)
+		}
+	}
+}
+
+// Span-less traces must keep the legacy byte format: no metadata, no
+// args, no flow events (committed goldens depend on those exact bytes).
+func TestWriteChromeLegacyUnchanged(t *testing.T) {
+	r := New()
+	r.Add(Event{Name: "k", Cat: "conv", Start: time.Microsecond, Dur: time.Microsecond})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"ph":"M"`)) ||
+		bytes.Contains(buf.Bytes(), []byte(`"args"`)) {
+		t.Fatalf("legacy trace gained enrichment:\n%s", buf.String())
+	}
+}
+
+func TestTrackNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tr := range []int{TrackKernel, TrackLayer, TrackFault, TrackOOCFetch, TrackOOCSpill, TrackIteration} {
+		n := TrackName(tr)
+		if n == "" || seen[n] {
+			t.Fatalf("track %d name %q (empty or duplicate)", tr, n)
+		}
+		seen[n] = true
+	}
+	if TrackName(99) == "" {
+		t.Fatal("unknown tracks still need a label")
+	}
+}

@@ -14,6 +14,48 @@ import (
 	"time"
 )
 
+// The well-known timeline tracks. Kernel charges land on the device
+// stream; layer and iteration brackets, fault annotations and the
+// out-of-core transfer streams each get a dedicated lane, mirroring
+// dnn.ScheduleOOC's three-stream model (H2D / compute / D2H).
+const (
+	// TrackKernel is the device compute stream (conv/gemm/transfer
+	// charges).
+	TrackKernel = 0
+	// TrackLayer carries per-layer bracket spans.
+	TrackLayer = 1
+	// TrackFault carries fault/degradation annotations.
+	TrackFault = 2
+	// TrackOOCFetch is the host-to-device transfer stream (out-of-core
+	// fetches and recomputes).
+	TrackOOCFetch = 3
+	// TrackOOCSpill is the device-to-host transfer stream (out-of-core
+	// spills).
+	TrackOOCSpill = 4
+	// TrackIteration carries per-iteration bracket spans.
+	TrackIteration = 5
+)
+
+// TrackName names a track for renderers (Chrome thread_name metadata,
+// timeline tables).
+func TrackName(t int) string {
+	switch t {
+	case TrackKernel:
+		return "device stream"
+	case TrackLayer:
+		return "layers"
+	case TrackFault:
+		return "faults"
+	case TrackOOCFetch:
+		return "ooc fetch (H2D)"
+	case TrackOOCSpill:
+		return "ooc spill (D2H)"
+	case TrackIteration:
+		return "iterations"
+	}
+	return fmt.Sprintf("track %d", t)
+}
+
 // Event is one completed span on the simulated device timeline.
 type Event struct {
 	// Name labels the span (e.g. "Forward FFT@32 64x27x27").
@@ -26,6 +68,15 @@ type Event struct {
 	Dur time.Duration
 	// Track is the lane the span renders in (0 = device stream).
 	Track int
+	// Span is the event's causal identifier; 0 when correlation is off.
+	Span uint64
+	// Parent is the Span of the enclosing causal scope (a conv call, a
+	// layer, an iteration); 0 at the root.
+	Parent uint64
+	// Flow is the Span of the event this one causally depends on across
+	// tracks (e.g. the fetch a compute window waited for); 0 when none.
+	// Renders as a Chrome flow arrow.
+	Flow uint64
 }
 
 // Recorder accumulates events; it is safe for concurrent use.
@@ -51,9 +102,9 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Events returns a snapshot sorted by (Start, Track, Name). The key is
-// total over concurrent recordings, so exports are byte-identical across
-// runs regardless of the order events arrived in.
+// Events returns a snapshot sorted by (Start, Track, Name, Span). The
+// key is total over concurrent recordings, so exports are byte-identical
+// across runs regardless of the order events arrived in.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -65,7 +116,10 @@ func (r *Recorder) Events() []Event {
 		if out[i].Track != out[j].Track {
 			return out[i].Track < out[j].Track
 		}
-		return out[i].Name < out[j].Name
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Span < out[j].Span
 	})
 	return out
 }
@@ -77,23 +131,67 @@ func (r *Recorder) Reset() {
 	r.events = nil
 }
 
-// chromeEvent is the trace-event JSON schema ("X" complete events).
+// chromeEvent is the trace-event JSON schema ("X" complete events,
+// "s"/"f" flow arrows, "M" metadata).
 type chromeEvent struct {
-	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	Ph   string `json:"ph"`
-	TS   int64  `json:"ts"`  // microseconds
-	Dur  int64  `json:"dur"` // microseconds
-	PID  int    `json:"pid"`
-	TID  int    `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChrome emits the events as a Chrome trace-event JSON array.
+// WriteChrome emits the events as a Chrome trace-event JSON array. When
+// the trace carries causal spans, each event's span/parent land in args,
+// cross-track dependencies become flow arrows ("s"/"f" pairs) and tracks
+// get thread_name metadata; span-less traces emit exactly the legacy
+// format.
 func (r *Recorder) WriteChrome(w io.Writer) error {
-	evs := r.Events()
-	out := make([]chromeEvent, len(evs))
-	for i, e := range evs {
-		out[i] = chromeEvent{
+	return WriteChromeEvents(w, r.Events())
+}
+
+// WriteChromeEvents is WriteChrome over an explicit event slice (already
+// in canonical order), for exporters that post-process events before
+// rendering.
+func WriteChromeEvents(w io.Writer, evs []Event) error {
+	causal := false
+	for _, e := range evs {
+		if e.Span != 0 {
+			causal = true
+			break
+		}
+	}
+	var out []chromeEvent
+	if causal {
+		tracks := map[int]bool{}
+		for _, e := range evs {
+			tracks[e.Track] = true
+		}
+		order := make([]int, 0, len(tracks))
+		for t := range tracks {
+			order = append(order, t)
+		}
+		sort.Ints(order)
+		for _, t := range order {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: t + 1,
+				Args: map[string]any{"name": TrackName(t)},
+			})
+		}
+	}
+	spanEnd := map[uint64]Event{}
+	for _, e := range evs {
+		if e.Span != 0 {
+			spanEnd[e.Span] = e
+		}
+	}
+	for _, e := range evs {
+		ce := chromeEvent{
 			Name: e.Name,
 			Cat:  e.Cat,
 			Ph:   "X",
@@ -102,6 +200,35 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			PID:  1,
 			TID:  e.Track + 1,
 		}
+		if e.Span != 0 {
+			ce.Args = map[string]any{"span": e.Span}
+			if e.Parent != 0 {
+				ce.Args["parent"] = e.Parent
+			}
+			if e.Flow != 0 {
+				ce.Args["flow"] = e.Flow
+			}
+		}
+		out = append(out, ce)
+	}
+	// Flow arrows: an "s" at the dependency's end bound to an "f" at the
+	// dependent's start.
+	for _, e := range evs {
+		src, ok := spanEnd[e.Flow]
+		if e.Flow == 0 || !ok {
+			continue
+		}
+		id := fmt.Sprintf("%d-%d", e.Flow, e.Span)
+		out = append(out, chromeEvent{
+			Name: "dep", Cat: "flow", Ph: "s", ID: id, PID: 1,
+			TID: src.Track + 1, TS: (src.Start + src.Dur).Microseconds(),
+		}, chromeEvent{
+			Name: "dep", Cat: "flow", Ph: "f", BP: "e", ID: id, PID: 1,
+			TID: e.Track + 1, TS: e.Start.Microseconds(),
+		})
+	}
+	if out == nil {
+		out = []chromeEvent{}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
